@@ -1,0 +1,126 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation, then measures this implementation itself with
+   bechamel (one Test.make per table/experiment).
+
+   Run with:  dune exec bench/main.exe
+
+   Part 1 prints the paper-shaped tables (deterministic: the VM's
+   cycle counts do not depend on the host).
+   Part 2 reports host-side wall-clock costs of the pipeline stages
+   and of each experiment driver. *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '#')
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate the evaluation                                  *)
+(* ------------------------------------------------------------------ *)
+
+let regenerate () =
+  section "T1: Table 1";
+  print_string (Ivy.Report_fmt.render_table1 (Ivy.Experiment.table1 ()));
+  section "E1: Deputy conversion census";
+  print_string (Ivy.Report_fmt.render_e1 (Ivy.Experiment.e1_census ()));
+  section "E2: CCount overheads";
+  print_string (Ivy.Report_fmt.render_e2 (Ivy.Experiment.e2_overheads ()));
+  section "E3: CCount free census";
+  print_string (Ivy.Report_fmt.render_e3 (Ivy.Experiment.e3_free_census ()));
+  section "E4: BlockStop";
+  print_string (Ivy.Report_fmt.render_e4 (Ivy.Experiment.e4_blockstop ()));
+  section "E5: driver subset";
+  print_string (Ivy.Report_fmt.render_e5 (Ivy.Experiment.e5_driver_subset ()));
+  section "A1: ablations";
+  print_string
+    (Ivy.Report_fmt.render_a1
+       (Ivy.Experiment.a1_discharge_ablation ())
+       (Ivy.Experiment.a2_leak_ablation ()));
+  section "X1: lock safety (extension)";
+  print_string (Ivy.Report_fmt.render_x1 (Ivy.Experiment.x1_locksafe ()));
+  section "X2: stack budget (extension)";
+  print_string (Ivy.Report_fmt.render_x2 (Ivy.Experiment.x2_stackcheck ()));
+  section "X3: error codes + annotation DB (extension)";
+  print_string (Ivy.Report_fmt.render_x3 (Ivy.Experiment.x3_errcheck_and_db ()));
+  section "X4: user/kernel pointers (extension)";
+  print_string (Ivy.Report_fmt.render_x4 (Ivy.Experiment.x4_userck ()))
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: bechamel micro-benchmarks of the implementation            *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+(* One Test.make per table/experiment of the paper, plus the pipeline
+   stages a downstream user would care about. *)
+let tests () =
+  let sources = Kernel.Workloads.sources () in
+  let parsed = Kernel.Workloads.load () in
+  [
+    (* Pipeline stages. *)
+    Test.make ~name:"frontend:parse+check corpus"
+      (Staged.stage (fun () -> ignore (Kc.Typecheck.check_sources sources)));
+    Test.make ~name:"deputy:instrument+optimize"
+      (Staged.stage (fun () ->
+           let p = Kernel.Corpus.load () in
+           ignore (Deputy.Dreport.deputize p)));
+    Test.make ~name:"ccount:instrument"
+      (Staged.stage (fun () ->
+           let p = Kernel.Corpus.load () in
+           ignore (Ccount.Rc_instrument.instrument_program p)));
+    Test.make ~name:"blockstop:analyze"
+      (Staged.stage (fun () ->
+           let p = Kernel.Corpus.load () in
+           ignore (Blockstop.Breport.analyze p)));
+    Test.make ~name:"vm:boot"
+      (Staged.stage (fun () -> ignore (Ivy.Pipeline.booted Ivy.Pipeline.Base)));
+    (* One per table / experiment. *)
+    Test.make ~name:"table1:lat_udp row"
+      (Staged.stage (fun () ->
+           ignore (Ivy.Experiment.table1_row (Kernel.Workloads.find_row "lat_udp"))));
+    Test.make ~name:"e2:fork overhead cell"
+      (Staged.stage (fun () ->
+           ignore (Ivy.Experiment.e2_cell ~workload:"wl_fork" ~iters:5 Vm.Cost.Up)));
+    Test.make ~name:"e3:free census"
+      (Staged.stage (fun () ->
+           let r = Ivy.Pipeline.booted (Ivy.Pipeline.Ccount Vm.Cost.Up) in
+           ignore (Ivy.Pipeline.run_entry r "wl_ssh_copy" 10);
+           ignore (Ivy.Pipeline.free_census r)));
+    Test.make ~name:"e4:blockstop experiment"
+      (Staged.stage (fun () -> ignore (Ivy.Experiment.e4_blockstop ())));
+    Test.make ~name:"x1:locksafe" (Staged.stage (fun () -> ignore (Locksafe.analyze parsed)));
+    Test.make ~name:"x2:stackcheck" (Staged.stage (fun () -> ignore (Stackcheck.analyze parsed)));
+    Test.make ~name:"x3:errcheck" (Staged.stage (fun () -> ignore (Errcheck.analyze parsed)));
+    Test.make ~name:"x4:userck" (Staged.stage (fun () -> ignore (Userck.analyze parsed)));
+  ]
+
+let benchmark () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  Printf.printf "\n%-34s %14s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 50 '-');
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+      List.iter
+        (fun (name, raw) ->
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] ->
+              let pretty =
+                if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+                else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+                else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+                else Printf.sprintf "%8.0f ns" ns
+              in
+              Printf.printf "%-34s %14s\n" name pretty;
+              flush stdout
+          | _ -> Printf.printf "%-34s %14s\n" name "n/a")
+        entries)
+    (tests ())
+
+let () =
+  regenerate ();
+  section "Implementation micro-benchmarks (bechamel)";
+  benchmark ()

@@ -1,0 +1,352 @@
+(* The ivy command-line tool: run the analyses and the paper's
+   experiments over the bundled mini-kernel corpus or over user-given
+   KC files.
+
+     ivy boot [--mode MODE]        boot the kernel on the VM
+     ivy run ENTRY [--iters N]     run a workload entry point
+     ivy deputy [FILE...]          Deputy census (and static errors)
+     ivy ccount [--profile P]      CCount free census after light use
+     ivy blockstop [--guards]      BlockStop warnings
+     ivy locksafe|stackcheck|errcheck
+     ivy annotdb [-o FILE]         populate and dump the fact database
+     ivy corpus [--erase]          corpus stats, or erased source
+     ivy experiments [all|t1|e1|e2|e3|e4|e5|x1|x2|x3]
+*)
+
+open Cmdliner
+
+let load_files files ~fixed_frees =
+  match files with
+  | [] -> Kernel.Workloads.load ~fixed_frees ()
+  | fs ->
+      let sources =
+        List.map
+          (fun path ->
+            let ic = open_in path in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            (path, s))
+          fs
+      in
+      Kc.Typecheck.check_sources sources
+
+let handle_frontend_errors f =
+  try f () with
+  | Kc.Typecheck.Type_error (msg, loc) ->
+      Printf.eprintf "type error: %s at %s\n" msg (Kc.Loc.to_string loc);
+      exit 1
+  | Kc.Parser.Error (msg, loc) ->
+      Printf.eprintf "parse error: %s at %s\n" msg (Kc.Loc.to_string loc);
+      exit 1
+  | Kc.Lexer.Error (msg, loc) ->
+      Printf.eprintf "lex error: %s at %s\n" msg (Kc.Loc.to_string loc);
+      exit 1
+  | Vm.Trap.Trap (k, msg) ->
+      Printf.eprintf "TRAP [%s]: %s\n" (Vm.Trap.kind_to_string k) msg;
+      exit 2
+
+(* Shared arguments *)
+
+let mode_arg =
+  let parse = function
+    | "base" -> Ok Ivy.Pipeline.Base
+    | "deputy" -> Ok Ivy.Pipeline.Deputy
+    | "deputy-unopt" -> Ok Ivy.Pipeline.Deputy_unoptimized
+    | "ccount-up" -> Ok (Ivy.Pipeline.Ccount Vm.Cost.Up)
+    | "ccount-smp" -> Ok (Ivy.Pipeline.Ccount Vm.Cost.Smp_p4)
+    | "blockstop-guarded" -> Ok Ivy.Pipeline.Blockstop_guarded
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %s" s))
+  in
+  let print fmt m = Format.pp_print_string fmt (Ivy.Pipeline.mode_to_string m) in
+  Arg.conv (parse, print)
+
+let mode_t =
+  Arg.(
+    value
+    & opt mode_arg Ivy.Pipeline.Base
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:"Instrumentation mode: base, deputy, deputy-unopt, ccount-up, ccount-smp, \
+              blockstop-guarded.")
+
+let unfixed_t =
+  Arg.(value & flag & info [ "unfixed" ] ~doc:"Use the corpus variant before the free fixes.")
+
+let files_t = Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"KC source files.")
+
+(* ---- boot ---- *)
+
+let boot_cmd =
+  let run mode unfixed =
+    handle_frontend_errors (fun () ->
+        let r = Ivy.Pipeline.booted ~fixed_frees:(not unfixed) mode in
+        List.iter print_endline (Vm.Machine.console_lines r.Ivy.Pipeline.interp.Vm.Interp.m);
+        Printf.printf "[%s] booted in %d cycles\n"
+          (Ivy.Pipeline.mode_to_string mode)
+          (Ivy.Pipeline.cycles r);
+        (match r.Ivy.Pipeline.deputy_report with
+        | Some dr -> Format.printf "%a@." Deputy.Dreport.pp dr
+        | None -> ());
+        match r.Ivy.Pipeline.ccount_report with
+        | Some cr ->
+            Format.printf "%a@." Ccount.Creport.pp cr;
+            Format.printf "%a@." Ccount.Creport.pp_census (Ivy.Pipeline.free_census r)
+        | None -> ())
+  in
+  Cmd.v (Cmd.info "boot" ~doc:"Boot the mini-kernel on the VM.")
+    Term.(const run $ mode_t $ unfixed_t)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let entry_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"ENTRY") in
+  let iters_t = Arg.(value & opt int 10 & info [ "iters"; "n" ] ~docv:"N") in
+  let run mode entry iters =
+    handle_frontend_errors (fun () ->
+        let r = Ivy.Pipeline.booted mode in
+        let v, cycles = Ivy.Pipeline.run_entry r entry iters in
+        Printf.printf "%s(%d) = %Ld in %d cycles [%s]\n" entry iters v cycles
+          (Ivy.Pipeline.mode_to_string mode))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a workload entry point (e.g. wl_lat_udp).")
+    Term.(const run $ mode_t $ entry_t $ iters_t)
+
+(* ---- deputy ---- *)
+
+let deputy_cmd =
+  let run files =
+    handle_frontend_errors (fun () ->
+        let prog = load_files files ~fixed_frees:true in
+        let report = Deputy.Dreport.deputize prog in
+        Format.printf "%a@." Deputy.Dreport.pp report;
+        List.iter
+          (fun (msg, loc) -> Printf.printf "static error: %s at %s\n" msg (Kc.Loc.to_string loc))
+          report.Deputy.Dreport.static_errors;
+        if report.Deputy.Dreport.static_errors <> [] then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "deputy" ~doc:"Type/memory-safety conversion census (paper §2.1).")
+    Term.(const run $ files_t)
+
+(* ---- ccount ---- *)
+
+let ccount_cmd =
+  let profile_t =
+    Arg.(
+      value & opt string "up"
+      & info [ "profile" ] ~docv:"P" ~doc:"Cost profile: up or smp.")
+  in
+  let run profile unfixed =
+    handle_frontend_errors (fun () ->
+        let profile = if profile = "smp" then Vm.Cost.Smp_p4 else Vm.Cost.Up in
+        let r = Ivy.Pipeline.booted ~fixed_frees:(not unfixed) (Ivy.Pipeline.Ccount profile) in
+        ignore (Ivy.Pipeline.run_entry r "wl_idle" 50);
+        ignore (Ivy.Pipeline.run_entry r "wl_ssh_copy" 100);
+        (match r.Ivy.Pipeline.ccount_report with
+        | Some cr -> Format.printf "%a@." Ccount.Creport.pp cr
+        | None -> ());
+        Format.printf "%a@." Ccount.Creport.pp_census (Ivy.Pipeline.free_census r))
+  in
+  Cmd.v
+    (Cmd.info "ccount" ~doc:"Refcounted free checking after boot + light use (paper §2.2).")
+    Term.(const run $ profile_t $ unfixed_t)
+
+(* ---- blockstop ---- *)
+
+let blockstop_cmd =
+  let guards_t =
+    Arg.(value & flag & info [ "guards" ] ~doc:"Apply the manual runtime-check guard list.")
+  in
+  let field_t =
+    Arg.(value & flag & info [ "field-sensitive" ] ~doc:"Use field-sensitive points-to.")
+  in
+  let run files guards field =
+    handle_frontend_errors (fun () ->
+        let prog = load_files files ~fixed_frees:true in
+        let mode =
+          if field then Blockstop.Pointsto.Field_based else Blockstop.Pointsto.Type_based
+        in
+        let guard = if guards then Kernel.Corpus.blockstop_guards else [] in
+        let r = Blockstop.Breport.analyze ~mode ~guard prog in
+        Format.printf "%a@." Blockstop.Breport.pp r;
+        List.iter
+          (fun (f, c) -> Printf.printf "  warning: %s may block in atomic context of %s\n" c f)
+          (Blockstop.Breport.distinct_warnings r))
+  in
+  Cmd.v
+    (Cmd.info "blockstop" ~doc:"Blocking-in-atomic analysis (paper §2.3).")
+    Term.(const run $ files_t $ guards_t $ field_t)
+
+(* ---- extensions ---- *)
+
+let locksafe_cmd =
+  let run files =
+    handle_frontend_errors (fun () ->
+        let prog = load_files files ~fixed_frees:true in
+        let r = Locksafe.analyze prog in
+        Format.printf "%a@." Locksafe.pp r;
+        List.iter
+          (fun (a, b) -> Printf.printf "  deadlock: %s and %s taken in both orders\n" a b)
+          r.Locksafe.deadlock_cycles;
+        List.iter
+          (fun (l, (a : Locksafe.acquire)) ->
+            Printf.printf "  irq-unsafe: %s taken without irqsave in %s at %s\n" l
+              a.Locksafe.a_in
+              (Kc.Loc.to_string a.Locksafe.a_loc))
+          r.Locksafe.irq_unsafe)
+  in
+  Cmd.v (Cmd.info "locksafe" ~doc:"Lock-order and irq-spinlock analysis (paper §3.1).")
+    Term.(const run $ files_t)
+
+let stackcheck_cmd =
+  let budget_t = Arg.(value & opt int 8192 & info [ "budget" ] ~docv:"BYTES") in
+  let run files budget =
+    handle_frontend_errors (fun () ->
+        let prog = load_files files ~fixed_frees:true in
+        let r = Stackcheck.analyze prog in
+        Format.printf "%a@." Stackcheck.pp r;
+        Printf.printf "  fits %d bytes from start_kernel: %b\n" budget
+          (Stackcheck.fits r ~entry:"start_kernel" ~budget);
+        List.iter
+          (fun f -> Printf.printf "  recursion: %s needs a runtime depth check\n" f)
+          (Stackcheck.needs_runtime_check r))
+  in
+  Cmd.v (Cmd.info "stackcheck" ~doc:"Stack-depth analysis (paper §3.1).")
+    Term.(const run $ files_t $ budget_t)
+
+let errcheck_cmd =
+  let run files =
+    handle_frontend_errors (fun () ->
+        let prog = load_files files ~fixed_frees:true in
+        let r = Errcheck.analyze prog in
+        Format.printf "%a@." Errcheck.pp r;
+        List.iter (fun s -> Format.printf "  %a@." Errcheck.pp_site s) r.Errcheck.violations)
+  in
+  Cmd.v (Cmd.info "errcheck" ~doc:"Error-code checking (paper §3.1).") Term.(const run $ files_t)
+
+let userck_cmd =
+  let run files =
+    handle_frontend_errors (fun () ->
+        let prog = load_files files ~fixed_frees:true in
+        let r = Userck.analyze prog in
+        Format.printf "%a@." Userck.pp r;
+        List.iter (fun v -> Format.printf "  %a@." Userck.pp_violation v) r.Userck.violations;
+        if r.Userck.violations <> [] then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "userck" ~doc:"User/kernel pointer checking (paper §3.1 further examples).")
+    Term.(const run $ files_t)
+
+let infer_cmd =
+  let run files =
+    handle_frontend_errors (fun () ->
+        let prog = load_files files ~fixed_frees:true in
+        let suggestions = Deputy.Infer.suggest prog in
+        Printf.printf "%d annotation suggestions\n" (List.length suggestions);
+        List.iter (fun s -> Format.printf "  %a@." Deputy.Infer.pp_suggestion s) suggestions)
+  in
+  Cmd.v
+    (Cmd.info "infer" ~doc:"Suggest Deputy annotations for unannotated parameters.")
+    Term.(const run $ files_t)
+
+let annotdb_cmd =
+  let out_t = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
+  let run files out =
+    handle_frontend_errors (fun () ->
+        let prog = load_files files ~fixed_frees:true in
+        let db = Annotdb.populate prog in
+        match out with
+        | Some path ->
+            Annotdb.save db path;
+            Printf.printf "wrote %d facts to %s\n" (Annotdb.size db) path
+        | None -> print_string (Annotdb.to_string db))
+  in
+  Cmd.v
+    (Cmd.info "annotdb" ~doc:"Populate the shared annotation database (paper §3.2).")
+    Term.(const run $ files_t $ out_t)
+
+(* ---- corpus ---- *)
+
+let corpus_cmd =
+  let erase_t =
+    Arg.(value & flag & info [ "erase" ] ~doc:"Print the corpus with annotations erased.")
+  in
+  let run erase =
+    handle_frontend_errors (fun () ->
+        if erase then begin
+          let prog = Kernel.Corpus.load () in
+          print_string (Kc.Pretty.print_program ~erase:true prog)
+        end
+        else begin
+          let prog = Kernel.Corpus.load () in
+          Printf.printf "mini-kernel corpus: %d lines, %d functions, %d structs/unions\n"
+            (Kernel.Corpus.line_count ())
+            (List.length prog.Kc.Ir.funcs)
+            (Hashtbl.length prog.Kc.Ir.comps);
+          List.iter
+            (fun (name, src) ->
+              Printf.printf "  %-24s %5d lines\n" name
+                (List.length (String.split_on_char '\n' src)))
+            (Kernel.Corpus.sources ())
+        end)
+  in
+  Cmd.v (Cmd.info "corpus" ~doc:"Describe (or erase) the bundled corpus.")
+    Term.(const run $ erase_t)
+
+(* ---- experiments ---- *)
+
+let experiments_cmd =
+  let which_t = Arg.(value & pos 0 string "all" & info [] ~docv:"WHICH") in
+  let run which =
+    handle_frontend_errors (fun () ->
+        let t1 () = print_string (Ivy.Report_fmt.render_table1 (Ivy.Experiment.table1 ())) in
+        let e1 () = print_string (Ivy.Report_fmt.render_e1 (Ivy.Experiment.e1_census ())) in
+        let e2 () = print_string (Ivy.Report_fmt.render_e2 (Ivy.Experiment.e2_overheads ())) in
+        let e3 () = print_string (Ivy.Report_fmt.render_e3 (Ivy.Experiment.e3_free_census ())) in
+        let e4 () = print_string (Ivy.Report_fmt.render_e4 (Ivy.Experiment.e4_blockstop ())) in
+        let e5 () = print_string (Ivy.Report_fmt.render_e5 (Ivy.Experiment.e5_driver_subset ())) in
+        let a1 () =
+          print_string
+            (Ivy.Report_fmt.render_a1
+               (Ivy.Experiment.a1_discharge_ablation ())
+               (Ivy.Experiment.a2_leak_ablation ()))
+        in
+        let x1 () = print_string (Ivy.Report_fmt.render_x1 (Ivy.Experiment.x1_locksafe ())) in
+        let x2 () = print_string (Ivy.Report_fmt.render_x2 (Ivy.Experiment.x2_stackcheck ())) in
+        let x3 () = print_string (Ivy.Report_fmt.render_x3 (Ivy.Experiment.x3_errcheck_and_db ())) in
+        let x4 () = print_string (Ivy.Report_fmt.render_x4 (Ivy.Experiment.x4_userck ())) in
+        match which with
+        | "t1" -> t1 ()
+        | "e1" -> e1 ()
+        | "e2" -> e2 ()
+        | "e3" -> e3 ()
+        | "e4" -> e4 ()
+        | "e5" -> e5 ()
+        | "a1" -> a1 ()
+        | "x1" -> x1 ()
+        | "x2" -> x2 ()
+        | "x3" -> x3 ()
+        | "x4" -> x4 ()
+        | "all" ->
+            t1 (); e1 (); e2 (); e3 (); e4 (); e5 (); a1 (); x1 (); x2 (); x3 (); x4 ()
+        | other ->
+            Printf.eprintf "unknown experiment %s (use t1, e1-e5, a1, x1-x4, all)\n" other;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and headline numbers.")
+    Term.(const run $ which_t)
+
+let main =
+  let info =
+    Cmd.info "ivy" ~version:"1.0.0"
+      ~doc:"Sound program analysis for a Linux-like kernel (HotOS'07 reproduction)."
+  in
+  Cmd.group info
+    [
+      boot_cmd; run_cmd; deputy_cmd; ccount_cmd; blockstop_cmd; locksafe_cmd; stackcheck_cmd;
+      errcheck_cmd; userck_cmd; infer_cmd; annotdb_cmd; corpus_cmd; experiments_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

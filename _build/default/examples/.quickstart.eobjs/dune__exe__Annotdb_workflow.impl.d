@@ -1,0 +1,1 @@
+examples/annotdb_workflow.ml: Annotdb Blockstop Errcheck Kc Kernel List Printf Stackcheck

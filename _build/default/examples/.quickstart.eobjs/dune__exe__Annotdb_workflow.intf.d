@@ -1,0 +1,1 @@
+examples/annotdb_workflow.mli:

@@ -1,0 +1,1 @@
+examples/driver_hardening.ml: Blockstop Ccount Deputy Format Kc List Printf Vm

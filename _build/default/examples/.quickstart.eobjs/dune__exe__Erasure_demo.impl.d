@@ -1,0 +1,1 @@
+examples/erasure_demo.ml: Kc Kernel List Printf String Vm

@@ -1,0 +1,1 @@
+examples/erasure_demo.mli:

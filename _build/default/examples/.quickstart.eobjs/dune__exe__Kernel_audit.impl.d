@@ -1,0 +1,1 @@
+examples/kernel_audit.ml: Annotdb Blockstop Ccount Deputy Errcheck Format Kc Kernel List Locksafe Printf Stackcheck String Vm

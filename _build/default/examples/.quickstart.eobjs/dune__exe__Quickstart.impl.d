@@ -1,0 +1,1 @@
+examples/quickstart.ml: Deputy Format Kc List Printf String Vm

@@ -1,0 +1,1 @@
+lib/blockstop/atomic.ml: Blocking Callgraph Hashtbl Kc List Set String

@@ -1,0 +1,1 @@
+lib/blockstop/atomic.mli: Blocking Callgraph Kc Set String

@@ -1,0 +1,1 @@
+lib/blockstop/bcheck.ml: Kc List Printf Set String

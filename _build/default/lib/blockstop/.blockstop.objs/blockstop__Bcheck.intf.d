@@ -1,0 +1,1 @@
+lib/blockstop/bcheck.mli: Kc

@@ -1,0 +1,1 @@
+lib/blockstop/blocking.ml: Callgraph Hashtbl Kc List Set String

@@ -1,0 +1,1 @@
+lib/blockstop/blocking.mli: Callgraph Hashtbl Kc Set String

@@ -1,0 +1,1 @@
+lib/blockstop/breport.ml: Atomic Bcheck Blocking Callgraph Format Kc List Pointsto Set String

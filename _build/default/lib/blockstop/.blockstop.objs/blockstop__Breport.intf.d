@@ -1,0 +1,1 @@
+lib/blockstop/breport.mli: Atomic Format Kc Pointsto Set String

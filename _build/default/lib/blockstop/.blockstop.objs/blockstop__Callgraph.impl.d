@@ -1,0 +1,1 @@
+lib/blockstop/callgraph.ml: Hashtbl Int64 Kc List Pointsto Set String

@@ -1,0 +1,1 @@
+lib/blockstop/callgraph.mli: Hashtbl Kc Pointsto Set String

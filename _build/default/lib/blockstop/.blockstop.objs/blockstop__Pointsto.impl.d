@@ -1,0 +1,1 @@
+lib/blockstop/pointsto.ml: Hashtbl Kc List Printf Set String

@@ -1,0 +1,1 @@
+lib/blockstop/pointsto.mli: Hashtbl Kc Set String

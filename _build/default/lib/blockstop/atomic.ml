@@ -1,0 +1,158 @@
+(* Atomic-region analysis: where are interrupts disabled, and which
+   calls made there may block?
+
+   Intra-procedurally, a structured walk tracks the interrupt-disable
+   depth (spin_lock / local_irq_disable increment it, the unlock /
+   enable calls decrement). Branches that disagree keep the larger
+   depth — conservative, and one of the sources of false positives
+   the paper resolves with runtime checks.
+
+   Inter-procedurally, a fixpoint computes which functions can be
+   *entered* in atomic context: interrupt handlers (functions passed
+   to [request_irq]) and functions called from atomic sites. *)
+
+module I = Kc.Ir
+module SS = Set.Make (String)
+
+type warning = {
+  w_in : string; (* function containing the call *)
+  w_callee : string;
+  w_loc : Kc.Loc.t;
+  w_via : Callgraph.via;
+  w_entry_atomic : bool; (* atomic because the whole function is entered atomic *)
+  w_witness : string list; (* chain down to a blocking leaf *)
+}
+
+let disablers = [ "spin_lock"; "spin_lock_irqsave"; "local_irq_disable" ]
+let enablers = [ "spin_unlock"; "spin_unlock_irqrestore"; "local_irq_enable" ]
+
+(* Functions registered as interrupt handlers. *)
+let irq_handlers (prog : I.program) : SS.t =
+  let handlers = ref SS.empty in
+  List.iter
+    (fun (fd : I.fundec) ->
+      I.iter_instrs
+        (fun instr ->
+          match instr with
+          | I.Icall (_, I.Direct "request_irq", args) ->
+              List.iter
+                (fun (a : I.exp) ->
+                  I.fold_exp
+                    (fun () sub ->
+                      match sub.I.e with
+                      | I.Efun f -> handlers := SS.add f !handlers
+                      | _ -> ())
+                    () a)
+                args
+          | _ -> ())
+        fd.I.fbody)
+    prog.I.funcs;
+  !handlers
+
+(* One pass over a function body. [entry_atomic] poisons the whole
+   body. Returns collected (callee, atomic?) pairs for the
+   inter-procedural fixpoint and emits warnings via [warn]. *)
+let scan_function (bl : Blocking.t) (fd : I.fundec) ~(entry_atomic : bool)
+    ~(warn : warning -> unit) : (Callgraph.edge * bool) list =
+  let cg = bl.Blocking.cg in
+  let sites = ref [] in
+  (* Edges of this function indexed by location for via/target info. *)
+  let edges_at : (Kc.Loc.t, Callgraph.edge list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Callgraph.edge) ->
+      let cur = match Hashtbl.find_opt edges_at e.Callgraph.loc with Some l -> l | None -> [] in
+      Hashtbl.replace edges_at e.Callgraph.loc (e :: cur))
+    (Callgraph.callees cg fd.I.fname);
+  let rec walk_block depth (b : I.block) : int =
+    List.fold_left walk_stmt depth b
+  and walk_stmt depth (s : I.stmt) : int =
+    match s.I.sk with
+    | I.Sinstr (I.Icall (_, target, _)) ->
+        let dname = match target with I.Direct n -> Some n | I.Indirect _ -> None in
+        let depth' =
+          match dname with
+          | Some n when List.mem n disablers -> depth + 1
+          | Some n when List.mem n enablers -> max 0 (depth - 1)
+          | _ -> depth
+        in
+        let atomic = entry_atomic || depth > 0 in
+        List.iter
+          (fun (e : Callgraph.edge) ->
+            sites := (e, atomic) :: !sites;
+            if atomic && Blocking.call_may_block bl e then
+              warn
+                {
+                  w_in = fd.I.fname;
+                  w_callee = e.Callgraph.callee;
+                  w_loc = e.Callgraph.loc;
+                  w_via = e.Callgraph.via;
+                  w_entry_atomic = entry_atomic && depth = 0;
+                  w_witness = Blocking.witness bl e.Callgraph.callee;
+                })
+          (match Hashtbl.find_opt edges_at s.I.sloc with Some l -> l | None -> []);
+        depth'
+    | I.Sinstr _ -> depth
+    | I.Sif (_, b1, b2) ->
+        let d1 = walk_block depth b1 and d2 = walk_block depth b2 in
+        max d1 d2
+    | I.Swhile (_, body, step) ->
+        let d = walk_block depth (body @ step) in
+        max depth d
+    | I.Sdowhile (body, _) ->
+        let d = walk_block depth body in
+        max depth d
+    | I.Sswitch (_, cases) ->
+        List.fold_left (fun acc (c : I.case) -> max acc (walk_block depth c.I.cbody)) depth cases
+    | I.Sbreak | I.Scontinue | I.Sreturn _ -> depth
+    | I.Sblock b | I.Sdelayed b | I.Strusted b -> walk_block depth b
+  in
+  ignore (walk_block 0 fd.I.fbody);
+  !sites
+
+type result = {
+  warnings : warning list;
+  atomic_entry : SS.t; (* functions enterable in atomic context *)
+  handlers : SS.t;
+}
+
+let analyze (bl : Blocking.t) : result =
+  let prog = bl.Blocking.cg.Callgraph.prog in
+  let handlers = irq_handlers prog in
+  (* A guarded function carries the assert_not_atomic runtime check:
+     the assertion says it is never entered in atomic context, so it
+     never joins the atomic-entry set. *)
+  let guarded = bl.Blocking.guarded in
+  (* Fixpoint on the atomic-entry set. *)
+  let atomic_entry = ref (SS.diff handlers guarded) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (fd : I.fundec) ->
+        let entry_atomic = SS.mem fd.I.fname !atomic_entry in
+        let sites = scan_function bl fd ~entry_atomic ~warn:(fun _ -> ()) in
+        List.iter
+          (fun ((e : Callgraph.edge), atomic) ->
+            if
+              atomic
+              && (not (SS.mem e.Callgraph.callee !atomic_entry))
+              && not (SS.mem e.Callgraph.callee guarded)
+            then begin
+              (* Only defined functions matter for entry contexts. *)
+              match I.find_fun prog e.Callgraph.callee with
+              | Some fd2 when not fd2.I.fextern ->
+                  atomic_entry := SS.add e.Callgraph.callee !atomic_entry;
+                  changed := true
+              | _ -> ()
+            end)
+          sites)
+      prog.I.funcs
+  done;
+  (* Final pass collecting warnings. *)
+  let warnings = ref [] in
+  List.iter
+    (fun (fd : I.fundec) ->
+      let entry_atomic = SS.mem fd.I.fname !atomic_entry in
+      ignore (scan_function bl fd ~entry_atomic ~warn:(fun w -> warnings := w :: !warnings)))
+    prog.I.funcs;
+  { warnings = List.rev !warnings; atomic_entry = !atomic_entry; handlers }

@@ -1,0 +1,31 @@
+(** Atomic-region analysis: interrupt-disable depth tracked
+    intra-procedurally (spin_lock / local_irq_disable increment it),
+    and an inter-procedural fixpoint for which functions can be
+    *entered* in atomic context (interrupt handlers and functions
+    called from atomic sites). A call that may block from an atomic
+    point is a warning. *)
+
+module SS : Set.S with type elt = string and type t = Set.Make(String).t
+
+type warning = {
+  w_in : string;  (** function containing the call *)
+  w_callee : string;
+  w_loc : Kc.Loc.t;
+  w_via : Callgraph.via;
+  w_entry_atomic : bool;  (** atomic because the whole function is *)
+  w_witness : string list;  (** chain to a blocking leaf *)
+}
+
+val disablers : string list
+val enablers : string list
+
+(** Functions registered via [request_irq]. *)
+val irq_handlers : Kc.Ir.program -> SS.t
+
+type result = {
+  warnings : warning list;
+  atomic_entry : SS.t;
+  handlers : SS.t;
+}
+
+val analyze : Blocking.t -> result

@@ -1,0 +1,30 @@
+(* Manual runtime checks for BlockStop false positives (paper §2.3).
+
+   "We defined a special function that panics if interrupts are
+   disabled, and manually inserted calls to this function in 15 places
+   in the kernel." [guard_functions] inserts the equivalent
+   [Ck_not_atomic] check at the entry of the named functions; the
+   static analysis then treats them as safe to call anywhere, and the
+   VM enforces the assertion at run time. *)
+
+module I = Kc.Ir
+module SS = Set.Make (String)
+
+let guard_functions (prog : I.program) (names : string list) : int =
+  let inserted = ref 0 in
+  List.iter
+    (fun (fd : I.fundec) ->
+      if List.mem fd.I.fname names then begin
+        let check =
+          {
+            I.sk =
+              I.Sinstr
+                (I.Icheck (I.Ck_not_atomic, Printf.sprintf "%s must not run atomically" fd.I.fname));
+            sloc = fd.I.floc;
+          }
+        in
+        fd.I.fbody <- check :: fd.I.fbody;
+        incr inserted
+      end)
+    prog.I.funcs;
+  !inserted

@@ -1,0 +1,6 @@
+(** The manual runtime checks for BlockStop false positives (paper
+    §2.3): insert an [assert_not_atomic] check ({!Kc.Ir.Ck_not_atomic})
+    at the entry of each named function. Returns how many were
+    inserted. *)
+
+val guard_functions : Kc.Ir.program -> string list -> int

@@ -1,0 +1,90 @@
+(* Backwards propagation of the "may block" property over the call
+   graph (paper §2.3).
+
+   Seeds are the [__blocking] annotations on kernel primitives
+   (schedule, copy_to_user, ...). Allocators marked
+   [__blocking_if_gfp_wait] contribute per call site: a constant GFP
+   argument without __GFP_WAIT does not block; anything else is
+   conservatively blocking.
+
+   Functions in [guarded] carry a manual runtime check
+   ([assert_not_atomic] at entry, the paper's 15 checks): the static
+   obligation at their call sites is discharged by the assertion, so
+   they do not propagate blocking to their callers. *)
+
+module SS = Set.Make (String)
+module I = Kc.Ir
+
+type why =
+  | Annotated (* carries __blocking *)
+  | May_wait_alloc of Kc.Loc.t (* calls an allocator that may wait *)
+  | Calls of string * Kc.Loc.t (* calls a blocking function *)
+
+type t = {
+  cg : Callgraph.t;
+  blocking : (string, why) Hashtbl.t;
+  guarded : SS.t;
+}
+
+let annotated_blocking (prog : I.program) : string list =
+  Hashtbl.fold
+    (fun name (fd : I.fundec) acc ->
+      if List.mem Kc.Ast.Fblocking fd.I.fannots then name :: acc else acc)
+    prog.I.fun_by_name []
+
+(* Does edge [e] represent a call that may block, given the current
+   blocking set? *)
+let edge_blocks (t : t) (e : Callgraph.edge) : why option =
+  if SS.mem e.Callgraph.callee t.guarded then None
+  else
+    match e.Callgraph.gfp with
+    | Callgraph.Gfp_const_wait | Callgraph.Gfp_unknown ->
+        Some (May_wait_alloc e.Callgraph.loc)
+    | Callgraph.Gfp_const_nowait -> None
+    | Callgraph.No_gfp ->
+        if Hashtbl.mem t.blocking e.Callgraph.callee then
+          Some (Calls (e.Callgraph.callee, e.Callgraph.loc))
+        else None
+
+let compute ?(guarded = SS.empty) (cg : Callgraph.t) : t =
+  let t = { cg; blocking = Hashtbl.create 64; guarded } in
+  List.iter
+    (fun name -> Hashtbl.replace t.blocking name Annotated)
+    (annotated_blocking cg.Callgraph.prog);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (e : Callgraph.edge) ->
+        if not (Hashtbl.mem t.blocking e.Callgraph.caller) then
+          match edge_blocks t e with
+          | Some why ->
+              Hashtbl.replace t.blocking e.Callgraph.caller why;
+              changed := true
+          | None -> ())
+      cg.Callgraph.edges
+  done;
+  t
+
+let is_blocking (t : t) (name : string) : bool = Hashtbl.mem t.blocking name
+
+(* A call may block either because the callee is in the blocking set
+   or because the call itself is a may-wait allocation. *)
+let call_may_block (t : t) (e : Callgraph.edge) : bool = edge_blocks t e <> None
+
+(* Witness chain from [name] down to an annotated blocking leaf. *)
+let rec witness (t : t) (name : string) : string list =
+  match Hashtbl.find_opt t.blocking name with
+  | None -> []
+  | Some Annotated -> [ name ]
+  | Some (May_wait_alloc _) -> [ name; "<gfp-wait allocation>" ]
+  | Some (Calls (callee, _)) -> name :: witness t callee
+
+(* The annotation export the paper proposes: one [__blocking] fact per
+   function that may eventually block (usable by the annotation
+   database, §3.2). *)
+let export_annotations (t : t) : (string * string) list =
+  Hashtbl.fold (fun name _ acc -> (name, "__blocking") :: acc) t.blocking []
+  |> List.sort compare
+
+let blocking_count (t : t) : int = Hashtbl.length t.blocking

@@ -1,0 +1,33 @@
+(** Backwards propagation of "may block" over the call graph (paper
+    §2.3). Seeds are [__blocking] annotations; allocators marked
+    [__blocking_if_gfp_wait] contribute per call site depending on the
+    GFP argument. Guarded functions (carrying the manual runtime
+    check) do not propagate blocking to their callers. *)
+
+module SS : Set.S with type elt = string and type t = Set.Make(String).t
+
+type why =
+  | Annotated
+  | May_wait_alloc of Kc.Loc.t
+  | Calls of string * Kc.Loc.t
+
+type t = {
+  cg : Callgraph.t;
+  blocking : (string, why) Hashtbl.t;
+  guarded : SS.t;
+}
+
+val compute : ?guarded:SS.t -> Callgraph.t -> t
+val is_blocking : t -> string -> bool
+
+(** May this specific call block (callee blocking, or a may-wait
+    allocation at this site)? *)
+val call_may_block : t -> Callgraph.edge -> bool
+
+(** Chain from a function down to an annotated blocking leaf. *)
+val witness : t -> string -> string list
+
+(** The [__blocking] facts to export to the annotation database. *)
+val export_annotations : t -> (string * string) list
+
+val blocking_count : t -> int

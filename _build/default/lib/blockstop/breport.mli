@@ -1,0 +1,26 @@
+(** BlockStop driver and report (paper §2.3, E4). *)
+
+module SS : Set.S with type elt = string and type t = Set.Make(String).t
+
+type report = {
+  mode : Pointsto.mode;
+  edges : int;
+  blocking_functions : int;
+  warnings : Atomic.warning list;
+  handlers : SS.t;
+  guarded : SS.t;
+}
+
+(** Run the whole pipeline: points-to, call graph, blocking
+    propagation, atomic-region analysis. [guard] names functions that
+    carry the manual [assert_not_atomic] runtime check (excluded from
+    propagation); with [insert_checks] the checks are also compiled
+    into the program so the VM enforces them. *)
+val analyze :
+  ?mode:Pointsto.mode -> ?guard:string list -> ?insert_checks:bool -> Kc.Ir.program -> report
+
+(** Warnings deduplicated to (containing function, callee) pairs. *)
+val distinct_warnings : report -> (string * string) list
+
+val pp : Format.formatter -> report -> unit
+val pp_warning : Format.formatter -> Atomic.warning -> unit

@@ -1,0 +1,198 @@
+(* Points-to analysis for function pointers.
+
+   Two precision levels, matching the paper's discussion:
+
+   - [Type_based] — the paper's "simple points-to analysis": a
+     function pointer may target any address-taken function with a
+     matching (erased) signature. Sound but the source of BlockStop's
+     false positives.
+   - [Field_based] — field-sensitive: a pointer loaded from struct
+     field (tag, f) may only target functions actually stored into
+     that field somewhere (static initializers or assignments). Falls
+     back to type-based for pointers that are not field loads. This is
+     the "field-sensitive" improvement the paper proposes.
+
+   Soundness caveat (same as the paper's): calls made from inline
+   assembly / VM builtins are outside the analysis. *)
+
+module I = Kc.Ir
+module SS = Set.Make (String)
+
+type mode = Type_based | Field_based
+
+type t = {
+  prog : I.program;
+  mode : mode;
+  address_taken : SS.t; (* functions whose address escapes *)
+  by_field : (string * string, SS.t) Hashtbl.t; (* (tag, field) -> functions *)
+  (* Local function-pointer variables, tracked flow-insensitively so
+     the common `fn = ops->op; if (fn) fn(...)` idiom stays precise:
+     which fields and which direct functions ever flow into the var. *)
+  var_fields : (int, (string * string) list) Hashtbl.t;
+  var_funs : (int, SS.t) Hashtbl.t;
+  var_poisoned : (int, unit) Hashtbl.t; (* some other value flowed in *)
+}
+
+(* Signature key: erased return/arg types rendered to a string. *)
+let rec sig_of_ty (ty : I.ty) : string =
+  match ty with
+  | I.Tvoid -> "v"
+  | I.Tint (k, _) -> Printf.sprintf "i%d" (Kc.Layout.int_size k)
+  | I.Tptr _ -> "p"
+  | I.Tarray (t, _) -> "a" ^ sig_of_ty t
+  | I.Tfun (r, args) -> Printf.sprintf "f(%s)%s" (String.concat "," (List.map sig_of_ty args)) (sig_of_ty r)
+  | I.Tcomp tag -> "s" ^ tag
+
+let sig_of_fun (fd : I.fundec) : string =
+  sig_of_ty (I.Tfun (fd.I.fret, List.map (fun (v : I.varinfo) -> v.I.vty) fd.I.sformals))
+
+let sig_of_fptr_ty (ty : I.ty) : string option =
+  match ty with I.Tptr ((I.Tfun _ as f), _) -> Some (sig_of_ty f) | _ -> None
+
+(* Collect every [Efun f] occurrence: where it flows to (field or
+   other), and that its address is taken. *)
+let build ?(mode = Type_based) (prog : I.program) : t =
+  let address_taken = ref SS.empty in
+  let by_field : (string * string, SS.t) Hashtbl.t = Hashtbl.create 64 in
+  let var_fields : (int, (string * string) list) Hashtbl.t = Hashtbl.create 32 in
+  let var_funs : (int, SS.t) Hashtbl.t = Hashtbl.create 32 in
+  let var_poisoned : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let note_field tag fname f =
+    let key = (tag, fname) in
+    let cur = match Hashtbl.find_opt by_field key with Some s -> s | None -> SS.empty in
+    Hashtbl.replace by_field key (SS.add f cur)
+  in
+  let note_var_field vid key =
+    let cur = match Hashtbl.find_opt var_fields vid with Some l -> l | None -> [] in
+    if not (List.mem key cur) then Hashtbl.replace var_fields vid (key :: cur)
+  in
+  let note_var_fun vid f =
+    let cur = match Hashtbl.find_opt var_funs vid with Some s -> s | None -> SS.empty in
+    Hashtbl.replace var_funs vid (SS.add f cur)
+  in
+  let is_fptr_ty ty = match ty with I.Tptr (I.Tfun _, _) -> true | _ -> false in
+  let funs_of_exp (e : I.exp) : string list =
+    I.fold_exp
+      (fun acc sub -> match sub.I.e with I.Efun f -> f :: acc | _ -> acc)
+      [] e
+  in
+  (* Static initializers of globals: walk together with the type to
+     find which field each function lands in. *)
+  let rec walk_init (ty : I.ty) (gi : I.ginit) =
+    match (gi, ty) with
+    | I.Gi_exp e, _ -> (
+        let fs = funs_of_exp e in
+        List.iter (fun f -> address_taken := SS.add f !address_taken) fs;
+        match ty with _ -> ())
+    | I.Gi_list items, I.Tarray (elt, _) -> List.iter (walk_init elt) items
+    | I.Gi_list items, I.Tcomp tag ->
+        let c = I.comp_find prog tag in
+        List.iteri
+          (fun i item ->
+            match List.nth_opt c.I.cfields i with
+            | Some f ->
+                (match item with
+                | I.Gi_exp e ->
+                    List.iter (fun fn -> note_field tag f.I.fname fn) (funs_of_exp e)
+                | I.Gi_list _ -> ());
+                walk_init f.I.fty item
+            | None -> ())
+          items
+    | I.Gi_list _, _ -> ()
+  in
+  List.iter
+    (fun ((v : I.varinfo), init) -> match init with Some gi -> walk_init v.I.vty gi | None -> ())
+    prog.I.globals;
+  (* Assignments in code. *)
+  List.iter
+    (fun (fd : I.fundec) ->
+      I.iter_instrs
+        (fun instr ->
+          match instr with
+          | I.Iset (lv, e) -> (
+              let fs = funs_of_exp e in
+              List.iter (fun f -> address_taken := SS.add f !address_taken) fs;
+              (match List.rev (snd lv) with
+              | I.Ofield fi :: _ -> List.iter (note_field fi.I.fcomp fi.I.fname) fs
+              | _ -> ());
+              (* Local fptr variables: record what flows in. *)
+              match lv with
+              | I.Lvar v, [] when is_fptr_ty v.I.vty -> (
+                  match e.I.e with
+                  | I.Efun f -> note_var_fun v.I.vid f
+                  | I.Ecast (_, { I.e = I.Efun f; _ }) -> note_var_fun v.I.vid f
+                  | I.Econst 0L | I.Ecast (_, { I.e = I.Econst 0L; _ }) -> ()
+                  | I.Elval (_, offs) when offs <> [] -> (
+                      match List.rev offs with
+                      | I.Ofield fi :: _ -> note_var_field v.I.vid (fi.I.fcomp, fi.I.fname)
+                      | _ -> Hashtbl.replace var_poisoned v.I.vid ())
+                  | _ -> Hashtbl.replace var_poisoned v.I.vid ())
+              | _ -> ())
+          | I.Icall (_, _, args) ->
+              (* Function pointers passed as arguments escape. *)
+              List.iter
+                (fun a ->
+                  List.iter (fun f -> address_taken := SS.add f !address_taken) (funs_of_exp a))
+                args
+          | I.Icheck _ | I.Irc_inc _ | I.Irc_dec _ | I.Irc_update _ -> ())
+        fd.I.fbody;
+      (* Call results landing in fptr locals poison them. *)
+      I.iter_instrs
+        (fun instr ->
+          match instr with
+          | I.Icall (Some (I.Lvar v, []), _, _) when is_fptr_ty v.I.vty ->
+              Hashtbl.replace var_poisoned v.I.vid ()
+          | _ -> ())
+        fd.I.fbody)
+    prog.I.funcs;
+  { prog; mode; address_taken = !address_taken; by_field; var_fields; var_funs; var_poisoned }
+
+(* Candidate targets by signature among address-taken functions. *)
+let type_based_targets (t : t) (fptr_ty : I.ty) : SS.t =
+  match sig_of_fptr_ty fptr_ty with
+  | None -> SS.empty
+  | Some key ->
+      SS.filter
+        (fun name ->
+          match I.find_fun t.prog name with
+          | Some fd -> sig_of_fun fd = key
+          | None -> false)
+        t.address_taken
+
+(* Resolve the possible targets of an indirect call through [fe]. *)
+let targets (t : t) (fe : I.exp) : SS.t =
+  let field_of (e : I.exp) =
+    match e.I.e with
+    | I.Elval (_, offs) -> (
+        match List.rev offs with
+        | I.Ofield fi :: _ -> Some (fi.I.fcomp, fi.I.fname)
+        | _ -> None)
+    | _ -> None
+  in
+  let field_targets key =
+    match Hashtbl.find_opt t.by_field key with Some s -> s | None -> SS.empty
+  in
+  match t.mode with
+  | Type_based -> type_based_targets t fe.I.ety
+  | Field_based -> (
+      match field_of fe with
+      | Some key -> field_targets key
+      | None -> (
+          match fe.I.e with
+          | I.Elval (I.Lvar v, []) when (not v.I.vglob) && not (Hashtbl.mem t.var_poisoned v.I.vid)
+            ->
+              (* A tracked local: the union of everything that flowed in. *)
+              let from_fields =
+                match Hashtbl.find_opt t.var_fields v.I.vid with
+                | Some keys -> List.fold_left (fun acc k -> SS.union acc (field_targets k)) SS.empty keys
+                | None -> SS.empty
+              in
+              let from_funs =
+                match Hashtbl.find_opt t.var_funs v.I.vid with Some s -> s | None -> SS.empty
+              in
+              let u = SS.union from_fields from_funs in
+              if SS.is_empty u && Hashtbl.find_opt t.var_fields v.I.vid = None
+                 && Hashtbl.find_opt t.var_funs v.I.vid = None
+              then type_based_targets t fe.I.ety (* e.g. a parameter *)
+              else u
+          | _ -> type_based_targets t fe.I.ety))

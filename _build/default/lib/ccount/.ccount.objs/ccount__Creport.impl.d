@@ -1,0 +1,1 @@
+lib/ccount/creport.ml: Format Kc List Rc_instrument Typeinfo Vm

@@ -1,0 +1,1 @@
+lib/ccount/creport.mli: Format Kc Rc_instrument Vm

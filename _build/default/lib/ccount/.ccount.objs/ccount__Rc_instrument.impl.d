@@ -1,0 +1,1 @@
+lib/ccount/rc_instrument.ml: Int64 Kc List Printf Typeinfo

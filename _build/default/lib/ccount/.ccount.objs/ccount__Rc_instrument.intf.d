@@ -1,0 +1,1 @@
+lib/ccount/rc_instrument.mli: Kc Typeinfo

@@ -1,0 +1,1 @@
+lib/ccount/typeinfo.ml: Hashtbl Kc List Printf Vm

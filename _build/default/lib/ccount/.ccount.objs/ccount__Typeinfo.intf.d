@@ -1,0 +1,1 @@
+lib/ccount/typeinfo.mli: Hashtbl Kc Vm

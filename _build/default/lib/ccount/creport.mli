@@ -1,0 +1,18 @@
+(** CCount pipeline driver and free census (paper §2.2, E2/E3). *)
+
+type report = {
+  instr : Rc_instrument.stats;
+  types_described : int;  (** tags with pointer slots (the "32 types" census) *)
+}
+
+(** Machine configuration for a CCount run: shadow counters on,
+    allocations zeroed, bad frees leak (soundness-preserving). *)
+val config : ?profile:Vm.Cost.profile -> ?overflow_check:bool -> unit -> Vm.Machine.config
+
+(** Instrument [prog] in place, register its RTTI, and boot a
+    CCount-enabled interpreter. *)
+val ccount_boot :
+  ?profile:Vm.Cost.profile -> ?overflow_check:bool -> Kc.Ir.program -> Vm.Interp.t * report
+
+val pp_census : Format.formatter -> Vm.Machine.free_census -> unit
+val pp : Format.formatter -> report -> unit

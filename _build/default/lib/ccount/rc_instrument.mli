@@ -1,0 +1,22 @@
+(** The CCount C-to-C rewriting at IR level (paper §2.2): pointer
+    writes through tracked slots become inc-then-dec refcount updates
+    ({!Kc.Ir.Irc_update}); call results reach tracked slots through a
+    temporary; pointer-bearing struct assignments update every pointer
+    field's counts; [memset]/[memcpy] on pointer-bearing structs are
+    retargeted to the type-aware builtins; the canonical allocation
+    pattern registers RTTI. Plain register locals are skipped — the
+    paper's footnote 2. *)
+
+type stats = {
+  mutable ptr_writes_instrumented : int;
+  mutable register_writes_skipped : int;  (** the footnote-2 census *)
+  mutable struct_copies : int;
+  mutable memops_retyped : int;
+  mutable alloc_sites_typed : int;
+}
+
+val new_stats : unit -> stats
+
+(** Rewrite a whole program in place; the returned {!Typeinfo.t} must
+    be registered with the machine before running. *)
+val instrument_program : Kc.Ir.program -> stats * Typeinfo.t

@@ -1,0 +1,80 @@
+(* Runtime type information for CCount.
+
+   CCount "requires accurate type information when objects are freed,
+   copied (memcpy), or cleared (memset)" (paper §2.2): when an object
+   dies, the reference counts of everything it pointed to must drop.
+
+   This module derives, for every struct/union tag of a program, the
+   byte offsets of its pointer-valued slots, assigns a stable numeric
+   type id per tag, and registers the maps with a {!Vm.Machine}. *)
+
+module I = Kc.Ir
+
+type t = {
+  prog : I.program;
+  ids : (string, int) Hashtbl.t; (* tag -> type id *)
+  tags : (int, string) Hashtbl.t; (* type id -> tag *)
+  ptr_offsets : (string, int list) Hashtbl.t; (* tag -> pointer slot offsets *)
+}
+
+(* Pointer slot offsets of a type placed at [base] bytes. Unions
+   contribute their slots only when every member is a pointer
+   (otherwise the interpretation is ambiguous and the paper's answer
+   is explicit runtime type information at the use site). *)
+let rec slots_of_type (prog : I.program) (base : int) (ty : I.ty) : int list =
+  match ty with
+  | I.Tptr _ -> [ base ]
+  | I.Tarray (elt, n) ->
+      let esz = Kc.Layout.size_of prog elt in
+      List.concat (List.init n (fun i -> slots_of_type prog (base + (i * esz)) elt))
+  | I.Tcomp tag ->
+      let c = I.comp_find prog tag in
+      if c.I.cstruct then
+        List.concat_map
+          (fun (f : I.fieldinfo) ->
+            slots_of_type prog (base + Kc.Layout.field_offset prog f) f.I.fty)
+          c.I.cfields
+      else if
+        c.I.cfields <> []
+        && List.for_all (fun (f : I.fieldinfo) -> I.is_pointer f.I.fty) c.I.cfields
+      then [ base ]
+      else []
+  | I.Tvoid | I.Tint _ | I.Tfun _ -> []
+
+let build (prog : I.program) : t =
+  let t =
+    { prog; ids = Hashtbl.create 32; tags = Hashtbl.create 32; ptr_offsets = Hashtbl.create 32 }
+  in
+  let tag_list =
+    Hashtbl.fold (fun tag _ acc -> tag :: acc) prog.I.comps [] |> List.sort compare
+  in
+  List.iteri
+    (fun i tag ->
+      let id = i + 1 in
+      Hashtbl.replace t.ids tag id;
+      Hashtbl.replace t.tags id tag;
+      Hashtbl.replace t.ptr_offsets tag (slots_of_type prog 0 (I.Tcomp tag)))
+    tag_list;
+  t
+
+let type_id (t : t) (tag : string) : int =
+  match Hashtbl.find_opt t.ids tag with
+  | Some id -> id
+  | None -> invalid_arg (Printf.sprintf "no type id for tag %s" tag)
+
+let pointer_offsets (t : t) (tag : string) : int list =
+  match Hashtbl.find_opt t.ptr_offsets tag with Some l -> l | None -> []
+
+(* How many tags actually carry pointers (the census the paper reports
+   as "describe the layout of 32 types"). *)
+let tags_with_pointers (t : t) : string list =
+  Hashtbl.fold (fun tag offs acc -> if offs <> [] then tag :: acc else acc) t.ptr_offsets []
+  |> List.sort compare
+
+(* Register every tag's layout with the machine. *)
+let register_with (t : t) (m : Vm.Machine.t) : unit =
+  Hashtbl.iter
+    (fun tag id ->
+      let size = try Kc.Layout.comp_size t.prog (I.comp_find t.prog tag) with _ -> 0 in
+      Vm.Machine.register_type m ~type_id:id ~size ~ptr_offsets:(pointer_offsets t tag))
+    t.ids

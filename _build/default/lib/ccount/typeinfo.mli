@@ -1,0 +1,22 @@
+(** Runtime type information for CCount: per struct/union tag, the
+    byte offsets of pointer-valued slots, and a stable numeric type id
+    — registered with the machine so the free path can drop a dead
+    object's outgoing references, and so typed [memset_t]/[memcpy_t]
+    maintain counts across bulk operations (paper §2.2). *)
+
+type t = {
+  prog : Kc.Ir.program;
+  ids : (string, int) Hashtbl.t;
+  tags : (int, string) Hashtbl.t;
+  ptr_offsets : (string, int list) Hashtbl.t;
+}
+
+val build : Kc.Ir.program -> t
+val type_id : t -> string -> int
+val pointer_offsets : t -> string -> int list
+
+(** Tags that actually carry pointers (the paper's "describe the
+    layout of 32 types" census). *)
+val tags_with_pointers : t -> string list
+
+val register_with : t -> Vm.Machine.t -> unit

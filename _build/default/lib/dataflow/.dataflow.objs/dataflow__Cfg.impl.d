@@ -1,0 +1,1 @@
+lib/dataflow/cfg.ml: Array Buffer Kc List Printf

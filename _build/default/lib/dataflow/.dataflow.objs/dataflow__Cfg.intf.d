@@ -1,0 +1,1 @@
+lib/dataflow/cfg.mli: Kc

@@ -1,0 +1,1 @@
+lib/dataflow/dominator.ml: Array Cfg List Worklist

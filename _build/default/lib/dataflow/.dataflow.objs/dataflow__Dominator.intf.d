@@ -1,0 +1,1 @@
+lib/dataflow/dominator.mli: Cfg Worklist

@@ -1,0 +1,1 @@
+lib/dataflow/liveness.ml: Array Cfg Kc List Worklist

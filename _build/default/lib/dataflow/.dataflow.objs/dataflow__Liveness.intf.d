@@ -1,0 +1,1 @@
+lib/dataflow/liveness.mli: Cfg Kc Worklist

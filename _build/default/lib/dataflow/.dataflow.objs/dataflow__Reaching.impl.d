@@ -1,0 +1,1 @@
+lib/dataflow/reaching.ml: Array Cfg List Liveness Set Worklist

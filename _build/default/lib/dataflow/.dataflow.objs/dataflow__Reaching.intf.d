@@ -1,0 +1,1 @@
+lib/dataflow/reaching.mli: Cfg Set

@@ -1,0 +1,1 @@
+lib/dataflow/worklist.ml: Array Cfg Int List Queue Set

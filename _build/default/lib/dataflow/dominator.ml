@@ -1,0 +1,60 @@
+(* Dominator computation by the iterative bitset algorithm.
+
+   [doms.(i)] is the set of nodes dominating node [i] (including [i]
+   itself). Unreachable nodes dominate nothing and are dominated by
+   everything by convention. Used by the Deputy optimizer to hoist
+   checks and by tests. *)
+
+module IS = Worklist.Int_set
+
+type t = { doms : IS.t array; idom : int option array }
+
+let compute (cfg : Cfg.t) : t =
+  let n = Cfg.n_nodes cfg in
+  let reachable = Cfg.reachable cfg in
+  let all = ref IS.empty in
+  for i = 0 to n - 1 do
+    if reachable.(i) then all := IS.add i !all
+  done;
+  let doms = Array.make n !all in
+  doms.(cfg.Cfg.entry) <- IS.singleton cfg.Cfg.entry;
+  let changed = ref true in
+  let order = Cfg.reverse_postorder cfg in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun i ->
+        if i <> cfg.Cfg.entry then begin
+          let preds = List.filter (fun p -> reachable.(p)) (Cfg.node cfg i).Cfg.preds in
+          let meet =
+            match preds with
+            | [] -> IS.singleton i
+            | p :: rest -> List.fold_left (fun acc q -> IS.inter acc doms.(q)) doms.(p) rest
+          in
+          let next = IS.add i meet in
+          if not (IS.equal next doms.(i)) then begin
+            doms.(i) <- next;
+            changed := true
+          end
+        end)
+      order
+  done;
+  (* Immediate dominator: the dominator whose dominator set is largest
+     among strict dominators. *)
+  let idom = Array.make n None in
+  for i = 0 to n - 1 do
+    if reachable.(i) && i <> cfg.Cfg.entry then begin
+      let strict = IS.remove i doms.(i) in
+      let best = ref None in
+      IS.iter
+        (fun d ->
+          match !best with
+          | None -> best := Some d
+          | Some b -> if IS.cardinal doms.(d) > IS.cardinal doms.(b) then best := Some d)
+        strict;
+      idom.(i) <- !best
+    end
+  done;
+  { doms; idom }
+
+let dominates (t : t) a b = IS.mem a t.doms.(b)

@@ -1,0 +1,13 @@
+(** Dominators by the iterative bitset algorithm. *)
+
+module IS = Worklist.Int_set
+
+type t = {
+  doms : IS.t array;  (** per node: its dominators, itself included *)
+  idom : int option array;  (** immediate dominator *)
+}
+
+val compute : Cfg.t -> t
+
+(** Does node [a] dominate node [b]? *)
+val dominates : t -> int -> int -> bool

@@ -1,0 +1,78 @@
+(* Classic liveness analysis over variable ids.
+
+   A variable is live at a point if some path to a use exists with no
+   intervening definition. Used by tests as a reference client of the
+   worklist solver, and by the Deputy check optimizer to prune dead
+   temporaries. *)
+
+module VS = Worklist.Int_set
+
+module L = struct
+  type t = VS.t
+
+  let bottom = VS.empty
+  let equal = VS.equal
+  let join = VS.union
+end
+
+module Solver = Worklist.Make (L)
+
+(* Variables read by an expression. *)
+let rec exp_uses (e : Kc.Ir.exp) : VS.t =
+  Kc.Ir.fold_exp
+    (fun acc (sub : Kc.Ir.exp) ->
+      match sub.Kc.Ir.e with
+      | Kc.Ir.Elval (Kc.Ir.Lvar v, _) -> VS.add v.Kc.Ir.vid acc
+      | Kc.Ir.Eaddrof (Kc.Ir.Lvar v, _) | Kc.Ir.Estartof (Kc.Ir.Lvar v, _) ->
+          VS.add v.Kc.Ir.vid acc
+      | _ -> acc)
+    VS.empty e
+
+and lval_uses ((host, offs) : Kc.Ir.lval) : VS.t =
+  let base = match host with Kc.Ir.Lvar _ -> VS.empty | Kc.Ir.Lmem e -> exp_uses e in
+  List.fold_left
+    (fun acc o -> match o with Kc.Ir.Ofield _ -> acc | Kc.Ir.Oindex e -> VS.union acc (exp_uses e))
+    base offs
+
+(* Variable defined by an instruction, if the target is a plain
+   variable without indirection. *)
+let instr_def (i : Kc.Ir.instr) : int option =
+  match Kc.Ir.lval_of_instr i with Some (Kc.Ir.Lvar v, []) -> Some v.Kc.Ir.vid | _ -> None
+
+let instr_uses (i : Kc.Ir.instr) : VS.t =
+  let exp_part =
+    List.fold_left (fun acc e -> VS.union acc (exp_uses e)) VS.empty (Kc.Ir.exps_of_instr i)
+  in
+  match Kc.Ir.lval_of_instr i with
+  | Some ((_, _) as lv) -> (
+      (* Writing through indirection also reads the pointer. *)
+      match lv with
+      | Kc.Ir.Lvar _, [] -> exp_part
+      | _ -> VS.union exp_part (lval_uses lv))
+  | None -> exp_part
+
+let term_uses (t : Cfg.terminator) : VS.t =
+  match t with
+  | Cfg.Tjump -> VS.empty
+  | Cfg.Tcond e | Cfg.Tswitch e -> exp_uses e
+  | Cfg.Treturn (Some e) -> exp_uses e
+  | Cfg.Treturn None -> VS.empty
+
+(* Transfer for a whole node, backward: live-out -> live-in. *)
+let node_transfer (node : Cfg.node) (live_out : VS.t) : VS.t =
+  let live = VS.union live_out (term_uses node.Cfg.term) in
+  List.fold_left
+    (fun live (i, _) ->
+      let live = match instr_def i with Some v -> VS.remove v live | None -> live in
+      VS.union live (instr_uses i))
+    live
+    (List.rev node.Cfg.instrs)
+
+(* Live-in set per node. *)
+let analyze (cfg : Cfg.t) : VS.t array =
+  let r = Solver.solve ~dir:Worklist.Backward cfg ~init:VS.empty ~transfer:node_transfer in
+  r.Solver.after
+
+(* Is variable [v] live at entry of [node]? *)
+let live_at (res : VS.t array) (node_id : int) (v : Kc.Ir.varinfo) : bool =
+  VS.mem v.Kc.Ir.vid res.(node_id)

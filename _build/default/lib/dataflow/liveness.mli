@@ -1,0 +1,18 @@
+(** Classic liveness analysis over variable ids: a reference client of
+    the worklist solver, also used to prune dead temporaries. *)
+
+module VS = Worklist.Int_set
+
+val exp_uses : Kc.Ir.exp -> VS.t
+val lval_uses : Kc.Ir.lval -> VS.t
+
+(** The variable a "simple" instruction defines (plain variable
+    target, no indirection). *)
+val instr_def : Kc.Ir.instr -> int option
+
+val instr_uses : Kc.Ir.instr -> VS.t
+
+(** Live-in set per node. *)
+val analyze : Cfg.t -> VS.t array
+
+val live_at : VS.t array -> int -> Kc.Ir.varinfo -> bool

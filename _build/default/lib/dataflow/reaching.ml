@@ -1,0 +1,43 @@
+(* Reaching definitions over (variable id, definition site).
+
+   A definition site is (node id, index of the instruction within the
+   node). Used by tests and by the Deputy fact engine to invalidate
+   facts killed by redefinitions. *)
+
+module Def = struct
+  type t = { var : int; node : int; idx : int }
+
+  let compare = compare
+end
+
+module DS = Set.Make (Def)
+
+module L = struct
+  type t = DS.t
+
+  let bottom = DS.empty
+  let equal = DS.equal
+  let join = DS.union
+end
+
+module Solver = Worklist.Make (L)
+
+let node_transfer (node : Cfg.node) (reach_in : DS.t) : DS.t =
+  List.fold_left
+    (fun reach (idx, def_var) ->
+      match def_var with
+      | None -> reach
+      | Some var ->
+          let reach = DS.filter (fun d -> d.Def.var <> var) reach in
+          DS.add { Def.var; node = node.Cfg.nid; idx } reach)
+    reach_in
+    (List.mapi (fun idx (i, _) -> (idx, Liveness.instr_def i)) node.Cfg.instrs)
+
+(* Reaching definitions at entry of each node. *)
+let analyze (cfg : Cfg.t) : DS.t array =
+  let r = Solver.solve ~dir:Worklist.Forward cfg ~init:DS.empty ~transfer:node_transfer in
+  r.Solver.before
+
+(* Definitions of [var] reaching entry of [node_id]. *)
+let reaching_defs_of (res : DS.t array) (node_id : int) (var : int) : Def.t list =
+  DS.elements (DS.filter (fun d -> d.Def.var = var) res.(node_id))

@@ -1,0 +1,15 @@
+(** Reaching definitions over (variable id, definition site). *)
+
+module Def : sig
+  type t = { var : int; node : int; idx : int }
+
+  val compare : t -> t -> int
+end
+
+module DS : Set.S with type elt = Def.t
+
+(** Reaching definitions at entry of each node. *)
+val analyze : Cfg.t -> DS.t array
+
+(** Definitions of [var] reaching entry of a node. *)
+val reaching_defs_of : DS.t array -> int -> int -> Def.t list

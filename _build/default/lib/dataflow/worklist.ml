@@ -1,0 +1,76 @@
+(* Generic worklist dataflow solver over {!Cfg}.
+
+   Instantiated with a join-semilattice; supports forward and backward
+   problems. The solver returns the fixpoint state at the entry of
+   each node (forward) or at the exit of each node (backward). *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) = struct
+  type result = { before : L.t array; after : L.t array }
+
+  (* [transfer node state] maps the state at a node's input to the
+     state at its output (input = entry for forward, exit for
+     backward). *)
+  let solve ?(dir = Forward) (cfg : Cfg.t) ~(init : L.t) ~(transfer : Cfg.node -> L.t -> L.t) :
+      result =
+    let n = Cfg.n_nodes cfg in
+    let before = Array.make n L.bottom and after = Array.make n L.bottom in
+    let start, inputs, outputs =
+      match dir with
+      | Forward -> (cfg.Cfg.entry, (fun i -> (Cfg.node cfg i).Cfg.preds), fun i -> (Cfg.node cfg i).Cfg.succs)
+      | Backward -> (cfg.Cfg.exit_, (fun i -> (Cfg.node cfg i).Cfg.succs), fun i -> (Cfg.node cfg i).Cfg.preds)
+    in
+    before.(start) <- init;
+    let queue = Queue.create () in
+    let on_queue = Array.make n false in
+    let push i =
+      if not on_queue.(i) then begin
+        on_queue.(i) <- true;
+        Queue.add i queue
+      end
+    in
+    Array.iter (fun (nd : Cfg.node) -> push nd.Cfg.nid) cfg.Cfg.nodes;
+    while not (Queue.is_empty queue) do
+      let i = Queue.take queue in
+      on_queue.(i) <- false;
+      let in_state =
+        if i = start then L.join init (List.fold_left (fun acc p -> L.join acc after.(p)) L.bottom (inputs i))
+        else List.fold_left (fun acc p -> L.join acc after.(p)) L.bottom (inputs i)
+      in
+      before.(i) <- in_state;
+      let out_state = transfer (Cfg.node cfg i) in_state in
+      if not (L.equal out_state after.(i)) then begin
+        after.(i) <- out_state;
+        List.iter push (outputs i)
+      end
+    done;
+    { before; after }
+end
+
+(* A ready-made lattice of integer sets (variable ids, node ids...). *)
+module Int_set = struct
+  include Set.Make (Int)
+
+  let bottom = empty
+  let join = union
+end
+
+(* Powerset lattice over an arbitrary ordered element. *)
+module Set_lattice (O : Set.OrderedType) = struct
+  module S = Set.Make (O)
+
+  type t = S.t
+
+  let bottom = S.empty
+  let equal = S.equal
+  let join = S.union
+end

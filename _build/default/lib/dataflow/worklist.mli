@@ -1,0 +1,41 @@
+(** Generic worklist dataflow solver over {!Cfg}, parameterized by a
+    join-semilattice; supports forward and backward problems. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) : sig
+  type result = { before : L.t array; after : L.t array }
+
+  (** [solve ~dir cfg ~init ~transfer]: [transfer node state] maps a
+      node's input state to its output (input = entry for forward,
+      exit for backward). Returns the fixpoint per node. *)
+  val solve :
+    ?dir:direction -> Cfg.t -> init:L.t -> transfer:(Cfg.node -> L.t -> L.t) -> result
+end
+
+(** Ready-made integer-set lattice (variable ids, node ids, ...). *)
+module Int_set : sig
+  include Set.S with type elt = int and type t = Set.Make(Int).t
+
+  val bottom : t
+  val join : t -> t -> t
+end
+
+(** Powerset lattice over an ordered element type. *)
+module Set_lattice (O : Set.OrderedType) : sig
+  module S : Set.S with type elt = O.t
+
+  type t = S.t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end

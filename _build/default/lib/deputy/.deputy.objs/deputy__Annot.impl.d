@@ -1,0 +1,1 @@
+lib/deputy/annot.ml: Int64 Kc List Option

@@ -1,0 +1,1 @@
+lib/deputy/annot.mli: Kc

@@ -1,0 +1,1 @@
+lib/deputy/dreport.ml: Annot Format Hashtbl Instrument Kc List Optimize

@@ -1,0 +1,1 @@
+lib/deputy/dreport.mli: Format Kc

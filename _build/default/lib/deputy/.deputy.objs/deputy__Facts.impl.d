@@ -1,0 +1,1 @@
+lib/deputy/facts.ml: Annot Int Int64 Kc Map Option Set

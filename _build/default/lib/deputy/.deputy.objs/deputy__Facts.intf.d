@@ -1,0 +1,1 @@
+lib/deputy/facts.mli: Int Kc Map Set

@@ -1,0 +1,1 @@
+lib/deputy/infer.ml: Annot Facts Format Kc List Printf

@@ -1,0 +1,1 @@
+lib/deputy/infer.mli: Format Kc

@@ -1,0 +1,1 @@
+lib/deputy/instrument.ml: Annot Hashtbl Int64 Kc List Printf

@@ -1,0 +1,1 @@
+lib/deputy/instrument.mli: Kc

@@ -1,0 +1,1 @@
+lib/deputy/optimize.ml: Annot Facts Hashtbl Int64 Kc List

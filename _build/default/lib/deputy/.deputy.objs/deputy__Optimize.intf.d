@@ -1,0 +1,1 @@
+lib/deputy/optimize.mli: Facts Kc

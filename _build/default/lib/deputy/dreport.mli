@@ -1,0 +1,27 @@
+(** Deputy pipeline driver and conversion census (paper §2.1, E1).
+
+    [deputize] is the one call most users need: it generates checks
+    ({!Instrument}) and statically discharges the provable ones
+    ({!Optimize}) on a program in place, returning the census. *)
+
+type report = {
+  inserted : int;  (** checks generated *)
+  discharged : int;  (** removed by the static optimizer *)
+  residual : int;  (** left as runtime checks *)
+  derefs_seen : int;
+  trusted_ops : int;  (** operations skipped under __trusted *)
+  unresolved_ops : int;  (** dependent count not instantiable at the use *)
+  static_errors : (string * Kc.Loc.t) list;  (** definite violations *)
+  annotations : int;  (** annotations carried by the source *)
+  trusted_blocks : int;
+  functions : int;
+}
+
+val count_type_annotations : Kc.Ir.program -> int
+val count_trusted_blocks : Kc.Ir.program -> int
+
+(** Run the Deputy pipeline on [prog] in place. [~optimize:false] is
+    the ablation that leaves every generated check at run time. *)
+val deputize : ?optimize:bool -> Kc.Ir.program -> report
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,226 @@
+(* Flow-sensitive facts used to discharge Deputy checks statically.
+
+   Facts are tracked only for "stable" variables: locals and formals
+   whose address is never taken (so no call or store through a pointer
+   can change them behind our back). Three kinds of facts:
+
+   - lower bounds:  v >= c          (c a 64-bit constant)
+   - upper bounds:  v < b           (b a constant or another stable var)
+   - non-nullness:  v != 0
+
+   The lattice join is fact intersection (with [min] on lower bounds);
+   assignments kill facts, except for the common [v = v + k] pattern,
+   which shifts lower bounds and preserves non-nullness. *)
+
+module I = Kc.Ir
+module IntMap = Map.Make (Int)
+module IntSet = Set.Make (Int)
+
+type bound = Bconst of int64 | Bvar of int
+
+module BoundSet = Set.Make (struct
+  type t = bound
+
+  let compare = compare
+end)
+
+type t = {
+  lower : int64 IntMap.t; (* vid -> best-known lower bound *)
+  upper : BoundSet.t IntMap.t; (* vid -> strict upper bounds *)
+  nonnull : IntSet.t;
+}
+
+let top = { lower = IntMap.empty; upper = IntMap.empty; nonnull = IntSet.empty }
+
+let equal a b =
+  IntMap.equal Int64.equal a.lower b.lower
+  && IntMap.equal BoundSet.equal a.upper b.upper
+  && IntSet.equal a.nonnull b.nonnull
+
+(* Join of two paths keeps only facts true on both. *)
+let join a b =
+  {
+    lower =
+      IntMap.merge
+        (fun _ x y -> match (x, y) with Some x, Some y -> Some (min x y) | _ -> None)
+        a.lower b.lower;
+    upper =
+      IntMap.merge
+        (fun _ x y ->
+          match (x, y) with
+          | Some x, Some y ->
+              let i = BoundSet.inter x y in
+              if BoundSet.is_empty i then None else Some i
+          | _ -> None)
+        a.upper b.upper;
+    nonnull = IntSet.inter a.nonnull b.nonnull;
+  }
+
+(* Is [v] a stable variable (trackable)? *)
+let stable (v : I.varinfo) = (not v.I.vglob) && not v.I.vaddrof
+
+let as_stable_var (e : I.exp) : I.varinfo option =
+  match (Annot.strip_widening e).I.e with
+  | I.Elval (I.Lvar v, []) when stable v -> Some v
+  | _ -> None
+
+let as_const (e : I.exp) : int64 option = Annot.const_fold e
+
+(* Remove every fact that mentions [vid] (as subject or as an upper
+   bound of another variable). *)
+let kill_var vid t =
+  {
+    lower = IntMap.remove vid t.lower;
+    upper =
+      IntMap.filter_map
+        (fun _ bs ->
+          let bs = BoundSet.remove (Bvar vid) bs in
+          if BoundSet.is_empty bs then None else Some bs)
+        (IntMap.remove vid t.upper);
+    nonnull = IntSet.remove vid t.nonnull;
+  }
+
+let add_lower vid c t =
+  let c = match IntMap.find_opt vid t.lower with Some c0 -> max c0 c | None -> c in
+  { t with lower = IntMap.add vid c t.lower }
+
+let add_upper vid b t =
+  let bs = match IntMap.find_opt vid t.upper with Some bs -> bs | None -> BoundSet.empty in
+  { t with upper = IntMap.add vid (BoundSet.add b bs) t.upper }
+
+let add_nonnull vid t = { t with nonnull = IntSet.add vid t.nonnull }
+
+(* Facts derived from a branch condition being true ([sense]=true) or
+   false. Handles comparisons between stable vars and constants/vars,
+   conjunction/disjunction (encoded as Econd by elaboration), and
+   logical negation. *)
+let rec assume (e : I.exp) (sense : bool) (t : t) : t =
+  let e = Annot.strip_widening e in
+  match e.I.e with
+  | I.Eunop (Kc.Ast.Lognot, e1) -> assume e1 (not sense) t
+  | I.Econd (a, b, c) when as_const c = Some 0L ->
+      (* a && b *)
+      if sense then assume b true (assume a true t) else t
+  | I.Econd (a, b, c) when as_const b = Some 1L ->
+      (* a || c *)
+      if sense then t else assume c false (assume a false t)
+  | I.Ebinop (op, l, r) -> (
+      let flip = function
+        | Kc.Ast.Lt -> Kc.Ast.Gt
+        | Kc.Ast.Gt -> Kc.Ast.Lt
+        | Kc.Ast.Le -> Kc.Ast.Ge
+        | Kc.Ast.Ge -> Kc.Ast.Le
+        | o -> o
+      in
+      let negate = function
+        | Kc.Ast.Lt -> Some Kc.Ast.Ge
+        | Kc.Ast.Le -> Some Kc.Ast.Gt
+        | Kc.Ast.Gt -> Some Kc.Ast.Le
+        | Kc.Ast.Ge -> Some Kc.Ast.Lt
+        | Kc.Ast.Eq -> Some Kc.Ast.Ne
+        | Kc.Ast.Ne -> Some Kc.Ast.Eq
+        | _ -> None
+      in
+      let op = if sense then Some op else negate op in
+      match op with
+      | None -> t
+      | Some op -> (
+          (* Normalize so the variable is on the left when possible. *)
+          let var_left = as_stable_var l and var_right = as_stable_var r in
+          let t =
+            match (var_left, as_const r, var_right, as_const l) with
+            | Some v, Some c, _, _ -> assume_cmp v op (Bconst c) t
+            | Some v, None, Some w, _ -> assume_cmp v op (Bvar w.I.vid) t
+            | _, _, Some w, Some c -> assume_cmp w (flip op) (Bconst c) t
+            | _ -> t
+          in
+          (* Pointer null tests. *)
+          match (op, var_left, as_const r, var_right, as_const l) with
+          | Kc.Ast.Ne, Some v, Some 0L, _, _ when I.is_pointer v.I.vty -> add_nonnull v.I.vid t
+          | Kc.Ast.Ne, _, _, Some v, Some 0L when I.is_pointer v.I.vty -> add_nonnull v.I.vid t
+          | Kc.Ast.Gt, Some v, Some 0L, _, _ when I.is_pointer v.I.vty -> add_nonnull v.I.vid t
+          | _ -> t))
+  | I.Elval (I.Lvar v, []) when stable v ->
+      if sense then
+        if I.is_pointer v.I.vty then add_nonnull v.I.vid t else add_lower v.I.vid 1L t
+        (* v "truthy": for unsigned or known-nonneg this is v >= 1;
+           for general ints only v != 0, which we do not track, so we
+           only add the bound when a lower bound of 0 is known. *)
+      else if not (I.is_pointer v.I.vty) then add_upper v.I.vid (Bconst 1L) t
+      else t
+  | _ -> t
+
+and assume_cmp (v : I.varinfo) op (b : bound) (t : t) : t =
+  match (op, b) with
+  | Kc.Ast.Lt, _ -> add_upper v.I.vid b t
+  | Kc.Ast.Le, Bconst c -> add_upper v.I.vid (Bconst (Int64.add c 1L)) t
+  | Kc.Ast.Ge, Bconst c -> add_lower v.I.vid c t
+  | Kc.Ast.Gt, Bconst c -> add_lower v.I.vid (Int64.add c 1L) t
+  | Kc.Ast.Eq, Bconst c -> add_lower v.I.vid c (add_upper v.I.vid (Bconst (Int64.add c 1L)) t)
+  | (Kc.Ast.Le | Kc.Ast.Gt | Kc.Ast.Ge | Kc.Ast.Eq | Kc.Ast.Ne), Bvar _ -> t
+  | _ -> t
+
+(* Transfer for an assignment [v := e]. *)
+let assign (v : I.varinfo) (e : I.exp) (t : t) : t =
+  if not (stable v) then t
+  else begin
+    let e = Annot.strip_widening e in
+    (* v = v + k: shift the lower bound, keep non-nullness. *)
+    match e.I.e with
+    | I.Ebinop (Kc.Ast.Add, l, r)
+      when (match as_stable_var l with Some w -> w.I.vid = v.I.vid | None -> false)
+           && as_const r <> None ->
+        let k = Option.get (as_const r) in
+        let old_lower = IntMap.find_opt v.I.vid t.lower in
+        let was_nonnull = IntSet.mem v.I.vid t.nonnull in
+        let t = kill_var v.I.vid t in
+        let t =
+          match old_lower with
+          | Some c when k >= 0L -> add_lower v.I.vid (Int64.add c k) t
+          | _ -> t
+        in
+        if was_nonnull && k >= 0L then add_nonnull v.I.vid t else t
+    | _ -> (
+        let t = kill_var v.I.vid t in
+        match (as_const e, as_stable_var e) with
+        | Some c, _ -> add_lower v.I.vid c (add_upper v.I.vid (Bconst (Int64.add c 1L)) t)
+        | None, Some w ->
+            (* Copy w's facts to v. *)
+            let t =
+              match IntMap.find_opt w.I.vid t.lower with
+              | Some c -> add_lower v.I.vid c t
+              | None -> t
+            in
+            let t =
+              match IntMap.find_opt w.I.vid t.upper with
+              | Some bs -> BoundSet.fold (fun b acc -> add_upper v.I.vid b acc) bs t
+              | None -> t
+            in
+            if IntSet.mem w.I.vid t.nonnull then add_nonnull v.I.vid t else t
+        | None, None -> (
+            match e.I.e with
+            | I.Eaddrof _ | I.Estartof _ | I.Estr _ | I.Efun _ -> add_nonnull v.I.vid t
+            | _ -> t))
+  end
+
+(* Queries. *)
+let lower_bound (t : t) (v : I.varinfo) : int64 option = IntMap.find_opt v.I.vid t.lower
+
+let has_upper_var (t : t) (v : I.varinfo) (w : I.varinfo) : bool =
+  match IntMap.find_opt v.I.vid t.upper with
+  | Some bs -> BoundSet.mem (Bvar w.I.vid) bs
+  | None -> false
+
+let best_upper_const (t : t) (v : I.varinfo) : int64 option =
+  match IntMap.find_opt v.I.vid t.upper with
+  | Some bs ->
+      BoundSet.fold
+        (fun b acc ->
+          match (b, acc) with
+          | Bconst c, None -> Some c
+          | Bconst c, Some c0 -> Some (min c c0)
+          | Bvar _, acc -> acc)
+        bs None
+  | None -> None
+
+let is_nonnull (t : t) (v : I.varinfo) : bool = IntSet.mem v.I.vid t.nonnull

@@ -1,0 +1,49 @@
+(** Flow-sensitive facts used to discharge Deputy checks statically.
+
+    Facts are tracked only for "stable" variables (locals and formals
+    whose address is never taken): constant lower bounds, strict upper
+    bounds (constant or another stable variable), and non-nullness.
+    Join is fact intersection; assignments kill facts except for the
+    [v = v + k] pattern, which shifts lower bounds. *)
+
+module IntMap : Map.S with type key = int and type 'a t = 'a Map.Make(Int).t
+module IntSet : Set.S with type elt = int and type t = Set.Make(Int).t
+
+type bound = Bconst of int64 | Bvar of int
+
+module BoundSet : Set.S with type elt = bound
+
+type t = {
+  lower : int64 IntMap.t;
+  upper : BoundSet.t IntMap.t;
+  nonnull : IntSet.t;
+}
+
+(** No facts. *)
+val top : t
+
+val equal : t -> t -> bool
+
+(** Facts true on both paths. *)
+val join : t -> t -> t
+
+(** Is the variable trackable (local, address never taken)? *)
+val stable : Kc.Ir.varinfo -> bool
+
+val as_stable_var : Kc.Ir.exp -> Kc.Ir.varinfo option
+val as_const : Kc.Ir.exp -> int64 option
+val kill_var : int -> t -> t
+val add_lower : int -> int64 -> t -> t
+val add_upper : int -> bound -> t -> t
+val add_nonnull : int -> t -> t
+
+(** Facts from a branch condition being true/false. *)
+val assume : Kc.Ir.exp -> bool -> t -> t
+
+(** Transfer for [v := e]. *)
+val assign : Kc.Ir.varinfo -> Kc.Ir.exp -> t -> t
+
+val lower_bound : t -> Kc.Ir.varinfo -> int64 option
+val has_upper_var : t -> Kc.Ir.varinfo -> Kc.Ir.varinfo -> bool
+val best_upper_const : t -> Kc.Ir.varinfo -> int64 option
+val is_nonnull : t -> Kc.Ir.varinfo -> bool

@@ -1,0 +1,160 @@
+(* Annotation inference (paper §3.2: "Some of this information was
+   generated manually ... while other properties were inferred by our
+   tools").
+
+   Two inference heuristics over un-annotated pointer parameters:
+
+   - count inference: an unannotated pointer parameter [p] indexed as
+     [p[i]] inside a loop guarded by [i < n], with [n] an integer
+     parameter of the same function, suggests [p : __count(n)];
+   - opt inference: a parameter compared against null before use
+     suggests [__opt].
+
+   Suggestions are exactly that — the programmer reviews them (and the
+   type checker re-checks them once written, since annotations are
+   untrusted). They feed the annotation database with provenance
+   "deputy-infer". *)
+
+module I = Kc.Ir
+
+type suggestion = {
+  sg_fn : string;
+  sg_param : string;
+  sg_annot : string; (* "__count(n)" or "__opt" *)
+}
+
+(* Unannotated pointer parameters of a function. *)
+let plain_ptr_params (fd : I.fundec) : I.varinfo list =
+  List.filter
+    (fun (v : I.varinfo) ->
+      match v.I.vty with
+      | I.Tptr (_, a) ->
+          a.I.a_count = None && (not a.I.a_nullterm) && (not a.I.a_opt) && not a.I.a_trusted
+      | _ -> false)
+    fd.I.sformals
+
+let int_params (fd : I.fundec) : I.varinfo list =
+  List.filter (fun (v : I.varinfo) -> I.is_integral v.I.vty) fd.I.sformals
+
+(* Does [e] contain a deref of [p] at index [i]? *)
+let derefs_at (p : I.varinfo) (i : I.varinfo) (e : I.exp) : bool =
+  I.fold_exp
+    (fun acc sub ->
+      acc
+      ||
+      match sub.I.e with
+      | I.Elval (I.Lmem ptr, _) -> (
+          let base, idx = Annot.split_base ptr in
+          match (base.I.e, (Annot.strip_widening idx).I.e) with
+          | I.Elval (I.Lvar bp, []), I.Elval (I.Lvar iv, []) ->
+              bp.I.vid = p.I.vid && iv.I.vid = i.I.vid
+          | _ -> false)
+      | _ -> false)
+    false e
+
+(* Loop guards of shape (i < n) with both sides stable variables. *)
+let guard_pair (cond : I.exp) : (I.varinfo * I.varinfo) option =
+  match (Annot.strip_widening cond).I.e with
+  | I.Ebinop (Kc.Ast.Lt, l, r) -> (
+      match (Facts.as_stable_var l, Facts.as_stable_var r) with
+      | Some i, Some n -> Some (i, n)
+      | _ -> None)
+  | _ -> None
+
+let infer_counts (fd : I.fundec) : suggestion list =
+  let ptr_params = plain_ptr_params fd in
+  let n_params = int_params fd in
+  if ptr_params = [] || n_params = [] then []
+  else begin
+    let found = ref [] in
+    let note p n =
+      let s =
+        { sg_fn = fd.I.fname; sg_param = p.I.vname; sg_annot = Printf.sprintf "__count(%s)" n.I.vname }
+      in
+      if not (List.mem s !found) then found := s :: !found
+    in
+    let rec walk (b : I.block) =
+      List.iter
+        (fun (s : I.stmt) ->
+          match s.I.sk with
+          | I.Swhile (cond, body, step) ->
+              (match guard_pair cond with
+              | Some (i, n) when List.exists (fun (v : I.varinfo) -> v.I.vid = n.I.vid) n_params
+                ->
+                  (* Look for p[i] in the loop body. *)
+                  List.iter
+                    (fun p ->
+                      let hits = ref false in
+                      I.iter_instrs
+                        (fun instr ->
+                          List.iter
+                            (fun e -> if derefs_at p i e then hits := true)
+                            (I.exps_of_instr instr);
+                          match I.lval_of_instr instr with
+                          | Some (I.Lmem ptr, _) ->
+                              if derefs_at p i (I.mk_exp (I.Elval (I.Lmem ptr, [])) I.int_type)
+                              then hits := true
+                          | _ -> ())
+                        body;
+                      if !hits then note p n)
+                    ptr_params
+              | _ -> ());
+              walk body;
+              walk step
+          | I.Sif (_, b1, b2) ->
+              walk b1;
+              walk b2
+          | I.Sdowhile (b1, _) -> walk b1
+          | I.Sswitch (_, cases) -> List.iter (fun (c : I.case) -> walk c.I.cbody) cases
+          | I.Sblock b1 | I.Sdelayed b1 | I.Strusted b1 -> walk b1
+          | I.Sinstr _ | I.Sbreak | I.Scontinue | I.Sreturn _ -> ())
+        b
+    in
+    walk fd.I.fbody;
+    List.rev !found
+  end
+
+(* A parameter tested against null suggests __opt. *)
+let infer_opts (fd : I.fundec) : suggestion list =
+  let ptr_params = plain_ptr_params fd in
+  if ptr_params = [] then []
+  else begin
+    let found = ref [] in
+    I.iter_stmts
+      (fun s ->
+        match s.I.sk with
+        | I.Sif (cond, _, _) ->
+            List.iter
+              (fun (p : I.varinfo) ->
+                let is_null_test =
+                  I.fold_exp
+                    (fun acc sub ->
+                      acc
+                      ||
+                      match sub.I.e with
+                      | I.Ebinop ((Kc.Ast.Eq | Kc.Ast.Ne), l, r) -> (
+                          match (Facts.as_stable_var l, Annot.const_fold r) with
+                          | Some v, Some 0L -> v.I.vid = p.I.vid
+                          | _ -> (
+                              match (Annot.const_fold l, Facts.as_stable_var r) with
+                              | Some 0L, Some v -> v.I.vid = p.I.vid
+                              | _ -> false))
+                      | _ -> false)
+                    false cond
+                in
+                if is_null_test then begin
+                  let s = { sg_fn = fd.I.fname; sg_param = p.I.vname; sg_annot = "__opt" } in
+                  if not (List.mem s !found) then found := s :: !found
+                end)
+              ptr_params
+        | _ -> ())
+      fd.I.fbody;
+    List.rev !found
+  end
+
+(* All suggestions for a program. *)
+let suggest (prog : I.program) : suggestion list =
+  List.concat_map (fun fd -> infer_counts fd @ infer_opts fd) prog.I.funcs
+
+let pp_suggestion fmt (s : suggestion) =
+  Format.fprintf fmt "%s: parameter %s could be annotated %s" s.sg_fn s.sg_param s.sg_annot

@@ -1,0 +1,16 @@
+(** Annotation inference: heuristic suggestions for un-annotated
+    pointer parameters ([__count(n)] from loop-indexed accesses,
+    [__opt] from null tests). Suggestions are untrusted — the checker
+    re-verifies them once written — and feed the §3.2 annotation
+    database with provenance "deputy-infer". *)
+
+type suggestion = {
+  sg_fn : string;
+  sg_param : string;
+  sg_annot : string;  (** e.g. "__count(n)" or "__opt" *)
+}
+
+val infer_counts : Kc.Ir.fundec -> suggestion list
+val infer_opts : Kc.Ir.fundec -> suggestion list
+val suggest : Kc.Ir.program -> suggestion list
+val pp_suggestion : Format.formatter -> suggestion -> unit

@@ -1,0 +1,27 @@
+(** Deputy check generation: walks every function and inserts runtime
+    checks ({!Kc.Ir.Icheck}) for array indexing, pointer dereference
+    per the pointer's classification, dereference of [__opt] pointers,
+    count compatibility at assignments and call sites, dependent-count
+    updates (writes to variables/fields a count mentions), and
+    nullterm advances. [__trusted] code is skipped and counted;
+    definite violations are recorded as static errors. *)
+
+type stats = {
+  mutable derefs_seen : int;
+  mutable checks_nonnull : int;
+  mutable checks_lower : int;
+  mutable checks_upper : int;
+  mutable checks_nt : int;
+  mutable checks_count_flow : int;
+  mutable blessed_casts : int;  (** allocator results blessing a count *)
+  mutable trusted_ops : int;
+  mutable unresolved_ops : int;
+  mutable static_errors : (string * Kc.Loc.t) list;
+  mutable functions_instrumented : int;
+}
+
+val new_stats : unit -> stats
+val total_checks : stats -> int
+
+(** Instrument a whole program in place. *)
+val instrument_program : Kc.Ir.program -> stats

@@ -1,0 +1,19 @@
+(** Static discharge of Deputy checks: a structured abstract
+    interpretation over the statement tree with {!Facts}. Checks the
+    incoming facts prove are deleted; kept checks contribute their own
+    fact (deduplicating identical later checks on the same path). *)
+
+type stats = { mutable discharged : int; mutable kept : int }
+
+val new_stats : unit -> stats
+
+(** Is the check provable from the facts? *)
+val provable : Facts.t -> Kc.Ir.check -> bool
+
+(** The fact a passed check establishes. *)
+val assume_check : Kc.Ir.check -> Facts.t -> Facts.t
+
+val optimize_fundec : stats -> Kc.Ir.fundec -> unit
+
+(** Remove statically-provable checks from an instrumented program. *)
+val optimize_program : Kc.Ir.program -> stats

@@ -1,0 +1,173 @@
+(* Error-code checking (paper §3.1, third proposed analysis).
+
+   "Programmers can annotate each function with the set of codes that
+   the function could return, or the programmer could simply indicate
+   to the compiler that negative constant return values are error
+   codes. Then a flow-sensitive analysis at call sites could verify
+   that each of the error codes are accounted for."
+
+   Error-returning functions are found two ways:
+   - an explicit [__returns_err(...)] annotation, or
+   - inference: the body returns a negative constant somewhere.
+
+   A call site "accounts for" the code when the result is bound and
+   subsequently branched on, switched on, propagated by a return, or
+   stored/escaped (someone downstream can test it). Unchecked sites
+   are reported. *)
+
+module I = Kc.Ir
+module SS = Set.Make (String)
+
+type site = {
+  s_caller : string;
+  s_callee : string;
+  s_loc : Kc.Loc.t;
+  s_kind : [ `Ignored (* result discarded outright *) | `Unchecked (* bound but never tested *) ];
+}
+
+type report = {
+  err_functions : (string * int64 list) list; (* function, known codes *)
+  inferred : SS.t; (* found by inference rather than annotation *)
+  sites_total : int;
+  violations : site list;
+}
+
+(* Collect negative constant returns in a body. *)
+let returned_error_codes (fd : I.fundec) : int64 list =
+  let codes = ref [] in
+  I.iter_stmts
+    (fun s ->
+      match s.I.sk with
+      | I.Sreturn (Some e) -> (
+          match e.I.e with
+          | I.Econst n when n < 0L -> codes := n :: !codes
+          | I.Eunop (Kc.Ast.Neg, { I.e = I.Econst n; _ }) when n > 0L ->
+              codes := Int64.neg n :: !codes
+          | _ -> ())
+      | _ -> ())
+    fd.I.fbody;
+  List.sort_uniq compare !codes
+
+let err_functions (prog : I.program) : (string * int64 list) list * SS.t =
+  let inferred = ref SS.empty in
+  let fns =
+    Hashtbl.fold
+      (fun name (fd : I.fundec) acc ->
+        let annotated =
+          List.fold_left
+            (fun acc a -> match a with Kc.Ast.Freturns_err codes -> Some codes | _ -> acc)
+            None fd.I.fannots
+        in
+        match annotated with
+        | Some codes -> (name, codes) :: acc
+        | None ->
+            if fd.I.fextern then acc
+            else begin
+              match returned_error_codes fd with
+              | [] -> acc
+              | codes ->
+                  inferred := SS.add name !inferred;
+                  (name, codes) :: acc
+            end)
+      prog.I.fun_by_name []
+  in
+  (List.sort compare fns, !inferred)
+
+(* Does [vid] appear in an expression? *)
+let exp_mentions vid (e : I.exp) : bool =
+  I.fold_exp
+    (fun acc sub ->
+      acc || match sub.I.e with I.Elval (I.Lvar v, _) -> v.I.vid = vid | _ -> false)
+    false e
+
+(* Is the value held in [vid] accounted for: tested in a branch,
+   switched on, returned, passed to another call, or stored to memory
+   (escaping to someone who can test it)? Copies into other variables
+   are followed (the elaborator introduces temporaries for call
+   results). Flow-insensitive over the body, so it only under-reports
+   violations. *)
+let rec accounted (fd : I.fundec) (vid : int) (fuel : int) : bool =
+  if fuel <= 0 then true (* give up conservatively *)
+  else begin
+    let found = ref false in
+    I.iter_stmts
+      (fun s ->
+        if not !found then
+          match s.I.sk with
+          | I.Sif (c, _, _) | I.Swhile (c, _, _) | I.Sdowhile (_, c) | I.Sswitch (c, _) ->
+              if exp_mentions vid c then found := true
+          | I.Sreturn (Some e) -> if exp_mentions vid e then found := true
+          | I.Sinstr (I.Iset (lv, e)) when exp_mentions vid e -> (
+              match lv with
+              | I.Lvar u, [] when u.I.vid <> vid ->
+                  (* Copied into another variable: follow it. *)
+                  if accounted fd u.I.vid (fuel - 1) then found := true
+              | I.Lvar u, [] when u.I.vid = vid -> ()
+              | _ -> found := true (* stored to memory: escapes *))
+          | I.Sinstr (I.Icall (_, _, args)) ->
+              if List.exists (exp_mentions vid) args then found := true
+          | _ -> ())
+      fd.I.fbody;
+    !found
+  end
+
+let var_checked_somewhere (fd : I.fundec) (vid : int) : bool = accounted fd vid 6
+
+let analyze (prog : I.program) : report =
+  let fns, inferred = err_functions prog in
+  let err_set = List.fold_left (fun s (n, _) -> SS.add n s) SS.empty fns in
+  let sites_total = ref 0 in
+  let violations = ref [] in
+  List.iter
+    (fun (fd : I.fundec) ->
+      I.iter_stmts
+        (fun s ->
+          match s.I.sk with
+          | I.Sinstr (I.Icall (ret, I.Direct callee, _)) when SS.mem callee err_set ->
+              incr sites_total;
+              (match ret with
+              | None ->
+                  violations :=
+                    { s_caller = fd.I.fname; s_callee = callee; s_loc = s.I.sloc; s_kind = `Ignored }
+                    :: !violations
+              | Some (I.Lvar v, []) ->
+                  if not (var_checked_somewhere fd v.I.vid) then begin
+                    (* A result held only in an elaboration temporary
+                       that goes nowhere was discarded in the source;
+                       one that was copied into a named variable was
+                       bound but never tested. *)
+                    let copies_to_named =
+                      let found = ref false in
+                      I.iter_stmts
+                        (fun s1 ->
+                          match s1.I.sk with
+                          | I.Sinstr (I.Iset ((I.Lvar u, []), e))
+                            when (not u.I.vtemp) && exp_mentions v.I.vid e ->
+                              found := true
+                          | _ -> ())
+                        fd.I.fbody;
+                      !found
+                    in
+                    let kind =
+                      if v.I.vtemp && not copies_to_named then `Ignored else `Unchecked
+                    in
+                    violations :=
+                      { s_caller = fd.I.fname; s_callee = callee; s_loc = s.I.sloc; s_kind = kind }
+                      :: !violations
+                  end
+              | Some _ -> () (* stored to memory: escapes, assume checked later *))
+          | _ -> ())
+        fd.I.fbody)
+    prog.I.funcs;
+  { err_functions = fns; inferred; sites_total = !sites_total; violations = List.rev !violations }
+
+let pp fmt (r : report) =
+  Format.fprintf fmt
+    "errcheck: %d error-returning functions (%d inferred), %d call sites, %d unchecked"
+    (List.length r.err_functions) (SS.cardinal r.inferred) r.sites_total
+    (List.length r.violations)
+
+let pp_site fmt (s : site) =
+  Format.fprintf fmt "%s: %s ignores error result of %s%s" (Kc.Loc.to_string s.s_loc) s.s_caller
+    s.s_callee
+    (match s.s_kind with `Ignored -> " (discarded)" | `Unchecked -> " (never tested)")

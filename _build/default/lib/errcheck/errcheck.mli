@@ -1,0 +1,28 @@
+(** Error-code checking (paper §3.1, third proposed analysis): find
+    call sites that drop or never test the error result of a function
+    that can return error codes.
+
+    Error-returning functions come from explicit [__returns_err(...)]
+    annotations or are inferred from bodies that return negative
+    constants ("negative constant return values are error codes"). *)
+
+module SS : Set.S with type elt = string and type t = Set.Make(String).t
+
+type site = {
+  s_caller : string;
+  s_callee : string;
+  s_loc : Kc.Loc.t;
+  s_kind : [ `Ignored  (** result discarded outright *)
+           | `Unchecked  (** bound to a variable but never tested *) ];
+}
+
+type report = {
+  err_functions : (string * int64 list) list;  (** function, known codes *)
+  inferred : SS.t;  (** found by inference rather than annotation *)
+  sites_total : int;
+  violations : site list;
+}
+
+val analyze : Kc.Ir.program -> report
+val pp : Format.formatter -> report -> unit
+val pp_site : Format.formatter -> site -> unit

@@ -1,0 +1,1 @@
+lib/ivy/experiment.ml: Annotdb Blockstop Ccount Deputy Errcheck Kc Kernel List Locksafe Pipeline Stackcheck String Userck Vm

@@ -1,0 +1,1 @@
+lib/ivy/pipeline.ml: Blockstop Ccount Deputy Int64 Kc Kernel Vm

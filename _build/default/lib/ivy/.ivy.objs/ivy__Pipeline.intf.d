@@ -1,0 +1,1 @@
+lib/ivy/pipeline.mli: Ccount Deputy Kc Vm

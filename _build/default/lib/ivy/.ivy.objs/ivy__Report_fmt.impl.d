@@ -1,0 +1,1 @@
+lib/ivy/report_fmt.ml: Annotdb Blockstop Buffer Deputy Errcheck Experiment Kernel List Locksafe Printf Stackcheck String Userck Vm

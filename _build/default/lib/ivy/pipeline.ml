@@ -1,0 +1,80 @@
+(* The Ivy pipeline: load the corpus (+ workloads), apply an
+   instrumentation mode, boot the VM, run entry points, and measure
+   deterministic cycle counts.
+
+   This is the library's main entry point for downstream users: a
+   one-stop API over the frontend, the analyses and the VM. *)
+
+type mode =
+  | Base (* no instrumentation *)
+  | Deputy (* type/memory safety checks (hybrid, optimized) *)
+  | Deputy_unoptimized (* ablation: no static discharge *)
+  | Ccount of Vm.Cost.profile (* refcounted frees *)
+  | Blockstop_guarded (* BlockStop runtime checks compiled in *)
+
+type run = {
+  mode : mode;
+  prog : Kc.Ir.program;
+  interp : Vm.Interp.t;
+  deputy_report : Deputy.Dreport.report option;
+  ccount_report : Ccount.Creport.report option;
+}
+
+let mode_to_string = function
+  | Base -> "base"
+  | Deputy -> "deputy"
+  | Deputy_unoptimized -> "deputy-unoptimized"
+  | Ccount Vm.Cost.Up -> "ccount-up"
+  | Ccount Vm.Cost.Smp_p4 -> "ccount-smp"
+  | Blockstop_guarded -> "blockstop-guarded"
+
+(* Build a fresh program + VM in the given mode. [workloads] appends
+   the benchmark unit; [fixed_frees] picks the corpus variant. *)
+let prepare ?(workloads = true) ?(fixed_frees = true) (mode : mode) : run =
+  let load () =
+    if workloads then Kernel.Workloads.load ~fixed_frees ()
+    else Kernel.Corpus.load ~fixed_frees ()
+  in
+  match mode with
+  | Base ->
+      let prog = load () in
+      let interp = Vm.Builtins.boot prog in
+      { mode; prog; interp; deputy_report = None; ccount_report = None }
+  | Deputy ->
+      let prog = load () in
+      let report = Deputy.Dreport.deputize ~optimize:true prog in
+      let interp = Vm.Builtins.boot prog in
+      { mode; prog; interp; deputy_report = Some report; ccount_report = None }
+  | Deputy_unoptimized ->
+      let prog = load () in
+      let report = Deputy.Dreport.deputize ~optimize:false prog in
+      let interp = Vm.Builtins.boot prog in
+      { mode; prog; interp; deputy_report = Some report; ccount_report = None }
+  | Ccount profile ->
+      let prog = load () in
+      let interp, report = Ccount.Creport.ccount_boot ~profile prog in
+      { mode; prog; interp; deputy_report = None; ccount_report = Some report }
+  | Blockstop_guarded ->
+      let prog = load () in
+      ignore (Blockstop.Bcheck.guard_functions prog Kernel.Corpus.blockstop_guards);
+      let interp = Vm.Builtins.boot prog in
+      { mode; prog; interp; deputy_report = None; ccount_report = None }
+
+(* Boot the kernel. *)
+let boot (r : run) : unit = ignore (Vm.Interp.run r.interp Kernel.Corpus.boot_entry [])
+
+let cycles (r : run) : int = r.interp.Vm.Interp.m.Vm.Machine.cost.Vm.Cost.cycles
+
+(* Run an entry point and return (result, cycles spent inside). *)
+let run_entry (r : run) (entry : string) (arg : int) : int64 * int =
+  let before = cycles r in
+  let v = Vm.Interp.run r.interp entry [ Int64.of_int arg ] in
+  (v, cycles r - before)
+
+let free_census (r : run) : Vm.Machine.free_census = Vm.Machine.free_census r.interp.Vm.Interp.m
+
+(* Convenience: fresh run, booted. *)
+let booted ?workloads ?fixed_frees mode : run =
+  let r = prepare ?workloads ?fixed_frees mode in
+  boot r;
+  r

@@ -1,0 +1,51 @@
+(** The Ivy pipeline: load the mini-kernel corpus (plus, optionally,
+    the benchmark workloads), apply one of the instrumentation modes,
+    boot it on the VM and run entry points under the deterministic
+    cycle cost model.
+
+    This is the main entry point for downstream users:
+
+    {[
+      let r = Ivy.Pipeline.booted Ivy.Pipeline.Deputy in
+      let result, cycles = Ivy.Pipeline.run_entry r "wl_lat_udp" 50 in
+      ...
+    ]} *)
+
+(** Instrumentation applied to the program before it runs. *)
+type mode =
+  | Base  (** no instrumentation *)
+  | Deputy  (** type/memory-safety checks, statically optimized *)
+  | Deputy_unoptimized  (** ablation: every generated check stays at run time *)
+  | Ccount of Vm.Cost.profile  (** refcounted free checking, UP or SMP cost profile *)
+  | Blockstop_guarded  (** the BlockStop runtime-check guards compiled in *)
+
+type run = {
+  mode : mode;
+  prog : Kc.Ir.program;  (** the (possibly instrumented) program *)
+  interp : Vm.Interp.t;  (** the booted interpreter *)
+  deputy_report : Deputy.Dreport.report option;  (** present in Deputy modes *)
+  ccount_report : Ccount.Creport.report option;  (** present in Ccount modes *)
+}
+
+val mode_to_string : mode -> string
+
+(** Build a fresh program + VM in the given mode. [workloads] (default
+    true) appends the benchmark unit; [fixed_frees] (default true)
+    selects the corpus variant after the paper's free fixes. *)
+val prepare : ?workloads:bool -> ?fixed_frees:bool -> mode -> run
+
+(** Run [start_kernel]. *)
+val boot : run -> unit
+
+(** Total cycles spent so far on this run's machine. *)
+val cycles : run -> int
+
+(** [run_entry r entry arg] calls the KC function [entry] with the
+    integer argument [arg]; returns its result and the cycles spent
+    inside the call. *)
+val run_entry : run -> string -> int -> int64 * int
+
+val free_census : run -> Vm.Machine.free_census
+
+(** [prepare] followed by [boot]. *)
+val booted : ?workloads:bool -> ?fixed_frees:bool -> mode -> run

@@ -1,0 +1,1 @@
+lib/kc/ast.ml: Loc

@@ -1,0 +1,1 @@
+lib/kc/ir.ml: Ast Hashtbl List Loc Printf String

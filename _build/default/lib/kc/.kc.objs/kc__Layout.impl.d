@@ -1,0 +1,1 @@
+lib/kc/layout.ml: Ast Ir List Printf

@@ -1,0 +1,1 @@
+lib/kc/layout.mli: Ast Ir

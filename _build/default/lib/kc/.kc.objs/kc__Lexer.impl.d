@@ -1,0 +1,1 @@
+lib/kc/lexer.ml: Array Buffer Int64 List Loc Option Printf String Token

@@ -1,0 +1,1 @@
+lib/kc/lexer.mli: Loc Token

@@ -1,0 +1,1 @@
+lib/kc/loc.ml: Format Printf String

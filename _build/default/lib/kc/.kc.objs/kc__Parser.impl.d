@@ -1,0 +1,1 @@
+lib/kc/parser.ml: Array Ast Char Hashtbl Int64 Lexer List Loc Printf Token

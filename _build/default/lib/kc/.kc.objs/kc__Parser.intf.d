@@ -1,0 +1,1 @@
+lib/kc/parser.mli: Ast Loc

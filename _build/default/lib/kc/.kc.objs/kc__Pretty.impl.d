@@ -1,0 +1,1 @@
+lib/kc/pretty.ml: Ast Buffer Hashtbl Int64 Ir List Printf String

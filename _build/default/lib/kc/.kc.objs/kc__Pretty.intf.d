@@ -1,0 +1,1 @@
+lib/kc/pretty.mli: Ir

@@ -1,0 +1,1 @@
+lib/kc/token.ml: Int64 List Printf

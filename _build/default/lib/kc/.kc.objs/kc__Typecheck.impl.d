@@ -1,0 +1,1 @@
+lib/kc/typecheck.ml: Ast Char Hashtbl Int64 Ir Layout List Loc Option Parser Printf String

@@ -1,0 +1,1 @@
+lib/kc/typecheck.mli: Ast Ir Loc

@@ -1,0 +1,153 @@
+(* Surface abstract syntax of KC, produced by the parser.
+
+   Types and expressions are mutually recursive because dependent
+   pointer annotations such as [__count(e)] embed expressions in types
+   (the Deputy discipline). The type checker elaborates this surface
+   syntax into the typed IR of module {!Ir}. *)
+
+type unop = Neg | Lognot | Bitnot
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shl
+  | Shr
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Eq
+  | Ne
+  | Bitand
+  | Bitor
+  | Bitxor
+  | Logand
+  | Logor
+
+type ikind = Ichar | Ishort | Iint | Ilong
+type sign = Signed | Unsigned
+
+type ty =
+  | Tvoid
+  | Tint of ikind * sign
+  | Tptr of ty * ptr_annot list
+  | Tarray of ty * expr option (* size must be a constant expression *)
+  | Tfun of ty * param list * bool (* variadic *)
+  | Tnamed of string (* typedef reference *)
+  | Tstruct of string
+  | Tunion of string
+  | Tenum of string
+
+and param = { pname : string; pty : ty }
+
+(* Pointer annotations, Deputy-style. All are erasable qualifiers. *)
+and ptr_annot =
+  | Acount of expr (* pointer to e valid elements *)
+  | Anullterm (* null-terminated sequence *)
+  | Aopt (* may be null *)
+  | Atrusted (* checker must trust this pointer *)
+  | Auser (* points into user space: only copy_to/from_user may touch it *)
+
+and expr = { e : expr_node; eloc : Loc.t }
+
+and expr_node =
+  | Eint of int64
+  | Echar of char
+  | Estr of string
+  | Eident of string
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Eassign of expr * expr
+  | Eassign_op of binop * expr * expr (* e1 op= e2 *)
+  | Eincr of bool * bool * expr (* is_incr, is_prefix *)
+  | Ecall of expr * expr list
+  | Eindex of expr * expr
+  | Efield of expr * string
+  | Earrow of expr * string
+  | Ederef of expr
+  | Eaddrof of expr
+  | Ecast of ty * expr
+  | Esizeof_type of ty
+  | Esizeof_expr of expr
+  | Econd of expr * expr * expr
+
+(* Function-level annotations. *)
+type fun_annot =
+  | Fblocking
+  | Fblocking_if_gfp_wait
+  | Ftrusted
+  | Facquires of string (* name of a lock-typed global or parameter *)
+  | Freleases of string
+  | Freturns_err of int64 list (* possible error codes, negative *)
+  | Fframe_hint of int (* extra bytes of stack used beyond locals *)
+
+type stmt = { s : stmt_node; sloc : Loc.t }
+
+and stmt_node =
+  | Sexpr of expr
+  | Sdecl of decl_local
+  | Sif of expr * block * block
+  | Swhile of expr * block
+  | Sdowhile of block * expr
+  | Sfor of stmt option * expr option * expr option * block
+  | Sswitch of expr * switch_case list
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+  | Sblock of block
+  | Sdelayed_free of block (* CCount __delayed_free { ... } scope *)
+  | Strusted of block (* __trusted { ... } block: checks suppressed *)
+
+and switch_case = { cases : int64 list; is_default : bool; body : block }
+and block = stmt list
+and decl_local = { dname : string; dty : ty; dinit : expr option }
+
+type init =
+  | Iexpr of expr
+  | Ilist of init list (* brace initializer for arrays/structs *)
+
+type global =
+  | Gtag_decl of bool * string (* forward declaration: struct foo; *)
+  | Gtypedef of string * ty
+  | Gcomp of bool * string * param list (* is_struct, tag, fields *)
+  | Genum of string * (string * int64 option) list
+  | Gvar of { vname : string; vty : ty; vinit : init option; vstatic : bool }
+  | Gfun of {
+      fname : string;
+      fret : ty;
+      fparams : param list;
+      fannots : fun_annot list;
+      fbody : block option; (* None for extern declaration *)
+      fstatic : bool;
+      floc : Loc.t;
+    }
+
+type unit_ = { uname : string; globals : (global * Loc.t) list }
+
+let mk_expr ?(loc = Loc.dummy) e = { e; eloc = loc }
+let mk_stmt ?(loc = Loc.dummy) s = { s; sloc = loc }
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | Bitand -> "&"
+  | Bitor -> "|"
+  | Bitxor -> "^"
+  | Logand -> "&&"
+  | Logor -> "||"
+
+let unop_to_string = function Neg -> "-" | Lognot -> "!" | Bitnot -> "~"

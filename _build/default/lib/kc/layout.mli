@@ -1,0 +1,17 @@
+(** Memory layout of KC types (LP64-ish: char 1, short 2, int 4,
+    long 8, pointer 8; natural alignment). *)
+
+exception Layout_error of string
+
+val ptr_size : int
+val int_size : Ast.ikind -> int
+val size_of : Ir.program -> Ir.ty -> int
+val align_of : Ir.program -> Ir.ty -> int
+val round_up : int -> int -> int
+val comp_size : Ir.program -> Ir.compinfo -> int
+
+(** Byte offset of a field within its struct (0 for union members). *)
+val field_offset : Ir.program -> Ir.fieldinfo -> int
+
+(** Size of the pointed-to / element type of a pointer or array. *)
+val elem_size : Ir.program -> Ir.ty -> int

@@ -1,0 +1,283 @@
+(* Hand-written lexer for KC.
+
+   The lexer works over a whole source string and produces a token
+   array with per-token locations, which the recursive-descent parser
+   then walks with arbitrary lookahead. *)
+
+exception Error of string * Loc.t
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let make ~file src = { src; file; pos = 0; line = 1; bol = 0 }
+
+let loc_of st = Loc.make ~file:st.file ~line:st.line ~col:(st.pos - st.bol + 1)
+
+let error st msg = raise (Error (msg, loc_of st))
+
+let at_end st = st.pos >= String.length st.src
+
+let peek_char st = if at_end st then '\000' else st.src.[st.pos]
+
+let peek_char2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st =
+  if not (at_end st) then begin
+    if st.src.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+    end;
+    st.pos <- st.pos + 1
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Skip whitespace, line comments and block comments. Also recognizes
+   `#` preprocessor-style lines and skips them whole: the corpus uses
+   `# file:line` markers for provenance only. *)
+let rec skip_trivia st =
+  if at_end st then ()
+  else
+    match peek_char st with
+    | ' ' | '\t' | '\r' | '\n' ->
+        advance st;
+        skip_trivia st
+    | '/' when peek_char2 st = '/' ->
+        while (not (at_end st)) && peek_char st <> '\n' do
+          advance st
+        done;
+        skip_trivia st
+    | '/' when peek_char2 st = '*' ->
+        advance st;
+        advance st;
+        let rec close () =
+          if at_end st then error st "unterminated block comment"
+          else if peek_char st = '*' && peek_char2 st = '/' then begin
+            advance st;
+            advance st
+          end
+          else begin
+            advance st;
+            close ()
+          end
+        in
+        close ();
+        skip_trivia st
+    | '#' ->
+        while (not (at_end st)) && peek_char st <> '\n' do
+          advance st
+        done;
+        skip_trivia st
+    | _ -> ()
+
+let lex_number st =
+  let start = st.pos in
+  if peek_char st = '0' && (peek_char2 st = 'x' || peek_char2 st = 'X') then begin
+    advance st;
+    advance st;
+    while is_hex_digit (peek_char st) do
+      advance st
+    done;
+    let text = String.sub st.src start (st.pos - start) in
+    (* Suffixes u/l are accepted and ignored. *)
+    while peek_char st = 'u' || peek_char st = 'U' || peek_char st = 'l' || peek_char st = 'L' do
+      advance st
+    done;
+    try Token.INT_LIT (Int64.of_string text)
+    with Failure _ -> error st (Printf.sprintf "bad hex literal %s" text)
+  end
+  else begin
+    while is_digit (peek_char st) do
+      advance st
+    done;
+    let text = String.sub st.src start (st.pos - start) in
+    while peek_char st = 'u' || peek_char st = 'U' || peek_char st = 'l' || peek_char st = 'L' do
+      advance st
+    done;
+    try Token.INT_LIT (Int64.of_string text)
+    with Failure _ -> error st (Printf.sprintf "bad integer literal %s" text)
+  end
+
+let lex_escape st =
+  advance st;
+  (* past backslash *)
+  let c = peek_char st in
+  advance st;
+  match c with
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> error st (Printf.sprintf "unknown escape \\%c" c)
+
+let lex_char st =
+  advance st;
+  (* past opening quote *)
+  let c =
+    if peek_char st = '\\' then lex_escape st
+    else begin
+      let c = peek_char st in
+      advance st;
+      c
+    end
+  in
+  if peek_char st <> '\'' then error st "unterminated char literal";
+  advance st;
+  Token.CHAR_LIT c
+
+let lex_string st =
+  advance st;
+  (* past opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if at_end st then error st "unterminated string literal"
+    else
+      match peek_char st with
+      | '"' -> advance st
+      | '\\' -> Buffer.add_char buf (lex_escape st); go ()
+      | c ->
+          advance st;
+          Buffer.add_char buf c;
+          go ()
+  in
+  go ();
+  Token.STR_LIT (Buffer.contents buf)
+
+let lex_ident st =
+  let start = st.pos in
+  while is_ident_char (peek_char st) do
+    advance st
+  done;
+  Token.of_ident (String.sub st.src start (st.pos - start))
+
+(* Operators and punctuation, longest match first. *)
+let lex_operator st =
+  let two a b tok = if peek_char st = a && peek_char2 st = b then Some tok else None in
+  let three =
+    if
+      st.pos + 2 < String.length st.src
+      && peek_char st = '.'
+      && peek_char2 st = '.'
+      && st.src.[st.pos + 2] = '.'
+    then Some Token.ELLIPSIS
+    else if
+      st.pos + 2 < String.length st.src
+      && peek_char st = '<'
+      && peek_char2 st = '<'
+      && st.src.[st.pos + 2] = '='
+    then Some Token.SHLEQ
+    else if
+      st.pos + 2 < String.length st.src
+      && peek_char st = '>'
+      && peek_char2 st = '>'
+      && st.src.[st.pos + 2] = '='
+    then Some Token.SHREQ
+    else None
+  in
+  match three with
+  | Some tok ->
+      advance st;
+      advance st;
+      advance st;
+      tok
+  | None -> (
+      let candidates =
+        [
+          two '-' '>' Token.ARROW;
+          two '<' '=' Token.LE;
+          two '>' '=' Token.GE;
+          two '=' '=' Token.EQEQ;
+          two '!' '=' Token.NE;
+          two '&' '&' Token.ANDAND;
+          two '|' '|' Token.BARBAR;
+          two '<' '<' Token.SHL;
+          two '>' '>' Token.SHR;
+          two '+' '=' Token.PLUSEQ;
+          two '-' '=' Token.MINUSEQ;
+          two '*' '=' Token.STAREQ;
+          two '/' '=' Token.SLASHEQ;
+          two '%' '=' Token.PERCENTEQ;
+          two '&' '=' Token.AMPEQ;
+          two '|' '=' Token.BAREQ;
+          two '^' '=' Token.CARETEQ;
+          two '+' '+' Token.PLUSPLUS;
+          two '-' '-' Token.MINUSMINUS;
+        ]
+      in
+      match List.find_opt Option.is_some candidates with
+      | Some (Some tok) ->
+          advance st;
+          advance st;
+          tok
+      | _ ->
+          let c = peek_char st in
+          advance st;
+          let tok =
+            match c with
+            | '(' -> Token.LPAREN
+            | ')' -> Token.RPAREN
+            | '{' -> Token.LBRACE
+            | '}' -> Token.RBRACE
+            | '[' -> Token.LBRACKET
+            | ']' -> Token.RBRACKET
+            | ';' -> Token.SEMI
+            | ',' -> Token.COMMA
+            | '.' -> Token.DOT
+            | '?' -> Token.QUESTION
+            | ':' -> Token.COLON
+            | '+' -> Token.PLUS
+            | '-' -> Token.MINUS
+            | '*' -> Token.STAR
+            | '/' -> Token.SLASH
+            | '%' -> Token.PERCENT
+            | '&' -> Token.AMP
+            | '|' -> Token.BAR
+            | '^' -> Token.CARET
+            | '~' -> Token.TILDE
+            | '!' -> Token.BANG
+            | '<' -> Token.LT
+            | '>' -> Token.GT
+            | '=' -> Token.EQ
+            | c -> error st (Printf.sprintf "unexpected character %C" c)
+          in
+          tok)
+
+let next_token st =
+  skip_trivia st;
+  let loc = loc_of st in
+  if at_end st then (Token.EOF, loc)
+  else
+    let c = peek_char st in
+    let tok =
+      if is_digit c then lex_number st
+      else if is_ident_start c then lex_ident st
+      else if c = '\'' then lex_char st
+      else if c = '"' then lex_string st
+      else lex_operator st
+    in
+    (tok, loc)
+
+(* Lex a whole source string into an array of located tokens, with a
+   trailing EOF token. *)
+let tokenize ~file src =
+  let st = make ~file src in
+  let acc = ref [] in
+  let rec go () =
+    let tok, loc = next_token st in
+    acc := (tok, loc) :: !acc;
+    if tok <> Token.EOF then go ()
+  in
+  go ();
+  Array.of_list (List.rev !acc)

@@ -1,0 +1,9 @@
+(** Hand-written lexer for KC: whole-string tokenization with
+    per-token locations. Line comments, block comments and
+    [#]-prefixed lines are skipped. *)
+
+exception Error of string * Loc.t
+
+(** Lex a source string into located tokens; the array always ends
+    with {!Token.EOF}. *)
+val tokenize : file:string -> string -> (Token.t * Loc.t) array

@@ -1,0 +1,18 @@
+(* Source locations for KC compilation units. *)
+
+type t = { file : string; line : int; col : int }
+
+let dummy = { file = "<builtin>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let to_string { file; line; col } = Printf.sprintf "%s:%d:%d" file line col
+
+let pp fmt loc = Format.pp_print_string fmt (to_string loc)
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0

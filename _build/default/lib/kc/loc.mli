@@ -1,0 +1,10 @@
+(** Source locations in KC compilation units. *)
+
+type t = { file : string; line : int; col : int }
+
+val dummy : t
+val make : file:string -> line:int -> col:int -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+val equal : t -> t -> bool

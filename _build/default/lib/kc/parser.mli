@@ -1,0 +1,11 @@
+(** Recursive-descent parser for KC. The only context it keeps is the
+    set of typedef names (the classic C lexer-hack, confined here). *)
+
+exception Error of string * Loc.t
+
+(** Parse one compilation unit. [typedefs] seeds typedef names defined
+    by earlier units of the same program. *)
+val parse_unit : ?typedefs:string list -> name:string -> string -> Ast.unit_
+
+(** Typedef names a unit defines (to seed later units). *)
+val typedef_names : Ast.unit_ -> string list

@@ -1,0 +1,325 @@
+(* Pretty-printing of the typed IR back to KC source.
+
+   Two modes:
+   - [print_program ~erase:false] keeps annotations (round-trippable
+     modulo elaboration artifacts);
+   - [print_program ~erase:true] strips every annotation and
+     analysis-inserted construct, demonstrating the paper's erasure
+     semantics: the annotated program is still a plain KC program. *)
+
+let buf_add = Buffer.add_string
+
+type ctx = { buf : Buffer.t; erase : bool; mutable indent : int }
+
+let nl ctx =
+  Buffer.add_char ctx.buf '\n';
+  for _ = 1 to ctx.indent do
+    buf_add ctx.buf "  "
+  done
+
+let rec exp_str ctx (e : Ir.exp) : string =
+  match e.Ir.e with
+  | Ir.Econst n -> Int64.to_string n
+  | Ir.Estr s -> Printf.sprintf "%S" s
+  | Ir.Elval lv -> lval_str ctx lv
+  | Ir.Eunop (op, e1) -> Printf.sprintf "%s(%s)" (Ast.unop_to_string op) (exp_str ctx e1)
+  | Ir.Ebinop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (exp_str ctx a) (Ast.binop_to_string op) (exp_str ctx b)
+  | Ir.Econd (c, a, b) ->
+      Printf.sprintf "(%s ? %s : %s)" (exp_str ctx c) (exp_str ctx a) (exp_str ctx b)
+  | Ir.Ecast (ty, e1) -> Printf.sprintf "(%s)(%s)" (type_str ctx ty) (exp_str ctx e1)
+  | Ir.Eaddrof lv -> Printf.sprintf "&%s" (lval_str ctx lv)
+  | Ir.Estartof lv -> lval_str ctx lv
+  | Ir.Efun name -> name
+  | Ir.Eself_field (_, f) -> f
+
+and lval_str ctx ((host, offs) : Ir.lval) : string =
+  let base =
+    match host with
+    | Ir.Lvar v -> v.Ir.vname
+    | Ir.Lmem e -> Printf.sprintf "(*%s)" (exp_str ctx e)
+  in
+  List.fold_left
+    (fun acc off ->
+      match off with
+      | Ir.Ofield f -> Printf.sprintf "%s.%s" acc f.Ir.fname
+      | Ir.Oindex e -> Printf.sprintf "%s[%s]" acc (exp_str ctx e))
+    base offs
+
+and annots_str ctx (a : Ir.annots) : string =
+  if ctx.erase then ""
+  else
+    String.concat ""
+      [
+        (match a.Ir.a_count with
+        | Some e -> Printf.sprintf " __count(%s)" (exp_str ctx e)
+        | None -> "");
+        (if a.Ir.a_nullterm then " __nullterm" else "");
+        (if a.Ir.a_opt then " __opt" else "");
+        (if a.Ir.a_trusted then " __trusted" else "");
+        (if a.Ir.a_user then " __user" else "");
+      ]
+
+and type_str ctx (ty : Ir.ty) : string = decl_str ctx ty ""
+
+(* C declarator syntax: print [ty name]. *)
+and decl_str ctx (ty : Ir.ty) (name : string) : string =
+  match ty with
+  | Ir.Tvoid -> if name = "" then "void" else "void " ^ name
+  | Ir.Tint (k, s) ->
+      let base =
+        match (k, s) with
+        | Ast.Ichar, Ast.Unsigned -> "char"
+        | Ast.Ichar, Ast.Signed -> "signed char"
+        | Ast.Ishort, Ast.Signed -> "short"
+        | Ast.Ishort, Ast.Unsigned -> "unsigned short"
+        | Ast.Iint, Ast.Signed -> "int"
+        | Ast.Iint, Ast.Unsigned -> "unsigned int"
+        | Ast.Ilong, Ast.Signed -> "long"
+        | Ast.Ilong, Ast.Unsigned -> "unsigned long"
+      in
+      if name = "" then base else base ^ " " ^ name
+  | Ir.Tptr (base, a) -> (
+      let inner = Printf.sprintf "*%s%s%s" (annots_str ctx a) (if name = "" then "" else " ") name in
+      match base with
+      | Ir.Tfun _ | Ir.Tarray _ -> decl_str ctx base (Printf.sprintf "(%s)" inner)
+      | _ -> decl_str ctx base inner)
+  | Ir.Tarray (base, n) -> decl_str ctx base (Printf.sprintf "%s[%d]" name n)
+  | Ir.Tfun (ret, args) ->
+      let args_s =
+        if args = [] then "void" else String.concat ", " (List.map (type_str ctx) args)
+      in
+      decl_str ctx ret (Printf.sprintf "%s(%s)" name args_s)
+  | Ir.Tcomp tag -> if name = "" then "struct " ^ tag else Printf.sprintf "struct %s %s" tag name
+
+let check_str ctx (ck : Ir.check) (reason : string) : string =
+  match ck with
+  | Ir.Ck_nonnull e -> Printf.sprintf "__check_nonnull(%s); /* %s */" (exp_str ctx e) reason
+  | Ir.Ck_le (a, b) ->
+      Printf.sprintf "__check_le(%s, %s); /* %s */" (exp_str ctx a) (exp_str ctx b) reason
+  | Ir.Ck_lt (a, b) ->
+      Printf.sprintf "__check_lt(%s, %s); /* %s */" (exp_str ctx a) (exp_str ctx b) reason
+  | Ir.Ck_nt_next (e, w) ->
+      Printf.sprintf "__check_nt_next(%s, %d); /* %s */" (exp_str ctx e) w reason
+  | Ir.Ck_not_atomic -> Printf.sprintf "__check_not_atomic(); /* %s */" reason
+
+let instr_str ctx (i : Ir.instr) : string option =
+  match i with
+  | Ir.Iset (lv, e) -> Some (Printf.sprintf "%s = %s;" (lval_str ctx lv) (exp_str ctx e))
+  | Ir.Icall (ret, target, args) ->
+      let f = match target with Ir.Direct n -> n | Ir.Indirect e -> exp_str ctx e in
+      let args_s = String.concat ", " (List.map (exp_str ctx) args) in
+      let call = Printf.sprintf "%s(%s);" f args_s in
+      Some
+        (match ret with
+        | None -> call
+        | Some lv -> Printf.sprintf "%s = %s" (lval_str ctx lv) call)
+  | Ir.Icheck (ck, reason) -> if ctx.erase then None else Some (check_str ctx ck reason)
+  | Ir.Irc_inc e ->
+      if ctx.erase then None else Some (Printf.sprintf "__rc_inc(%s);" (exp_str ctx e))
+  | Ir.Irc_dec e ->
+      if ctx.erase then None else Some (Printf.sprintf "__rc_dec(%s);" (exp_str ctx e))
+  | Ir.Irc_update (lv, e) ->
+      if ctx.erase then None
+      else Some (Printf.sprintf "__rc_update(&%s, %s);" (lval_str ctx lv) (exp_str ctx e))
+
+let rec print_block ctx (b : Ir.block) =
+  buf_add ctx.buf "{";
+  ctx.indent <- ctx.indent + 1;
+  List.iter (print_stmt ctx) b;
+  ctx.indent <- ctx.indent - 1;
+  nl ctx;
+  buf_add ctx.buf "}"
+
+and print_stmt ctx (s : Ir.stmt) =
+  match s.Ir.sk with
+  | Ir.Sinstr i -> (
+      match instr_str ctx i with
+      | None -> ()
+      | Some str ->
+          nl ctx;
+          buf_add ctx.buf str)
+  | Ir.Sif (c, b1, b2) ->
+      nl ctx;
+      buf_add ctx.buf (Printf.sprintf "if (%s) " (exp_str ctx c));
+      print_block ctx b1;
+      if b2 <> [] then begin
+        buf_add ctx.buf " else ";
+        print_block ctx b2
+      end
+  | Ir.Swhile (c, body, step) ->
+      nl ctx;
+      buf_add ctx.buf (Printf.sprintf "while (%s) " (exp_str ctx c));
+      print_block ctx (body @ step)
+  | Ir.Sdowhile (body, c) ->
+      nl ctx;
+      buf_add ctx.buf "do ";
+      print_block ctx body;
+      buf_add ctx.buf (Printf.sprintf " while (%s);" (exp_str ctx c))
+  | Ir.Sswitch (e, cases) ->
+      nl ctx;
+      buf_add ctx.buf (Printf.sprintf "switch (%s) {" (exp_str ctx e));
+      ctx.indent <- ctx.indent + 1;
+      List.iter
+        (fun (c : Ir.case) ->
+          List.iter
+            (fun v ->
+              nl ctx;
+              buf_add ctx.buf (Printf.sprintf "case %Ld:" v))
+            c.Ir.cvals;
+          if c.Ir.cdefault then begin
+            nl ctx;
+            buf_add ctx.buf "default:"
+          end;
+          ctx.indent <- ctx.indent + 1;
+          List.iter (print_stmt ctx) c.Ir.cbody;
+          ctx.indent <- ctx.indent - 1)
+        cases;
+      ctx.indent <- ctx.indent - 1;
+      nl ctx;
+      buf_add ctx.buf "}"
+  | Ir.Sbreak ->
+      nl ctx;
+      buf_add ctx.buf "break;"
+  | Ir.Scontinue ->
+      nl ctx;
+      buf_add ctx.buf "continue;"
+  | Ir.Sreturn None ->
+      nl ctx;
+      buf_add ctx.buf "return;"
+  | Ir.Sreturn (Some e) ->
+      nl ctx;
+      buf_add ctx.buf (Printf.sprintf "return %s;" (exp_str ctx e))
+  | Ir.Sblock b ->
+      nl ctx;
+      print_block ctx b
+  | Ir.Sdelayed b ->
+      nl ctx;
+      if not ctx.erase then buf_add ctx.buf "__delayed_free ";
+      print_block ctx b
+  | Ir.Strusted b ->
+      nl ctx;
+      if not ctx.erase then buf_add ctx.buf "__trusted ";
+      print_block ctx b
+
+let print_fundec ctx (fd : Ir.fundec) =
+  let params =
+    if fd.Ir.sformals = [] then "void"
+    else
+      String.concat ", "
+        (List.map (fun (v : Ir.varinfo) -> decl_str ctx v.Ir.vty v.Ir.vname) fd.Ir.sformals)
+  in
+  nl ctx;
+  buf_add ctx.buf (Printf.sprintf "%s(%s) " (decl_str ctx fd.Ir.fret fd.Ir.fname) params);
+  if not ctx.erase then
+    List.iter
+      (fun a ->
+        match a with
+        | Ast.Fblocking -> buf_add ctx.buf "__blocking "
+        | Ast.Fblocking_if_gfp_wait -> buf_add ctx.buf "__blocking_if_gfp_wait "
+        | Ast.Ftrusted -> buf_add ctx.buf "__trusted "
+        | Ast.Facquires l -> buf_add ctx.buf (Printf.sprintf "__acquires(%s) " l)
+        | Ast.Freleases l -> buf_add ctx.buf (Printf.sprintf "__releases(%s) " l)
+        | Ast.Freturns_err codes ->
+            buf_add ctx.buf
+              (Printf.sprintf "__returns_err(%s) "
+                 (String.concat ", " (List.map Int64.to_string codes)))
+        | Ast.Fframe_hint n -> buf_add ctx.buf (Printf.sprintf "__frame_hint(%d) " n))
+      fd.Ir.fannots;
+  buf_add ctx.buf "{";
+  ctx.indent <- ctx.indent + 1;
+  (* Locals (including compiler temporaries, which the statements
+     reference) are declared up front. *)
+  List.iter
+    (fun (v : Ir.varinfo) ->
+      nl ctx;
+      buf_add ctx.buf (decl_str ctx v.Ir.vty v.Ir.vname ^ ";"))
+    fd.Ir.slocals;
+  List.iter (print_stmt ctx) fd.Ir.fbody;
+  ctx.indent <- ctx.indent - 1;
+  nl ctx;
+  buf_add ctx.buf "}";
+  nl ctx
+
+let rec print_ginit ctx (gi : Ir.ginit) : string =
+  match gi with
+  | Ir.Gi_exp e -> exp_str ctx e
+  | Ir.Gi_list items -> "{ " ^ String.concat ", " (List.map (print_ginit ctx) items) ^ " }"
+
+(* Forward declaration of a function, so globals whose initializers
+   reference functions (dispatch tables) re-compile. Parameter types
+   are printed erased: their dependent annotations reference formal
+   names that a bare declaration does not bind. *)
+let print_fundecl ctx (fd : Ir.fundec) =
+  let ectx = { ctx with erase = true } in
+  let params =
+    if fd.Ir.sformals = [] then "void"
+    else
+      String.concat ", "
+        (List.map (fun (v : Ir.varinfo) -> decl_str ectx v.Ir.vty v.Ir.vname) fd.Ir.sformals)
+  in
+  buf_add ctx.buf (Printf.sprintf "%s(%s)" (decl_str ectx fd.Ir.fret fd.Ir.fname) params);
+  if not ctx.erase then
+    List.iter
+      (fun a ->
+        match a with
+        | Ast.Fblocking -> buf_add ctx.buf " __blocking"
+        | Ast.Fblocking_if_gfp_wait -> buf_add ctx.buf " __blocking_if_gfp_wait"
+        | Ast.Ftrusted -> buf_add ctx.buf " __trusted"
+        | Ast.Facquires l -> buf_add ctx.buf (Printf.sprintf " __acquires(%s)" l)
+        | Ast.Freleases l -> buf_add ctx.buf (Printf.sprintf " __releases(%s)" l)
+        | Ast.Freturns_err codes ->
+            buf_add ctx.buf
+              (Printf.sprintf " __returns_err(%s)"
+                 (String.concat ", " (List.map Int64.to_string codes)))
+        | Ast.Fframe_hint n -> buf_add ctx.buf (Printf.sprintf " __frame_hint(%d)" n))
+      fd.Ir.fannots;
+  buf_add ctx.buf ";";
+  nl ctx
+
+(* Print a whole program. With [erase] the output contains no
+   annotation or instrumentation artifacts. *)
+let print_program ?(erase = false) (prog : Ir.program) : string =
+  let ctx = { buf = Buffer.create 4096; erase; indent = 0 } in
+  Hashtbl.iter
+    (fun _ (c : Ir.compinfo) ->
+      buf_add ctx.buf (Printf.sprintf "%s %s {" (if c.Ir.cstruct then "struct" else "union") c.Ir.cname);
+      ctx.indent <- ctx.indent + 1;
+      List.iter
+        (fun (f : Ir.fieldinfo) ->
+          nl ctx;
+          buf_add ctx.buf (decl_str ctx f.Ir.fty f.Ir.fname ^ ";"))
+        c.Ir.cfields;
+      ctx.indent <- ctx.indent - 1;
+      nl ctx;
+      buf_add ctx.buf "};";
+      nl ctx)
+    prog.Ir.comps;
+  (* Declarations of every function (externs included) before any
+     global initializer can reference them. *)
+  let declared = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun name fd ->
+      if not (Hashtbl.mem declared name) then begin
+        Hashtbl.add declared name ();
+        print_fundecl ctx fd
+      end)
+    prog.Ir.fun_by_name;
+  List.iter
+    (fun ((v : Ir.varinfo), init) ->
+      match init with
+      | None -> buf_add ctx.buf (decl_str ctx v.Ir.vty v.Ir.vname ^ ";")
+      | Some gi ->
+          buf_add ctx.buf
+            (Printf.sprintf "%s = %s;" (decl_str ctx v.Ir.vty v.Ir.vname) (print_ginit ctx gi));
+          nl ctx)
+    prog.Ir.globals;
+  List.iter (print_fundec ctx) prog.Ir.funcs;
+  Buffer.contents ctx.buf
+
+(* Print one expression / statement, mostly for tests and diagnostics. *)
+let exp_to_string e =
+  exp_str { buf = Buffer.create 16; erase = false; indent = 0 } e
+
+let lval_to_string lv =
+  lval_str { buf = Buffer.create 16; erase = false; indent = 0 } lv

@@ -1,0 +1,1 @@
+lib/kernel/corpus.ml: Kc List Src_boot Src_char Src_drivers Src_fs Src_header Src_lib Src_mm Src_neigh Src_net Src_procfs Src_sched Src_timer Src_tty String

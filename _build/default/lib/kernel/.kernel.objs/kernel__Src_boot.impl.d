@@ -1,0 +1,1 @@
+lib/kernel/src_boot.ml:

@@ -1,0 +1,1 @@
+lib/kernel/workloads.ml: Corpus Kc List Printf

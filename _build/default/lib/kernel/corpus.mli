@@ -1,0 +1,27 @@
+(** The mini Linux-like kernel corpus: the analysis subject of every
+    experiment (DESIGN.md §3).
+
+    [~fixed_frees:false] selects the "as first found" variant whose
+    free paths contain the bad-free patterns CCount reports;
+    [~fixed_frees:true] (the default) applies the paper-style fixes
+    (pointer nulling + a delayed-free scope). *)
+
+(** The compilation units, in dependency order: (name, KC source). *)
+val sources : ?fixed_frees:bool -> unit -> (string * string) list
+
+(** Parse and type-check the corpus. *)
+val load : ?fixed_frees:bool -> unit -> Kc.Ir.program
+
+(** Total source lines across all units. *)
+val line_count : ?fixed_frees:bool -> unit -> int
+
+(** The two real blocking-in-atomic bugs seeded in the corpus, as
+    (containing function, blocking callee) pairs. *)
+val blockstop_true_bugs : (string * string) list
+
+(** Functions that receive the manual [assert_not_atomic] runtime
+    check (the paper's "15 runtime checks" mechanism). *)
+val blockstop_guards : string list
+
+(** Name of the boot entry point ("start_kernel"). *)
+val boot_entry : string

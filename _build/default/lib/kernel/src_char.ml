@@ -1,0 +1,113 @@
+(* drivers/char.kc — the classic memory character devices (null, zero,
+   counter) behind a misc-device registration table: one more
+   file_operations-style dispatch surface, all process-context. *)
+
+let source =
+  {kc|
+// ---------------------------------------------------------------
+// drivers/char.kc: null / zero / counter devices
+// ---------------------------------------------------------------
+
+enum misc_consts { NR_MISC = 8 };
+
+struct miscdev {
+  char name[16];
+  int minor;
+  int registered;
+  ssize_t (*misc_read)(char *buf, int n);
+  ssize_t (*misc_write)(char *buf, int n);
+};
+
+struct miscdev misc_table[8];
+long null_bytes_written;
+long counter_state;
+
+ssize_t null_read(char *buf, int n) {
+  return 0; // EOF
+}
+
+ssize_t null_write(char *buf, int n) {
+  null_bytes_written = null_bytes_written + n;
+  return n;
+}
+
+ssize_t zero_read(char *buf, int n) {
+  __trusted {
+    memset(buf, 0, n);
+  }
+  return n;
+}
+
+ssize_t counter_read(char *buf, int n) {
+  ssize_t r;
+  __trusted {
+    char * __count(n) cbuf = (char * __count(n))buf;
+    int i;
+    for (i = 0; i < n; i++) {
+      counter_state = counter_state + 1;
+      cbuf[i] = counter_state & 255;
+    }
+    r = n;
+  }
+  return r;
+}
+
+int misc_register(char * __nullterm name, int minor,
+                  ssize_t (*rd)(char *buf, int n),
+                  ssize_t (*wr)(char *buf, int n)) {
+  int i;
+  for (i = 0; i < 8; i++) {
+    if (misc_table[i].registered == 0) {
+      misc_table[i].registered = 1;
+      misc_table[i].minor = minor;
+      kstrncpy(misc_table[i].name, 16, name);
+      misc_table[i].misc_read = rd;
+      misc_table[i].misc_write = wr;
+      return i;
+    }
+  }
+  return -EBUSY;
+}
+
+ssize_t misc_dev_read(int minor, char * __count(n) buf, int n) {
+  int i;
+  for (i = 0; i < 8; i++) {
+    if (misc_table[i].registered) {
+      if (misc_table[i].minor == minor) {
+        ssize_t (* __opt fn)(char *bx, int nx) = misc_table[i].misc_read;
+        if (fn == 0) { return -EIO; }
+        ssize_t r;
+        __trusted {
+          r = fn((char *)buf, n);
+        }
+        return r;
+      }
+    }
+  }
+  return -ENOENT;
+}
+
+ssize_t misc_dev_write(int minor, char * __count(n) buf, int n) {
+  int i;
+  for (i = 0; i < 8; i++) {
+    if (misc_table[i].registered) {
+      if (misc_table[i].minor == minor) {
+        ssize_t (* __opt fn)(char *bx, int nx) = misc_table[i].misc_write;
+        if (fn == 0) { return -EIO; }
+        ssize_t r;
+        __trusted {
+          r = fn((char *)buf, n);
+        }
+        return r;
+      }
+    }
+  }
+  return -ENOENT;
+}
+
+void chrdev_init(void) {
+  misc_register("null", 3, null_read, null_write);
+  misc_register("zero", 5, zero_read, null_write);
+  misc_register("counter", 7, counter_read, null_write);
+}
+|kc}

@@ -1,0 +1,235 @@
+(* drivers/ — a ramdisk block driver, a timer, and the module loader.
+
+   Contains the corpus' two *real* BlockStop bugs (the paper "found
+   two apparent bugs"):
+
+   - [rd_ioctl_resize] allocates with GFP_KERNEL while holding the
+     ramdisk queue lock;
+   - [rd_interrupt] handles an I/O error by sleeping ([msleep]) —
+     in interrupt context.
+
+   Neither path runs during boot; the experiment harness triggers
+   them deliberately to show the VM's ground truth agreeing with the
+   analysis. The module loader is the E2 "module-loading" workload:
+   bulk code copying with only a handful of pointer writes, so CCount
+   overhead stays small. *)
+
+let source =
+  {kc|
+// ---------------------------------------------------------------
+// drivers/block/rd.kc: a ramdisk
+// ---------------------------------------------------------------
+
+enum rd_consts { RD_SECTORS = 128, RD_SECTOR_SIZE = 512 };
+
+struct ramdisk {
+  int nr_sectors;
+  long queue_lock;
+  long serviced;
+  int error_pending;
+  struct page * __opt sectors[128];
+};
+
+struct ramdisk rd0;
+
+int rd_read_sector(int sector, char * __count(n) buf, int n) {
+  if (sector < 0) { return -EINVAL; }
+  if (sector >= 128) { return -EINVAL; }
+  long flags = spin_lock_irqsave(&rd0.queue_lock);
+  struct page * __opt pg = rd0.sectors[sector];
+  if (pg == 0) {
+    spin_unlock_irqrestore(&rd0.queue_lock, flags);
+    int i;
+    int todo = n;
+    if (todo > 512) { todo = 512; }
+    for (i = 0; i < todo; i++) {
+      buf[i] = 0;
+    }
+    return todo;
+  }
+  int psz = 4096;
+  char * __count(psz) __opt data = pg->data;
+  int got = 0;
+  if (data != 0) {
+    int todo = n;
+    if (todo > 512) { todo = 512; }
+    int i;
+    for (i = 0; i < todo; i++) {
+      if (i < psz) {
+        buf[i] = data[i];
+      }
+    }
+    got = todo;
+  }
+  rd0.serviced = rd0.serviced + 1;
+  spin_unlock_irqrestore(&rd0.queue_lock, flags);
+  return got;
+}
+
+int rd_write_sector(int sector, char * __count(n) buf, int n) {
+  if (sector < 0) { return -EINVAL; }
+  if (sector >= 128) { return -EINVAL; }
+  // Allocate backing outside the lock (the correct pattern).
+  struct page * __opt pg = rd0.sectors[sector];
+  if (pg == 0) {
+    pg = page_alloc(GFP_KERNEL);
+  }
+  long flags = spin_lock_irqsave(&rd0.queue_lock);
+  rd0.sectors[sector] = pg;
+  int psz = 4096;
+  char * __count(psz) __opt data = pg->data;
+  int put = 0;
+  if (data != 0) {
+    int todo = n;
+    if (todo > 512) { todo = 512; }
+    int i;
+    for (i = 0; i < todo; i++) {
+      if (i < psz) {
+        data[i] = buf[i];
+      }
+    }
+    put = todo;
+  }
+  rd0.serviced = rd0.serviced + 1;
+  spin_unlock_irqrestore(&rd0.queue_lock, flags);
+  return put;
+}
+
+// BUG 1 (paper: "found two apparent bugs"): resizing allocates the
+// bookkeeping page with GFP_KERNEL while the queue lock is held.
+int rd_ioctl_resize(int new_sectors) {
+  if (new_sectors < 0) { return -EINVAL; }
+  if (new_sectors > 128) { return -EINVAL; }
+  long flags = spin_lock_irqsave(&rd0.queue_lock);
+  // Sleeping allocation under a spinlock: blocking-in-atomic.
+  char *scratch = kmalloc(4096, GFP_KERNEL);
+  rd0.nr_sectors = new_sectors;
+  kfree(scratch);
+  spin_unlock_irqrestore(&rd0.queue_lock, flags);
+  return 0;
+}
+
+// BUG 2: the completion interrupt "recovers" from an error by
+// sleeping -- in irq context.
+int rd_interrupt(int irq) {
+  rd0.serviced = rd0.serviced + 1;
+  if (rd0.error_pending) {
+    rd0.error_pending = 0;
+    msleep(1);
+    return -EIO;
+  }
+  return 0;
+}
+
+void rd_init(void) {
+  rd0.nr_sectors = 128;
+  rd0.serviced = 0;
+  rd0.error_pending = 0;
+  request_irq(2, rd_interrupt);
+}
+
+// ---------------------------------------------------------------
+// kernel/module.kc: the module loader (E2 module-load workload)
+// ---------------------------------------------------------------
+
+struct module {
+  char name[32];
+  int code_pages;
+  int live;
+  struct page * __opt code[8];
+  int (* __opt init_fn)(void);
+};
+
+struct module * __opt module_list[8];
+
+// A no-op module body.
+int nop_module_init(void) {
+  return 0;
+}
+
+// Load: allocate code pages, copy the "image" in (bulk byte copies,
+// few pointer writes), run the init function.
+int load_module(char * __nullterm name, char * __count(image_len) image, int image_len) {
+  struct module *m = kzalloc(sizeof(struct module), GFP_KERNEL);
+  kstrncpy(m->name, 32, name);
+  int pages = (image_len + 4095) / 4096;
+  if (pages > 8) { pages = 8; }
+  m->code_pages = pages;
+  int p;
+  int copied = 0;
+  for (p = 0; p < pages; p++) {
+    struct page *pg = page_alloc(GFP_KERNEL);
+    m->code[p] = pg;
+    int psz = 4096;
+    char * __count(psz) __opt data = pg->data;
+    if (data != 0) {
+      int chunk = image_len - copied;
+      if (chunk > psz) { chunk = psz; }
+      if (chunk > 0) {
+        memcpy(data, image + copied, chunk);
+        copied = copied + chunk;
+      }
+    }
+  }
+  // "Relocation": patch every word of the copied image, as a real
+  // loader would fix up symbol references.
+  for (p = 0; p < pages; p++) {
+    struct page * __opt pg = m->code[p];
+    if (pg != 0) {
+      int psz = 4096;
+      char * __count(psz) __opt data = pg->data;
+      if (data != 0) {
+        int i;
+        for (i = 0; i < psz; i += 4) {
+          char v = data[i];
+          data[i] = v ^ 90;
+        }
+      }
+    }
+  }
+  m->init_fn = nop_module_init;
+  int slot;
+  for (slot = 0; slot < 8; slot++) {
+    if (module_list[slot] == 0) {
+      module_list[slot] = m;
+      m->live = 1;
+      int (* __opt ifn)(void) = m->init_fn;
+      if (ifn != 0) {
+        ifn();
+      }
+      return slot;
+    }
+  }
+  // No slot: undo.
+  int q;
+  for (q = 0; q < 8; q++) {
+    struct page * __opt pg = m->code[q];
+    if (pg != 0) {
+      m->code[q] = 0;
+      page_free(pg);
+    }
+  }
+  m->init_fn = 0;
+  kfree(m);
+  return -EBUSY;
+}
+
+int unload_module(int slot) {
+  if (slot < 0) { return -EINVAL; }
+  if (slot >= 8) { return -EINVAL; }
+  struct module * __opt m = module_list[slot];
+  if (m == 0) { return -ENOENT; }
+  int q;
+  for (q = 0; q < 8; q++) {
+    struct page * __opt pg = m->code[q];
+    if (pg != 0) {
+      m->code[q] = 0;
+      page_free(pg);
+    }
+  }
+  m->init_fn = 0;
+  module_list[slot] = 0;
+  kfree(m);
+  return 0;
+}
+|kc}

@@ -1,0 +1,434 @@
+(* fs/ — a small VFS with a ramfs behind it: inodes, dentries, file
+   objects, a file_operations dispatch table (function pointers: this
+   is what BlockStop's points-to has to resolve), path lookup over
+   null-terminated strings, and read/write paths that cross the
+   user-copy boundary.
+
+   The unfixed variant frees an inode while the dentry still holds a
+   pointer to it (a classic use-after-free CCount flags); the fixed
+   variant drops the dentry reference first.
+
+   Note the Deputy discipline: function-pointer types carry no
+   dependent counts (real Deputy has dependent function types; here
+   indirect-call count flow is recorded as unresolved), so the
+   concrete implementations re-declare their own counted parameters. *)
+
+let source ~(fixed_frees : bool) =
+  let iput_body =
+    if fixed_frees then
+      {kc|
+// Fixed: the dentry's back-reference is dropped before the free.
+void iput(struct inode *ino) {
+  ino->i_count = ino->i_count - 1;
+  if (ino->i_count <= 0) {
+    struct dentry * __opt d = ino->i_dentry;
+    if (d != 0) {
+      d->d_inode = 0;
+      ino->i_dentry = 0;
+    }
+    inode_data_truncate(ino);
+    kfree(ino);
+  }
+}
+|kc}
+    else
+      {kc|
+// Unfixed: the owning dentry still points at the inode when it is
+// freed; CCount reports the bad free and leaks the inode.
+void iput(struct inode *ino) {
+  ino->i_count = ino->i_count - 1;
+  if (ino->i_count <= 0) {
+    inode_data_truncate(ino);
+    kfree(ino);
+  }
+}
+|kc}
+  in
+  {kc|
+// ---------------------------------------------------------------
+// fs/vfs.kc: objects
+// ---------------------------------------------------------------
+
+enum fs_consts { NAME_MAX = 32, NR_OPEN = 32, RAMFS_PAGES = 16 };
+
+struct file;
+
+struct file_operations {
+  ssize_t (*fop_read)(struct file *f, char *buf, int n);
+  ssize_t (*fop_write)(struct file *f, char *buf, int n);
+  int (*fop_open)(struct file *f);
+  int (*fop_release)(struct file *f);
+};
+
+struct inode {
+  int i_ino;
+  int i_mode;
+  int i_count;
+  long i_size;
+  struct dentry * __opt i_dentry;
+  struct page * __opt i_pages[16];
+  struct file_operations * __opt i_fops;
+};
+
+struct dentry {
+  char d_name[32];
+  u32 d_hash;
+  struct inode * __opt d_inode;
+  struct dentry * __opt d_parent;
+  struct dentry * __opt d_next; // sibling chain in the parent dir
+  struct dentry * __opt d_child; // first child
+};
+
+struct file {
+  long f_pos;
+  int f_flags;
+  struct inode * __opt f_inode;
+  struct file_operations * __opt f_ops;
+};
+
+struct dentry * __opt fs_root;
+struct file * __opt fd_table[32];
+int next_ino;
+long inode_lock;
+
+// ---------------------------------------------------------------
+// fs/ramfs.kc: page-backed file contents
+// ---------------------------------------------------------------
+
+void inode_data_truncate(struct inode *ino) {
+  int i;
+  for (i = 0; i < 16; i++) {
+    struct page * __opt pg = ino->i_pages[i];
+    if (pg != 0) {
+      ino->i_pages[i] = 0;
+      page_free(pg);
+    }
+  }
+  ino->i_size = 0;
+}
+
+// Write n bytes at the file position, allocating pages on demand.
+ssize_t ramfs_write_checked(struct file *f, char * __count(n) buf, int n) {
+  struct inode * __opt ino = f->f_inode;
+  if (ino == 0) { return -EINVAL; }
+  long pos = f->f_pos;
+  int written = 0;
+  int psz = 4096;
+  int i;
+  for (i = 0; i < n; i++) {
+    long at = pos + i;
+    int pgno = at / 4096;
+    int off = at % 4096;
+    if (pgno < 0) { return -EINVAL; }
+    if (pgno >= 16) { break; }
+    struct page * __opt pg = ino->i_pages[pgno];
+    if (pg == 0) {
+      pg = page_alloc(GFP_KERNEL);
+      ino->i_pages[pgno] = pg;
+    }
+    char * __count(psz) __opt data = pg->data;
+    if (data != 0) {
+      if (off >= 0) {
+        if (off < psz) {
+          data[off] = buf[i];
+        }
+      }
+    }
+    written++;
+  }
+  f->f_pos = pos + written;
+  if (f->f_pos > ino->i_size) {
+    ino->i_size = f->f_pos;
+  }
+  return written;
+}
+
+ssize_t ramfs_read_checked(struct file *f, char * __count(n) buf, int n) {
+  struct inode * __opt ino = f->f_inode;
+  if (ino == 0) { return -EINVAL; }
+  long pos = f->f_pos;
+  long size = ino->i_size;
+  int got = 0;
+  int psz = 4096;
+  int i;
+  for (i = 0; i < n; i++) {
+    long at = pos + i;
+    if (at >= size) { break; }
+    int pgno = at / 4096;
+    int off = at % 4096;
+    if (pgno < 0) { break; }
+    if (pgno >= 16) { break; }
+    struct page * __opt pg = ino->i_pages[pgno];
+    if (pg == 0) { break; }
+    char * __count(psz) __opt data = pg->data;
+    if (data == 0) { break; }
+    if (off < 0) { break; }
+    if (off >= psz) { break; }
+    buf[i] = data[off];
+    got++;
+  }
+  f->f_pos = pos + got;
+  return got;
+}
+
+// The dispatch-table entry points: plain pointer parameters (no
+// dependent function types), forwarding to the checked versions with
+// the count re-established in trusted code.
+ssize_t ramfs_read(struct file *f, char *buf, int n) {
+  ssize_t r;
+  __trusted {
+    char * __count(n) cbuf = (char * __count(n))buf;
+    r = ramfs_read_checked(f, cbuf, n);
+  }
+  return r;
+}
+
+ssize_t ramfs_write(struct file *f, char *buf, int n) {
+  ssize_t r;
+  __trusted {
+    char * __count(n) cbuf = (char * __count(n))buf;
+    r = ramfs_write_checked(f, cbuf, n);
+  }
+  return r;
+}
+
+int ramfs_open(struct file *f) {
+  return 0;
+}
+
+int ramfs_release(struct file *f) {
+  return 0;
+}
+
+struct file_operations ramfs_fops = { ramfs_read, ramfs_write, ramfs_open, ramfs_release };
+
+// ---------------------------------------------------------------
+// fs/inode.kc
+// ---------------------------------------------------------------
+
+struct inode *new_inode(int mode, int gfp) {
+  struct inode *ino = kzalloc(sizeof(struct inode), gfp);
+  next_ino = next_ino + 1;
+  ino->i_ino = next_ino;
+  ino->i_mode = mode;
+  ino->i_count = 1;
+  ino->i_fops = &ramfs_fops;
+  return ino;
+}
+|kc}
+  ^ iput_body
+  ^ {kc|
+
+// ---------------------------------------------------------------
+// fs/dcache.kc: dentries and path lookup
+// ---------------------------------------------------------------
+
+struct dentry *d_alloc(char * __nullterm name, int gfp) {
+  struct dentry *d = kzalloc(sizeof(struct dentry), gfp);
+  kstrncpy(d->d_name, 32, name);
+  d->d_hash = kstrhash(name);
+  return d;
+}
+
+// Attach a child dentry under a directory dentry.
+void d_add(struct dentry *dir, struct dentry *child, struct inode *ino) {
+  child->d_parent = dir;
+  child->d_inode = ino;
+  ino->i_dentry = child;
+  child->d_next = dir->d_child;
+  dir->d_child = child;
+}
+
+// Find a child by component name held in a bounded buffer.
+struct dentry * __opt d_lookup(struct dentry *dir, char * __count(dn) name, int dn) {
+  u32 h = kstrhash_buf(name, dn);
+  struct dentry * __opt d = dir->d_child;
+  while (d != 0) {
+    if (d->d_hash == h) {
+      if (kstreq_buf(d->d_name, 32, name, dn)) {
+        return d;
+      }
+    }
+    d = d->d_next;
+  }
+  return 0;
+}
+
+// Resolve a "/a/b/c" path from the root. This is the hot lat_fs path:
+// null-terminated scanning plus per-component hashing, mostly
+// runtime-checked (indices depend on string contents).
+struct dentry * __opt path_lookup(char * __nullterm path) {
+  struct dentry * __opt cur = fs_root;
+  char comp[32];
+  if (cur == 0) { return 0; }
+  while (*path != 0) {
+    if (*path == '/') {
+      path = path + 1;
+    } else {
+      int len = 0;
+      int more = 1;
+      while (more) {
+        char c = *path;
+        if (c == 0) { more = 0; }
+        if (more) {
+          if (c == '/') { more = 0; }
+        }
+        if (more) {
+          if (len < 31) {
+            comp[len] = c;
+            len++;
+          }
+          path = path + 1;
+        }
+      }
+      comp[len] = 0;
+      struct dentry * __opt cd = cur;
+      if (cd == 0) { return 0; }
+      cur = d_lookup(cd, comp, 32);
+      if (cur == 0) { return 0; }
+    }
+  }
+  return cur;
+}
+
+// ---------------------------------------------------------------
+// fs/file.kc: file descriptors and the syscall layer
+// ---------------------------------------------------------------
+
+int fd_install(struct file *f) {
+  int fd;
+  for (fd = 0; fd < 32; fd++) {
+    if (fd_table[fd] == 0) {
+      fd_table[fd] = f;
+      return fd;
+    }
+  }
+  return -EBUSY;
+}
+
+struct file * __opt fget(int fd) {
+  if (fd < 0) { return 0; }
+  if (fd >= 32) { return 0; }
+  return fd_table[fd];
+}
+
+// open(2): resolve the path and build a file object.
+int vfs_open(char * __nullterm path, int flags) {
+  struct dentry * __opt d = path_lookup(path);
+  if (d == 0) { return -ENOENT; }
+  struct inode * __opt ino = d->d_inode;
+  if (ino == 0) { return -ENOENT; }
+  struct file *f = kzalloc(sizeof(struct file), GFP_KERNEL);
+  f->f_inode = ino;
+  f->f_ops = ino->i_fops;
+  f->f_flags = flags;
+  ino->i_count = ino->i_count + 1;
+  struct file_operations * __opt ops = f->f_ops;
+  if (ops != 0) {
+    int (* __opt op_open)(struct file *fx) = ops->fop_open;
+    if (op_open != 0) {
+      op_open(f);
+    }
+  }
+  int fd = fd_install(f);
+  if (fd < 0) {
+    f->f_inode = 0;
+    f->f_ops = 0;
+    kfree(f);
+    return fd;
+  }
+  return fd;
+}
+
+ssize_t vfs_read(int fd, char * __count(n) buf, int n) {
+  struct file * __opt f = fget(fd);
+  if (f == 0) { return -EINVAL; }
+  struct file_operations * __opt ops = f->f_ops;
+  if (ops == 0) { return -EINVAL; }
+  ssize_t (* __opt op_read)(struct file *fx, char *bufx, int nx) = ops->fop_read;
+  if (op_read == 0) { return -EINVAL; }
+  return op_read(f, buf, n);
+}
+
+ssize_t vfs_write(int fd, char * __count(n) buf, int n) {
+  struct file * __opt f = fget(fd);
+  if (f == 0) { return -EINVAL; }
+  struct file_operations * __opt ops = f->f_ops;
+  if (ops == 0) { return -EINVAL; }
+  ssize_t (* __opt op_write)(struct file *fx, char *bufx, int nx) = ops->fop_write;
+  if (op_write == 0) { return -EINVAL; }
+  return op_write(f, buf, n);
+}
+
+int vfs_close(int fd) {
+  struct file * __opt f = fget(fd);
+  if (f == 0) { return -EINVAL; }
+  fd_table[fd] = 0;
+  struct inode * __opt ino = f->f_inode;
+  struct file_operations * __opt ops = f->f_ops;
+  if (ops != 0) {
+    int (* __opt op_rel)(struct file *fx) = ops->fop_release;
+    if (op_rel != 0) {
+      op_rel(f);
+    }
+  }
+  f->f_inode = 0;
+  f->f_ops = 0;
+  kfree(f);
+  if (ino != 0) {
+    iput(ino);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------
+// fs/syscalls.kc: the user/kernel boundary
+// ---------------------------------------------------------------
+
+// Syscall wrappers stage user buffers through kernel memory via the
+// copy helpers; the __user annotation keeps raw user pointers out of
+// kernel dereferences (checked by the userck analysis).
+ssize_t sys_read(int fd, char * __user ubuf, int n) {
+  char kbuf[256];
+  int todo = n;
+  if (todo < 0) { return -EINVAL; }
+  if (todo > 256) { todo = 256; }
+  ssize_t got = vfs_read(fd, kbuf, todo);
+  if (got > 0) {
+    copy_to_user(ubuf, kbuf, got);
+  }
+  return got;
+}
+
+ssize_t sys_write(int fd, char * __user ubuf, int n) {
+  char kbuf[256];
+  int todo = n;
+  if (todo < 0) { return -EINVAL; }
+  if (todo > 256) { todo = 256; }
+  copy_from_user(kbuf, ubuf, todo);
+  return vfs_write(fd, kbuf, todo);
+}
+
+// Create a regular file under the root directory.
+int vfs_create(char * __nullterm name) {
+  struct dentry * __opt root = fs_root;
+  if (root == 0) { return -EINVAL; }
+  char nbuf[32];
+  kstrncpy(nbuf, 32, name);
+  struct dentry * __opt existing = d_lookup(root, nbuf, 32);
+  if (existing != 0) { return -EBUSY; }
+  struct inode *ino = new_inode(1, GFP_KERNEL);
+  struct dentry *d = d_alloc(name, GFP_KERNEL);
+  d_add(root, d, ino);
+  return 0;
+}
+
+void fs_init(void) {
+  struct dentry *root = d_alloc("", GFP_KERNEL);
+  struct inode *root_ino = new_inode(2, GFP_KERNEL);
+  root->d_inode = root_ino;
+  root_ino->i_dentry = root;
+  fs_root = root;
+  next_ino = 0;
+}
+|kc}

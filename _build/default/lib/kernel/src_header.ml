@@ -1,0 +1,88 @@
+(* The corpus' shared header: core typedefs, GFP flags, and the
+   annotated extern declarations of the kernel API the VM provides
+   (allocators, string/memory ops, locking, blocking primitives).
+
+   This is the KC equivalent of include/linux/: every other
+   compilation unit is parsed after it. *)
+
+let source =
+  {kc|
+// ---------------------------------------------------------------
+// ivy mini-kernel: shared header
+// ---------------------------------------------------------------
+
+typedef unsigned long size_t;
+typedef long ssize_t;
+typedef unsigned int u32;
+typedef unsigned short u16;
+typedef unsigned char u8;
+
+enum gfp_flags { GFP_ATOMIC = 0, GFP_KERNEL = 1 };
+
+enum errno {
+  ENOMEM = 12,
+  EINVAL = 22,
+  ENOENT = 2,
+  EBUSY  = 16,
+  EIO    = 5,
+  EAGAIN = 11,
+  ENOSPC = 28
+};
+
+// ---- allocators (VM builtins) -----------------------------------
+void *kmalloc(size_t size, int gfp) __blocking_if_gfp_wait;
+void *kzalloc(size_t size, int gfp) __blocking_if_gfp_wait;
+void kfree(void * __opt p);
+long kmem_cache_create(size_t size);
+void *kmem_cache_alloc(long cache, int gfp) __blocking_if_gfp_wait;
+void kmem_cache_free(long cache, void * __opt p);
+void *vmalloc(size_t size) __blocking;
+void vfree(void * __opt p);
+void *alloc_pages(int order);
+void free_pages(void * __opt p);
+
+// ---- memory and string ops (VM builtins) ------------------------
+void *memset(void *p, int c, size_t n) __trusted;
+void *memcpy(void *d, void *s, size_t n) __trusted;
+int memcmp(void *a, void *b, size_t n) __trusted;
+size_t strlen(char * __nullterm s);
+char *strcpy(char *d, char * __nullterm s) __trusted;
+int strcmp(char * __nullterm a, char * __nullterm b);
+
+// ---- console / panic --------------------------------------------
+void printk(char * __nullterm fmt, ...);
+void panic(char * __nullterm msg);
+
+// ---- interrupts and locking -------------------------------------
+void local_irq_disable(void);
+void local_irq_enable(void);
+void spin_lock(long *l);
+void spin_unlock(long *l);
+long spin_lock_irqsave(long *l);
+void spin_unlock_irqrestore(long *l, long flags);
+int in_interrupt(void);
+void irq_enter(void);
+void irq_exit(void);
+int request_irq(int irq, int (*handler)(int));
+int raise_irq(int irq);
+void assert_not_atomic(void);
+
+// ---- blocking primitives ----------------------------------------
+void schedule(void) __blocking;
+void might_sleep(void) __blocking;
+void msleep(int ms) __blocking;
+void wait_for_completion(long *c) __blocking;
+void complete(long *c);
+void mutex_lock(long *m) __blocking;
+void mutex_unlock(long *m);
+void down(long *sem) __blocking;
+void up(long *sem);
+int copy_to_user(void * __user d, void *s, size_t n) __blocking;
+int copy_from_user(void *d, void * __user s, size_t n) __blocking;
+
+// ---- misc --------------------------------------------------------
+long get_cycles(void);
+void udelay(int usec);
+void barrier(void);
+void cpu_relax(void);
+|kc}

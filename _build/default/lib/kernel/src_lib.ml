@@ -1,0 +1,328 @@
+(* lib/ — string helpers, memory loops, a byte FIFO, a small hash
+   table. These are the leaf routines everything else uses, and the
+   bodies behind several hbench bandwidth kernels. *)
+
+let source =
+  {kc|
+// ---------------------------------------------------------------
+// lib/string.kc: checked string helpers
+// ---------------------------------------------------------------
+
+// Length of a null-terminated string (nullterm iteration idiom).
+int kstrlen(char * __nullterm s) {
+  int n = 0;
+  while (*s != 0) {
+    s = s + 1;
+    n++;
+  }
+  return n;
+}
+
+// Bounded copy: dst has room for dn bytes; returns bytes copied.
+int kstrncpy(char * __count(dn) dst, int dn, char * __nullterm src) {
+  int i = 0;
+  int more = 1;
+  while (more) {
+    if (i >= dn - 1) { break; }
+    char c = *src;
+    if (c == 0) { break; }
+    dst[i] = c;
+    src = src + 1;
+    i++;
+  }
+  dst[i] = 0;
+  return i;
+}
+
+int kstreq(char * __nullterm a, char * __nullterm b) {
+  while (*a != 0) {
+    if (*b == 0) { return 0; }
+    if (*a != *b) { return 0; }
+    a = a + 1;
+    b = b + 1;
+  }
+  if (*b != 0) { return 0; }
+  return 1;
+}
+
+// djb2-style hash of a null-terminated name.
+u32 kstrhash(char * __nullterm s) {
+  u32 h = 5381;
+  while (*s != 0) {
+    char c = *s;
+    h = h * 33 + c;
+    s = s + 1;
+  }
+  return h;
+}
+
+// Hash of a bounded buffer holding a C string (stops at the first
+// null or at dn bytes).
+u32 kstrhash_buf(char * __count(dn) buf, int dn) {
+  u32 h = 5381;
+  int i;
+  for (i = 0; i < dn; i++) {
+    char c = buf[i];
+    if (c == 0) { break; }
+    h = h * 33 + c;
+  }
+  return h;
+}
+
+// Compare a bounded buffer (C string contents) with a bounded buffer.
+int kstreq_buf(char * __count(an) a, int an, char * __count(bn) b, int bn) {
+  int i = 0;
+  while (1) {
+    char ca = 0;
+    char cb = 0;
+    if (i < an) { ca = a[i]; }
+    if (i < bn) { cb = b[i]; }
+    if (ca != cb) { return 0; }
+    if (ca == 0) { return 1; }
+    i++;
+    if (i >= an) {
+      if (i >= bn) { return 1; }
+    }
+  }
+}
+
+// Copy a null-terminated string into a bounded buffer (like
+// kstrncpy) -- convenience for callers holding nullterm names.
+int kstr_to_buf(char * __count(dn) dst, int dn, char * __nullterm src) {
+  return kstrncpy(dst, dn, src);
+}
+
+// ---------------------------------------------------------------
+// lib/mem.kc: explicit memory loops (hbench bandwidth kernels)
+// ---------------------------------------------------------------
+
+// bw_bzero kernel: clear a counted buffer.
+void mem_clear(long * __count(n) buf, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    buf[i] = 0;
+  }
+}
+
+// bw_mem_cp kernel.
+void mem_copy(long * __count(n) dst, long * __count(n) src, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    dst[i] = src[i];
+  }
+}
+
+// bw_mem_rd kernel: checksum a buffer.
+long mem_sum(long * __count(n) buf, int n) {
+  long s = 0;
+  int i;
+  for (i = 0; i < n; i++) {
+    s += buf[i];
+  }
+  return s;
+}
+
+// bw_mem_wr kernel.
+void mem_fill(long * __count(n) buf, int n, long v) {
+  int i;
+  for (i = 0; i < n; i++) {
+    buf[i] = v;
+  }
+}
+
+// ---------------------------------------------------------------
+// lib/kfifo.kc: byte FIFO over a counted buffer (pipe substrate)
+// ---------------------------------------------------------------
+
+struct kfifo {
+  int size;
+  int in;
+  int out;
+  char * __count(size) __opt data;
+};
+
+struct kfifo *kfifo_alloc(int size, int gfp) {
+  struct kfifo *f = kzalloc(sizeof(struct kfifo), gfp);
+  f->size = size;
+  f->in = 0;
+  f->out = 0;
+  f->data = kmalloc(size, gfp);
+  return f;
+}
+
+void kfifo_free(struct kfifo *f) {
+  char * __opt d = f->data;
+  f->data = 0;
+  kfree(d);
+  kfree(f);
+}
+
+int kfifo_len(struct kfifo *f) {
+  return f->in - f->out;
+}
+
+// Put n bytes; returns bytes actually queued. Bulk bytes move via
+// memcpy (at most two segments around the ring wrap), as the real
+// kfifo does.
+int kfifo_put(struct kfifo *f, char * __count(n) buf, int n) {
+  int sz = f->size;
+  char * __count(sz) __opt d = f->data;
+  if (d == 0) { return 0; }
+  if (sz <= 0) { return 0; }
+  int room = sz - (f->in - f->out);
+  int todo = n;
+  if (todo > room) { todo = room; }
+  if (todo <= 0) { return 0; }
+  int pos = f->in % sz;
+  if (pos < 0) { pos = 0; }
+  int first = sz - pos;
+  if (first > todo) { first = todo; }
+  memcpy(d + pos, buf, first);
+  if (todo > first) {
+    memcpy(d, buf + first, todo - first);
+  }
+  f->in = f->in + todo;
+  return todo;
+}
+
+// Get up to n bytes; returns bytes read.
+int kfifo_get(struct kfifo *f, char * __count(n) buf, int n) {
+  int sz = f->size;
+  char * __count(sz) __opt d = f->data;
+  if (d == 0) { return 0; }
+  if (sz <= 0) { return 0; }
+  int avail = f->in - f->out;
+  int todo = n;
+  if (todo > avail) { todo = avail; }
+  if (todo <= 0) { return 0; }
+  int pos = f->out % sz;
+  if (pos < 0) { pos = 0; }
+  int first = sz - pos;
+  if (first > todo) { first = todo; }
+  memcpy(buf, d + pos, first);
+  if (todo > first) {
+    memcpy(buf + first, d, todo - first);
+  }
+  f->out = f->out + todo;
+  return todo;
+}
+
+// ---------------------------------------------------------------
+// lib/bitmap.kc
+// ---------------------------------------------------------------
+
+int bitmap_test(long * __count(words) map, int words, int bit) {
+  int word = bit / 64;
+  int off = bit % 64;
+  if (word < 0) { return 0; }
+  if (word >= words) { return 0; }
+  long w = map[word];
+  return (w >> off) & 1;
+}
+
+void bitmap_set(long * __count(words) map, int words, int bit) {
+  int word = bit / 64;
+  int off = bit % 64;
+  if (word < 0) { return; }
+  if (word >= words) { return; }
+  long one = 1;
+  map[word] = map[word] | (one << off);
+}
+
+void bitmap_clear(long * __count(words) map, int words, int bit) {
+  int word = bit / 64;
+  int off = bit % 64;
+  if (word < 0) { return; }
+  if (word >= words) { return; }
+  long one = 1;
+  map[word] = map[word] & ~(one << off);
+}
+
+// First zero bit, or -1.
+int bitmap_find_zero(long * __count(words) map, int words) {
+  int i;
+  for (i = 0; i < words * 64; i++) {
+    if (bitmap_test(map, words, i) == 0) { return i; }
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------
+// lib/htab.kc: fixed-size chained hash table keyed by u32
+// ---------------------------------------------------------------
+
+struct hentry {
+  u32 key;
+  long value;
+  struct hentry * __opt next;
+};
+
+struct htab {
+  int nbuckets;
+  struct hentry * __opt buckets[64];
+};
+
+struct htab *htab_alloc(int gfp) {
+  struct htab *h = kzalloc(sizeof(struct htab), gfp);
+  h->nbuckets = 64;
+  return h;
+}
+
+void htab_insert(struct htab *h, u32 key, long value, int gfp) {
+  int b = key % 64;
+  struct hentry *e = kzalloc(sizeof(struct hentry), gfp);
+  e->key = key;
+  e->value = value;
+  e->next = h->buckets[b];
+  h->buckets[b] = e;
+}
+
+// Returns value or -1.
+long htab_lookup(struct htab *h, u32 key) {
+  int b = key % 64;
+  struct hentry * __opt e = h->buckets[b];
+  while (e != 0) {
+    if (e->key == key) { return e->value; }
+    e = e->next;
+  }
+  return -1;
+}
+
+// Removes one matching entry; returns 1 if removed.
+int htab_remove(struct htab *h, u32 key) {
+  int b = key % 64;
+  struct hentry * __opt e = h->buckets[b];
+  struct hentry * __opt prev = 0;
+  while (e != 0) {
+    if (e->key == key) {
+      struct hentry * __opt n = e->next;
+      if (prev == 0) {
+        h->buckets[b] = n;
+      } else {
+        prev->next = n;
+      }
+      e->next = 0;
+      kfree(e);
+      return 1;
+    }
+    prev = e;
+    e = e->next;
+  }
+  return 0;
+}
+
+void htab_free(struct htab *h) {
+  int b;
+  for (b = 0; b < 64; b++) {
+    struct hentry * __opt e = h->buckets[b];
+    h->buckets[b] = 0;
+    while (e != 0) {
+      struct hentry * __opt n = e->next;
+      e->next = 0;
+      kfree(e);
+      e = n;
+    }
+  }
+  kfree(h);
+}
+|kc}

@@ -1,0 +1,173 @@
+(* mm/ — page-granular allocation wrappers, object caches, and the
+   two-level page tables that make fork() pointer-write heavy (the
+   CCount SMP experiment lives on this path). *)
+
+let source =
+  {kc|
+// ---------------------------------------------------------------
+// mm/page.kc: page wrappers
+// ---------------------------------------------------------------
+
+enum mm_consts { PAGE_SIZE = 4096, PTRS_PER_TABLE = 64 };
+
+struct page {
+  int order;
+  int in_use;
+  char * __count(4096) __opt data;
+};
+
+struct page *page_alloc(int gfp) {
+  struct page *pg = kzalloc(sizeof(struct page), gfp);
+  pg->order = 0;
+  pg->in_use = 1;
+  pg->data = kmalloc(4096, gfp);
+  return pg;
+}
+
+void page_free(struct page *pg) {
+  char * __opt d = pg->data;
+  pg->data = 0;
+  pg->in_use = 0;
+  kfree(d);
+  kfree(pg);
+}
+
+// ---------------------------------------------------------------
+// mm/pgtable.kc: two-level page tables
+// ---------------------------------------------------------------
+
+// A leaf table: an array of page pointers.
+struct pte_table {
+  struct page * __opt entries[64];
+};
+
+// A directory: an array of leaf-table pointers.
+struct pgdir {
+  int nr_tables;
+  struct pte_table * __opt tables[64];
+};
+
+struct pgdir *pgdir_alloc(int gfp) {
+  struct pgdir *pd = kzalloc(sizeof(struct pgdir), gfp);
+  pd->nr_tables = 0;
+  return pd;
+}
+
+// Map a page at (table t, slot s), growing the directory on demand.
+int pgdir_map(struct pgdir *pd, int t, int s, struct page *pg, int gfp) {
+  if (t < 0) { return -EINVAL; }
+  if (t >= 64) { return -EINVAL; }
+  if (s < 0) { return -EINVAL; }
+  if (s >= 64) { return -EINVAL; }
+  struct pte_table * __opt tab = pd->tables[t];
+  if (tab == 0) {
+    tab = kzalloc(sizeof(struct pte_table), gfp);
+    pd->tables[t] = tab;
+    pd->nr_tables = pd->nr_tables + 1;
+  }
+  tab->entries[s] = pg;
+  return 0;
+}
+
+struct page * __opt pgdir_get(struct pgdir *pd, int t, int s) {
+  if (t < 0) { return 0; }
+  if (t >= 64) { return 0; }
+  if (s < 0) { return 0; }
+  if (s >= 64) { return 0; }
+  struct pte_table * __opt tab = pd->tables[t];
+  if (tab == 0) { return 0; }
+  return tab->entries[s];
+}
+
+// Map/lookup by "virtual address": the table indices come out of
+// shift-and-mask, which bounds checking cannot discharge statically
+// (no value-range reasoning for masks) -- so the mmap path keeps its
+// runtime checks, as Table 1's lat_mmap row shows.
+int pgdir_map_addr(struct pgdir *pd, long addr, struct page * __opt pg, int gfp) {
+  int t = (addr >> 18) & 63;
+  int s = (addr >> 12) & 63;
+  struct pte_table * __opt tab = pd->tables[t];
+  if (tab == 0) {
+    tab = kzalloc(sizeof(struct pte_table), gfp);
+    pd->tables[t] = tab;
+    pd->nr_tables = pd->nr_tables + 1;
+  }
+  tab->entries[s] = pg;
+  return 0;
+}
+
+struct page * __opt pgdir_get_addr(struct pgdir *pd, long addr) {
+  int t = (addr >> 18) & 63;
+  int s = (addr >> 12) & 63;
+  struct pte_table * __opt tab = pd->tables[t];
+  if (tab == 0) { return 0; }
+  return tab->entries[s];
+}
+
+// Copy-on-fork: duplicate the directory, sharing leaf pages (every
+// shared page pointer is a refcounted pointer write). Like the real
+// copy_page_range, the walk is by virtual address, so the per-page
+// index computations keep their runtime checks under Deputy.
+struct pgdir *pgdir_clone(struct pgdir *src, int gfp) {
+  struct pgdir *dst = pgdir_alloc(gfp);
+  long addr = 0;
+  long end = 64 * 64;
+  long a;
+  for (a = 0; a < end; a++) {
+    addr = a * 4096;
+    int t = (addr >> 18) & 63;
+    struct pte_table * __opt tab = src->tables[t];
+    if (tab != 0) {
+      struct page * __opt pg = pgdir_get_addr(src, addr);
+      if (pg != 0) {
+        pgdir_map_addr(dst, addr, pg, gfp);
+      }
+    } else {
+      // Skip the rest of this empty table's range.
+      a = a + 63;
+    }
+  }
+  return dst;
+}
+
+// Tear down a directory. Shared pages are NOT freed here; the caller
+// owns page lifetimes. Table entries are nulled first so the frees
+// check clean under CCount.
+void pgdir_destroy(struct pgdir *pd) {
+  int t;
+  for (t = 0; t < 64; t++) {
+    struct pte_table * __opt tab = pd->tables[t];
+    if (tab != 0) {
+      int s;
+      for (s = 0; s < 64; s++) {
+        tab->entries[s] = 0;
+      }
+      pd->tables[t] = 0;
+      kfree(tab);
+    }
+  }
+  kfree(pd);
+}
+
+// ---------------------------------------------------------------
+// mm/cache.kc: sized object caches over the slab builtins
+// ---------------------------------------------------------------
+
+long names_cache;
+long task_cache;
+long inode_cache;
+
+void mm_init(void) {
+  names_cache = kmem_cache_create(256);
+  task_cache = kmem_cache_create(512);
+  inode_cache = kmem_cache_create(192);
+}
+
+void *names_alloc(int gfp) {
+  return kmem_cache_alloc(names_cache, gfp);
+}
+
+void names_free(void * __opt p) {
+  kmem_cache_free(names_cache, p);
+}
+|kc}

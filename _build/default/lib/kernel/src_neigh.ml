@@ -1,0 +1,123 @@
+(* net/neigh.kc — an ARP-flavoured neighbor cache: IP -> link address
+   mappings in a chained hash table, aged out by the timer wheel. It
+   ties the lib hash table and the timer subsystem into the network
+   path, the way neigh_table does in the real stack. *)
+
+let source =
+  {kc|
+// ---------------------------------------------------------------
+// net/neigh.kc: the neighbor (ARP) cache
+// ---------------------------------------------------------------
+
+enum neigh_consts { NEIGH_REACHABLE_JIFFIES = 8 };
+
+struct neighbour {
+  u32 ip;
+  long lladdr;
+  long confirmed; // jiffies of last confirmation
+  int state;      // 0 = stale, 1 = reachable
+};
+
+struct htab * __opt neigh_table;
+long neigh_lookups;
+long neigh_hits;
+struct ktimer neigh_gc_timer;
+
+// Insert or refresh a mapping.
+int neigh_update(u32 ip, long lladdr) {
+  struct htab * __opt t = neigh_table;
+  if (t == 0) { return -EINVAL; }
+  struct htab *tt = t;
+  long existing = htab_lookup(tt, ip);
+  if (existing != -1) {
+    struct neighbour * __trusted n;
+    __trusted {
+      n = (struct neighbour * __trusted)existing;
+      n->lladdr = lladdr;
+      n->confirmed = jiffies;
+      n->state = 1;
+    }
+    return 0;
+  }
+  struct neighbour *n = kzalloc(sizeof(struct neighbour), GFP_ATOMIC);
+  n->ip = ip;
+  n->lladdr = lladdr;
+  n->confirmed = jiffies;
+  n->state = 1;
+  long handle;
+  __trusted {
+    handle = (long)n;
+  }
+  htab_insert(tt, ip, handle, GFP_ATOMIC);
+  return 0;
+}
+
+// Resolve an IP; returns the link address or -1.
+long neigh_resolve(u32 ip) {
+  neigh_lookups = neigh_lookups + 1;
+  struct htab * __opt t = neigh_table;
+  if (t == 0) { return -1; }
+  struct htab *tt = t;
+  long handle = htab_lookup(tt, ip);
+  if (handle == -1) { return -1; }
+  long ll;
+  __trusted {
+    struct neighbour *n = (struct neighbour * __trusted)handle;
+    if (n->state == 0) {
+      ll = -1;
+    } else {
+      ll = n->lladdr;
+    }
+  }
+  if (ll != -1) {
+    neigh_hits = neigh_hits + 1;
+  }
+  return ll;
+}
+
+// Garbage collection from the timer wheel: entries not confirmed
+// recently go stale and are dropped. Runs in irq context, so it only
+// does GFP-free bookkeeping (no sleeping).
+int neigh_gc(long data) {
+  struct htab * __opt t = neigh_table;
+  if (t == 0) { return 0; }
+  struct htab *tt = t;
+  int b;
+  for (b = 0; b < 64; b++) {
+    struct hentry * __opt e = tt->buckets[b];
+    while (e != 0) {
+      long handle = e->value;
+      u32 key = e->key;
+      struct hentry * __opt next = e->next;
+      int expired = 0;
+      __trusted {
+        struct neighbour *n = (struct neighbour * __trusted)handle;
+        if (n->confirmed + 8 < jiffies) {
+          n->state = 0;
+          expired = 1;
+        }
+      }
+      if (expired) {
+        htab_remove(tt, key);
+        __trusted {
+          struct neighbour *n = (struct neighbour * __trusted)handle;
+          kfree(n);
+        }
+      }
+      e = next;
+    }
+  }
+  // Re-arm ourselves.
+  add_timer(&neigh_gc_timer, 4);
+  return 0;
+}
+
+void neigh_init(void) {
+  neigh_table = htab_alloc(GFP_KERNEL);
+  neigh_lookups = 0;
+  neigh_hits = 0;
+  neigh_gc_timer.fn = neigh_gc;
+  neigh_gc_timer.data = 0;
+  add_timer(&neigh_gc_timer, 4);
+}
+|kc}

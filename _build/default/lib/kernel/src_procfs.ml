@@ -1,0 +1,135 @@
+(* fs/procfs.kc — a proc-like pseudo filesystem: registered entries
+   generate their content on read through a function-pointer table
+   (one more dispatch surface for the points-to analysis), mirroring
+   the paper's kernel which included procfs among the converted
+   filesystems. *)
+
+let source =
+  {kc|
+// ---------------------------------------------------------------
+// fs/procfs.kc
+// ---------------------------------------------------------------
+
+enum proc_consts { NR_PROC_ENTRIES = 8, PROC_BUF = 128 };
+
+struct proc_entry {
+  char name[32];
+  int registered;
+  int (*read_proc)(char *buf, int n);
+};
+
+struct proc_entry proc_entries[8];
+
+// Register an entry; returns its slot or a negative errno.
+int proc_register(char * __nullterm name, int (*read_fn)(char *buf, int n)) {
+  int i;
+  for (i = 0; i < 8; i++) {
+    if (proc_entries[i].registered == 0) {
+      proc_entries[i].registered = 1;
+      kstrncpy(proc_entries[i].name, 32, name);
+      proc_entries[i].read_proc = read_fn;
+      return i;
+    }
+  }
+  return -EBUSY;
+}
+
+int proc_unregister(int slot) {
+  if (slot < 0) { return -EINVAL; }
+  if (slot >= 8) { return -EINVAL; }
+  proc_entries[slot].registered = 0;
+  proc_entries[slot].read_proc = 0;
+  return 0;
+}
+
+// Read a named proc entry into a bounded buffer.
+int proc_read(char * __nullterm name, char * __count(n) buf, int n) {
+  char nbuf[32];
+  kstrncpy(nbuf, 32, name);
+  int i;
+  for (i = 0; i < 8; i++) {
+    if (proc_entries[i].registered) {
+      if (kstreq_buf(proc_entries[i].name, 32, nbuf, 32)) {
+        int (* __opt fn)(char *bx, int nx) = proc_entries[i].read_proc;
+        if (fn == 0) { return -EIO; }
+        int r;
+        __trusted {
+          // The dispatch-table shim: re-establish the count across
+          // the plain-pointer function type.
+          r = fn((char *)buf, n);
+        }
+        return r;
+      }
+    }
+  }
+  return -ENOENT;
+}
+
+// ---- the standard entries ----------------------------------------
+
+// Decimal rendering of a non-negative long; returns chars written.
+int format_long(char * __count(n) buf, int n, long v) {
+  if (n <= 0) { return 0; }
+  if (v < 0) { v = 0; }
+  char digits[24];
+  int len = 0;
+  if (v == 0) {
+    digits[0] = '0';
+    len = 1;
+  }
+  while (v > 0) {
+    if (len < 24) {
+      digits[len] = '0' + (v % 10);
+      len++;
+    }
+    v = v / 10;
+  }
+  int out = 0;
+  int i;
+  for (i = len - 1; i >= 0; i--) {
+    if (out < n - 1) {
+      if (i < 24) {
+        buf[out] = digits[i];
+        out++;
+      }
+    }
+  }
+  if (out < n) {
+    buf[out] = 0;
+  }
+  return out;
+}
+
+int proc_uptime_read(char *buf, int n) {
+  int r;
+  __trusted {
+    char * __count(n) cbuf = (char * __count(n))buf;
+    r = format_long(cbuf, n, jiffies);
+  }
+  return r;
+}
+
+int proc_meminfo_read(char *buf, int n) {
+  int r;
+  __trusted {
+    char * __count(n) cbuf = (char * __count(n))buf;
+    r = format_long(cbuf, n, nr_running);
+  }
+  return r;
+}
+
+int proc_stat_read(char *buf, int n) {
+  int r;
+  __trusted {
+    char * __count(n) cbuf = (char * __count(n))buf;
+    r = format_long(cbuf, n, loopback_dev.tx_packets);
+  }
+  return r;
+}
+
+void procfs_init(void) {
+  proc_register("uptime", proc_uptime_read);
+  proc_register("meminfo", proc_meminfo_read);
+  proc_register("stat", proc_stat_read);
+}
+|kc}

@@ -1,0 +1,296 @@
+(* kernel/sched.kc + fork.kc — task structures, a runqueue, fork and
+   exit. fork clones the page directory (pointer-write heavy: the
+   CCount overhead experiment), and exit contains the paper-style
+   bad-free pattern: in the unfixed variant a task is freed while its
+   parent's children list still references it. The [fixed] variant
+   nulls the back-references first (the "27 instances" of nulling) and
+   tears the sibling chain down inside a delayed-free scope. *)
+
+let source ~(fixed_frees : bool) =
+  let exit_body =
+    if fixed_frees then
+      {kc|
+// Fixed teardown: unlink from the parent before freeing, and use a
+// delayed-free scope for the sibling chain.
+int task_release(struct task *t) {
+  struct task * __opt parent = t->parent;
+  if (parent != 0) {
+    // Null the parent's reference to us (bad-free fix: nulling).
+    int i;
+    for (i = 0; i < 8; i++) {
+      struct task * __opt c = parent->children[i];
+      if (c == t) {
+        parent->children[i] = 0;
+      }
+    }
+  }
+  t->parent = 0;
+  rq_remove(t);
+  struct pgdir * __opt pd = t->mm;
+  t->mm = 0;
+  if (pd != 0) {
+    pgdir_destroy(pd);
+  }
+  __delayed_free {
+    // Orphan our children onto init_task, then free ourselves.
+    int i;
+    for (i = 0; i < 8; i++) {
+      struct task * __opt c = t->children[i];
+      if (c != 0) {
+        c->parent = init_task;
+        t->children[i] = 0;
+      }
+    }
+    kfree(t);
+  }
+  return 0;
+}
+|kc}
+    else
+      {kc|
+// Unfixed teardown (as first found): frees the task while the
+// parent's children slot still points at it -- CCount reports a bad
+// free here and leaks the task to stay sound.
+int task_release(struct task *t) {
+  rq_remove(t);
+  struct pgdir * __opt pd = t->mm;
+  t->mm = 0;
+  if (pd != 0) {
+    pgdir_destroy(pd);
+  }
+  int i;
+  for (i = 0; i < 8; i++) {
+    struct task * __opt c = t->children[i];
+    if (c != 0) {
+      c->parent = init_task;
+      t->children[i] = 0;
+    }
+  }
+  kfree(t);
+  return 0;
+}
+|kc}
+  in
+  {kc|
+// ---------------------------------------------------------------
+// kernel/sched.kc: tasks and the runqueue
+// ---------------------------------------------------------------
+
+enum task_state { TASK_RUNNING = 0, TASK_SLEEPING = 1, TASK_ZOMBIE = 2 };
+
+struct task {
+  int pid;
+  int state;
+  int prio;
+  long utime;
+  char comm[16];
+  u32 sig_pending[4];
+  struct pgdir * __opt mm;
+  struct task * __opt parent;
+  struct task * __opt children[8];
+};
+
+long pid_bitmap[8];
+struct task * __opt runqueue[64];
+int nr_running;
+struct task * __opt init_task;
+struct task * __opt current_task;
+long runqueue_lock;
+
+int pid_alloc(void) {
+  int pid = bitmap_find_zero(pid_bitmap, 8);
+  if (pid < 0) { return -EAGAIN; }
+  bitmap_set(pid_bitmap, 8, pid);
+  return pid;
+}
+
+void pid_release(int pid) {
+  if (pid >= 0) {
+    bitmap_clear(pid_bitmap, 8, pid);
+  }
+}
+
+// Insert into the first free runqueue slot.
+int rq_insert(struct task *t) {
+  long flags = spin_lock_irqsave(&runqueue_lock);
+  int i;
+  for (i = 0; i < 64; i++) {
+    if (runqueue[i] == 0) {
+      runqueue[i] = t;
+      nr_running = nr_running + 1;
+      spin_unlock_irqrestore(&runqueue_lock, flags);
+      return 0;
+    }
+  }
+  spin_unlock_irqrestore(&runqueue_lock, flags);
+  return -EAGAIN;
+}
+
+void rq_remove(struct task *t) {
+  long flags = spin_lock_irqsave(&runqueue_lock);
+  int i;
+  for (i = 0; i < 64; i++) {
+    if (runqueue[i] == t) {
+      runqueue[i] = 0;
+      nr_running = nr_running - 1;
+    }
+  }
+  spin_unlock_irqrestore(&runqueue_lock, flags);
+}
+
+// Pick the runnable task with the best priority, scanning from a
+// rotating start for fairness. The rotated index is masked, so its
+// bounds checks stay at run time -- this is where lat_ctx's Table 1
+// overhead lives.
+int rq_last;
+
+struct task * __opt rq_pick(void) {
+  int best = -1;
+  int best_prio = 1000;
+  int i;
+  for (i = 0; i < 64; i++) {
+    int idx = (rq_last + i) & 63;
+    struct task * __opt t = runqueue[idx];
+    if (t != 0) {
+      if (t->state == 0) {
+        if (t->prio < best_prio) {
+          best_prio = t->prio;
+          best = idx;
+        }
+      }
+    }
+  }
+  if (best < 0) { return 0; }
+  rq_last = (best + 1) & 63;
+  return runqueue[best];
+}
+
+// ---------------------------------------------------------------
+// kernel/signal.kc
+// ---------------------------------------------------------------
+
+// Mark a signal pending. The word index comes from a shift-mask of
+// the signal number, so the access is runtime-checked.
+int send_signal(struct task *t, int sig) {
+  if (sig < 0) { return -EINVAL; }
+  if (sig >= 128) { return -EINVAL; }
+  int word = (sig >> 5) & 3;
+  int bit = sig & 31;
+  u32 one = 1;
+  t->sig_pending[word] = t->sig_pending[word] | (one << bit);
+  return 0;
+}
+
+// Take the lowest pending signal, or -1.
+int dequeue_signal(struct task *t) {
+  int w;
+  for (w = 0; w < 4; w++) {
+    u32 p = t->sig_pending[w];
+    if (p != 0) {
+      int b;
+      for (b = 0; b < 32; b++) {
+        u32 one = 1;
+        if (p & (one << b)) {
+          t->sig_pending[w] = p & ~(one << b);
+          return w * 32 + b;
+        }
+      }
+    }
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------
+// kernel/fork.kc
+// ---------------------------------------------------------------
+
+struct task *task_create(char * __nullterm name, int gfp) {
+  struct task *t = kzalloc(sizeof(struct task), gfp);
+  t->pid = pid_alloc();
+  t->state = 0;
+  t->prio = 20;
+  kstrncpy(t->comm, 16, name);
+  return t;
+}
+
+// fork: clone the parent's task and page tables. The pgdir_clone is
+// the pointer-write storm CCount pays for on SMP.
+struct task * __opt do_fork(struct task *parent, int gfp) {
+  struct task *child = task_create("forked", gfp);
+  child->prio = parent->prio;
+  child->parent = parent;
+  int slot = -1;
+  int i;
+  for (i = 0; i < 8; i++) {
+    if (slot < 0) {
+      if (parent->children[i] == 0) { slot = i; }
+    }
+  }
+  if (slot < 0) {
+    pid_release(child->pid);
+    child->parent = 0;
+    kfree(child);
+    return 0;
+  }
+  parent->children[slot] = child;
+  struct pgdir * __opt pmm = parent->mm;
+  if (pmm != 0) {
+    child->mm = pgdir_clone(pmm, gfp);
+  }
+  rq_insert(child);
+  return child;
+}
+
+// exit/wait: reap a child.
+|kc}
+  ^ exit_body
+  ^ {kc|
+
+int do_exit(struct task *t) {
+  t->state = 2;
+  pid_release(t->pid);
+  // The dying task must not stay current: context_switch would
+  // otherwise dereference freed memory (a use-after-free the VM --
+  // and CCount -- both catch).
+  if (current_task == t) {
+    current_task = init_task;
+  }
+  return task_release(t);
+}
+
+// A context switch: bookkeeping only (the VM has one CPU).
+void context_switch(struct task * __opt next) {
+  struct task * __opt prev = current_task;
+  if (prev != 0) {
+    prev->utime = prev->utime + 1;
+  }
+  current_task = next;
+}
+
+// The scheduler tick, called from the timer interrupt: must never
+// block (it runs in irq context).
+int scheduler_tick(int irq) {
+  struct task * __opt next = rq_pick();
+  context_switch(next);
+  return 0;
+}
+
+void sched_init(void) {
+  init_task = task_create("init", 1);
+  // Give init a real address space: one leaf table with mapped
+  // pages, shared copy-on-write-style across fork.
+  struct pgdir *pd = pgdir_alloc(GFP_KERNEL);
+  struct task * __opt it = init_task;
+  if (it != 0) {
+    int i;
+    for (i = 0; i < 12; i++) {
+      struct page *pg = page_alloc(GFP_KERNEL);
+      pgdir_map(pd, 0, i, pg, GFP_KERNEL);
+    }
+    it->mm = pd;
+    rq_insert(it);
+  }
+  current_task = init_task;
+  request_irq(0, scheduler_tick);
+}
+|kc}

@@ -1,0 +1,167 @@
+(* kernel/timer.kc + workqueue.kc — deferred execution, both flavours:
+
+   - the timer wheel runs callbacks from the timer interrupt (atomic
+     context: callbacks must never sleep); dispatch is through a
+     function-pointer field, so BlockStop's atomic-entry fixpoint must
+     discover every callback;
+   - the workqueue runs work functions from process context, where
+     sleeping is fine — the classic "defer to a workqueue" fix for
+     wanting to sleep in irq context. *)
+
+let source =
+  {kc|
+// ---------------------------------------------------------------
+// kernel/timer.kc: a small timer wheel
+// ---------------------------------------------------------------
+
+enum timer_consts { NR_TIMERS = 16, WQ_LEN = 16 };
+
+struct ktimer {
+  long expires;      // jiffies at which to fire
+  int pending;
+  long data;
+  int (*fn)(long data);
+};
+
+long jiffies;
+struct ktimer * __opt timer_wheel[16];
+long timer_lock;
+
+int add_timer(struct ktimer *t, long delay) {
+  long flags = spin_lock_irqsave(&timer_lock);
+  t->expires = jiffies + delay;
+  t->pending = 1;
+  int i;
+  for (i = 0; i < 16; i++) {
+    if (timer_wheel[i] == 0) {
+      timer_wheel[i] = t;
+      spin_unlock_irqrestore(&timer_lock, flags);
+      return 0;
+    }
+  }
+  t->pending = 0;
+  spin_unlock_irqrestore(&timer_lock, flags);
+  return -EBUSY;
+}
+
+int del_timer(struct ktimer *t) {
+  long flags = spin_lock_irqsave(&timer_lock);
+  int removed = 0;
+  int i;
+  for (i = 0; i < 16; i++) {
+    if (timer_wheel[i] == t) {
+      timer_wheel[i] = 0;
+      removed = 1;
+    }
+  }
+  t->pending = 0;
+  spin_unlock_irqrestore(&timer_lock, flags);
+  return removed;
+}
+
+// The timer interrupt: advance jiffies and fire expired timers. The
+// callbacks run in irq context -- they must never block, and
+// BlockStop's atomic-entry analysis sees them through the fn field.
+int timer_tick(int irq) {
+  jiffies = jiffies + 1;
+  int i;
+  for (i = 0; i < 16; i++) {
+    struct ktimer * __opt t = timer_wheel[i];
+    if (t != 0) {
+      if (t->expires <= jiffies) {
+        timer_wheel[i] = 0;
+        t->pending = 0;
+        int (* __opt fn)(long data) = t->fn;
+        if (fn != 0) {
+          fn(t->data);
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------
+// kernel/workqueue.kc: process-context deferral
+// ---------------------------------------------------------------
+
+struct work {
+  int pending;
+  long data;
+  int (*work_fn)(long data);
+};
+
+struct work * __opt work_queue[16];
+long work_lock;
+long works_run;
+
+int queue_work(struct work *w) {
+  long flags = spin_lock_irqsave(&work_lock);
+  int i;
+  for (i = 0; i < 16; i++) {
+    if (work_queue[i] == 0) {
+      work_queue[i] = w;
+      w->pending = 1;
+      spin_unlock_irqrestore(&work_lock, flags);
+      return 0;
+    }
+  }
+  spin_unlock_irqrestore(&work_lock, flags);
+  return -EBUSY;
+}
+
+// Run pending work items. Process context: work functions may sleep
+// (this is exactly why code that wants to sleep defers here instead
+// of running in its interrupt handler).
+int run_workqueue(void) {
+  int ran = 0;
+  int i;
+  for (i = 0; i < 16; i++) {
+    long flags = spin_lock_irqsave(&work_lock);
+    struct work * __opt w = work_queue[i];
+    work_queue[i] = 0;
+    spin_unlock_irqrestore(&work_lock, flags);
+    if (w != 0) {
+      w->pending = 0;
+      int (* __opt fn)(long data) = w->work_fn;
+      if (fn != 0) {
+        fn(w->data);
+        ran++;
+        works_run = works_run + 1;
+      }
+    }
+  }
+  return ran;
+}
+
+// ---- users -------------------------------------------------------
+
+// A well-behaved timer callback: bookkeeping only.
+long watchdog_kicks;
+
+int watchdog_timeout(long data) {
+  watchdog_kicks = watchdog_kicks + 1;
+  return 0;
+}
+
+struct ktimer watchdog_timer;
+
+// Deferred disk-stats flush: may sleep, so it is work, not a timer.
+int flush_stats_work(long data) {
+  might_sleep();
+  rd0.serviced = rd0.serviced + 0;
+  return 0;
+}
+
+struct work stats_work;
+
+void timer_init(void) {
+  jiffies = 0;
+  watchdog_timer.fn = watchdog_timeout;
+  watchdog_timer.data = 0;
+  add_timer(&watchdog_timer, 2);
+  stats_work.work_fn = flush_stats_work;
+  stats_work.data = 0;
+  request_irq(6, timer_tick);
+}
+|kc}

@@ -1,0 +1,129 @@
+(* drivers/tty — the terminal layer: a line-discipline dispatch table
+   and the console. This reproduces the paper's false-positive
+   anatomy: [flush_to_ldisc] runs with the port lock held and calls
+   through the ldisc ops table; the conservative (type-based)
+   points-to analysis believes the blocking [read_chan] entry is
+   reachable from there, although only the non-blocking receive entry
+   ever is. The paper silenced this with a manual runtime check at
+   the start of [read_chan]; see {!Corpus.blockstop_guards}. *)
+
+let source =
+  {kc|
+// ---------------------------------------------------------------
+// drivers/tty/ldisc.kc
+// ---------------------------------------------------------------
+
+struct tty;
+
+struct ldisc_ops {
+  int (*receive_buf)(struct tty *t, char *buf, int n);
+  int (*read_chan)(struct tty *t, char *buf, int n);
+  int (*write_chan)(struct tty *t, char *buf, int n);
+};
+
+struct tty {
+  int index;
+  long port_lock;
+  struct kfifo * __opt read_fifo;
+  struct ldisc_ops * __opt ldisc;
+  long rx_bytes;
+};
+
+struct tty console_tty;
+
+// --- the N_TTY line discipline -----------------------------------
+
+// Interrupt-path entry: bytes arrive from the "hardware" and are
+// pushed into the read FIFO. Must never block.
+int n_tty_receive_buf(struct tty *t, char *buf, int n) {
+  struct kfifo * __opt rf = t->read_fifo;
+  if (rf == 0) { return -EINVAL; }
+  int r;
+  __trusted {
+    char * __count(n) cbuf = (char * __count(n))buf;
+    r = kfifo_put(rf, cbuf, n);
+  }
+  t->rx_bytes = t->rx_bytes + r;
+  return r;
+}
+
+// Process-path entry: a reader waits for input; may sleep.
+int n_tty_read_chan(struct tty *t, char *buf, int n) {
+  struct kfifo * __opt rf = t->read_fifo;
+  if (rf == 0) { return -EINVAL; }
+  might_sleep();
+  int r;
+  __trusted {
+    char * __count(n) cbuf = (char * __count(n))buf;
+    r = kfifo_get(rf, cbuf, n);
+  }
+  return r;
+}
+
+// Process-path write: pushes to the console; may sleep on flow
+// control.
+int n_tty_write_chan(struct tty *t, char *buf, int n) {
+  might_sleep();
+  t->rx_bytes = t->rx_bytes + 0;
+  return n;
+}
+
+struct ldisc_ops n_tty_ops = { n_tty_receive_buf, n_tty_read_chan, n_tty_write_chan };
+
+// --- the tty core --------------------------------------------------
+
+// Called from the interrupt path with the port lock held: feed
+// received bytes to the discipline. Only receive_buf is ever called
+// here, but a type-based points-to sees all three table entries.
+int flush_to_ldisc(struct tty *t, char *buf, int n) {
+  long flags = spin_lock_irqsave(&t->port_lock);
+  struct ldisc_ops * __opt ops = t->ldisc;
+  int r = -EINVAL;
+  if (ops != 0) {
+    int (* __opt rb)(struct tty *tx, char *bx, int nx) = ops->receive_buf;
+    if (rb != 0) {
+      r = rb(t, buf, n);
+    }
+  }
+  spin_unlock_irqrestore(&t->port_lock, flags);
+  return r;
+}
+
+// Process-context read from the tty: dispatches to read_chan.
+int tty_read(struct tty *t, char * __count(n) buf, int n) {
+  struct ldisc_ops * __opt ops = t->ldisc;
+  if (ops == 0) { return -EINVAL; }
+  int (* __opt rc)(struct tty *tx, char *bx, int nx) = ops->read_chan;
+  if (rc == 0) { return -EINVAL; }
+  return rc(t, buf, n);
+}
+
+int tty_write(struct tty *t, char * __count(n) buf, int n) {
+  struct ldisc_ops * __opt ops = t->ldisc;
+  if (ops == 0) { return -EINVAL; }
+  int (* __opt wc)(struct tty *tx, char *bx, int nx) = ops->write_chan;
+  if (wc == 0) { return -EINVAL; }
+  return wc(t, buf, n);
+}
+
+// "Keyboard" interrupt handler: hardware bytes show up and get
+// flushed to the discipline under the port lock.
+char kbd_pending[16];
+int kbd_pending_n;
+
+int kbd_interrupt(int irq) {
+  int n = kbd_pending_n;
+  if (n <= 0) { return 0; }
+  if (n > 16) { n = 16; }
+  kbd_pending_n = 0;
+  return flush_to_ldisc(&console_tty, kbd_pending, n);
+}
+
+void tty_init(void) {
+  console_tty.index = 0;
+  console_tty.read_fifo = kfifo_alloc(256, GFP_KERNEL);
+  console_tty.ldisc = &n_tty_ops;
+  console_tty.rx_bytes = 0;
+  request_irq(1, kbd_interrupt);
+}
+|kc}

@@ -1,0 +1,589 @@
+(* Workloads: the hbench-shaped suite behind Table 1, the fork /
+   module-load workloads behind the CCount overhead numbers (E2), and
+   the boot / idle / ssh-copy scripts behind the free census (E3).
+
+   Each workload is one KC entry function appended to the corpus as
+   its own compilation unit. Bandwidth rows move bulk data through
+   counted-loop kernels (whose Deputy checks discharge statically);
+   latency rows repeat a small operation whose pointer-heavy path
+   keeps some checks at run time — which is exactly how the paper's
+   Table 1 gets its shape. *)
+
+type kind = Bw | Lat
+
+type row = {
+  id : string; (* hbench row name, e.g. "bw_mem_cp" *)
+  kind : kind;
+  entry : string; (* KC entry function, takes one int arg (iters) *)
+  iters : int; (* iterations for the timed region *)
+  paper : float; (* the paper's Table 1 value for EXPERIMENTS.md *)
+}
+
+let source =
+  {kc|
+// ---------------------------------------------------------------
+// hbench workloads
+// ---------------------------------------------------------------
+
+enum wl_consts { WL_BUF_WORDS = 4096, WL_BUF_BYTES = 32768 };
+
+long wl_src[4096];
+long wl_dst[4096];
+char wl_bytes[32768];
+
+// ---- bandwidth rows ----------------------------------------------
+
+long wl_bw_bzero(int iters) {
+  int r;
+  for (r = 0; r < iters; r++) {
+    mem_clear(wl_dst, 4096);
+  }
+  return wl_dst[0];
+}
+
+long wl_bw_mem_cp(int iters) {
+  int r;
+  for (r = 0; r < iters; r++) {
+    mem_copy(wl_dst, wl_src, 4096);
+  }
+  return wl_dst[1];
+}
+
+long wl_bw_mem_rd(int iters) {
+  long s = 0;
+  int r;
+  for (r = 0; r < iters; r++) {
+    s += mem_sum(wl_src, 4096);
+  }
+  return s;
+}
+
+long wl_bw_mem_wr(int iters) {
+  int r;
+  for (r = 0; r < iters; r++) {
+    mem_fill(wl_dst, 4096, 7);
+  }
+  return wl_dst[2];
+}
+
+// Sequential file read: write once, then re-read the whole file.
+long wl_bw_file_rd(int iters) {
+  vfs_create("bigfile");
+  int fd = vfs_open("/bigfile", 0);
+  if (fd < 0) { return fd; }
+  char block[1024];
+  int i;
+  for (i = 0; i < 1024; i++) { block[i] = i & 255; }
+  int k;
+  for (k = 0; k < 32; k++) {
+    vfs_write(fd, block, 1024);
+  }
+  long total = 0;
+  int r;
+  for (r = 0; r < iters; r++) {
+    struct file * __opt f = fd_table[fd];
+    if (f != 0) { f->f_pos = 0; }
+    int got = 1;
+    while (got > 0) {
+      got = vfs_read(fd, block, 1024);
+      total = total + got;
+    }
+  }
+  vfs_close(fd);
+  return total;
+}
+
+// Read through freshly mapped pages.
+long wl_bw_mmap_rd(int iters) {
+  struct pgdir *pd = pgdir_alloc(GFP_KERNEL);
+  int t;
+  for (t = 0; t < 8; t++) {
+    struct page *pg = page_alloc(GFP_KERNEL);
+    int psz = 4096;
+    char * __count(psz) __opt data = pg->data;
+    if (data != 0) {
+      int i;
+      for (i = 0; i < psz; i++) { data[i] = i & 255; }
+    }
+    pgdir_map_addr(pd, t * 4096, pg, GFP_KERNEL);
+  }
+  long s = 0;
+  int psz = 4096;
+  int r;
+  for (r = 0; r < iters; r++) {
+    for (t = 0; t < 8; t++) {
+      struct page * __opt pg = pgdir_get_addr(pd, t * 4096);
+      if (pg != 0) {
+        char * __count(psz) __opt data = pg->data;
+        if (data != 0) {
+          int i;
+          for (i = 0; i < psz; i++) { s += data[i]; }
+        }
+      }
+    }
+  }
+  // Unmap the pages.
+  for (t = 0; t < 8; t++) {
+    struct page * __opt pg = pgdir_get_addr(pd, t * 4096);
+    if (pg != 0) {
+      pgdir_map_addr(pd, t * 4096, 0, GFP_KERNEL);
+    }
+  }
+  pgdir_destroy(pd);
+  return s;
+}
+
+long wl_bw_pipe(int iters) {
+  struct kfifo *f = kfifo_alloc(8192, GFP_KERNEL);
+  char chunk[1024];
+  int i;
+  for (i = 0; i < 1024; i++) { chunk[i] = i & 255; }
+  long moved = 0;
+  int r;
+  for (r = 0; r < iters; r++) {
+    int k;
+    for (k = 0; k < 4; k++) {
+      kfifo_put(f, chunk, 1024);
+      moved = moved + kfifo_get(f, chunk, 1024);
+    }
+  }
+  kfifo_free(f);
+  return moved;
+}
+
+long wl_bw_tcp(int iters) {
+  int s1 = sock_create(6);
+  int s2 = sock_create(6);
+  if (s1 < 0) { return s1; }
+  if (s2 < 0) { return s2; }
+  sock_connect(s1, s2);
+  long sent = 0;
+  char drain[512];
+  int r;
+  for (r = 0; r < iters; r++) {
+    sent = sent + tcp_send(s1, s2, wl_bytes, 4096);
+    int got = 1;
+    while (got > 0) {
+      got = udp_recv(s2, drain, 512);
+    }
+  }
+  sock_release(s2);
+  sock_release(s1);
+  return sent;
+}
+
+// ---- latency rows -------------------------------------------------
+
+// Minimal syscall: getpid through the current task.
+long wl_lat_syscall(int iters) {
+  long acc = 0;
+  int r;
+  for (r = 0; r < iters; r++) {
+    struct task * __opt t = current_task;
+    if (t != 0) {
+      acc += t->pid;
+    }
+  }
+  return acc;
+}
+
+long wl_lat_ctx(int iters) {
+  // Two runnable tasks ping-pong.
+  struct task * __opt self = current_task;
+  if (self == 0) { return -1; }
+  struct task * __opt a = do_fork(self, GFP_KERNEL);
+  struct task * __opt b = do_fork(self, GFP_KERNEL);
+  int r;
+  for (r = 0; r < iters; r++) {
+    struct task * __opt next = rq_pick();
+    context_switch(next);
+  }
+  if (b != 0) { struct task * __opt bb = b; do_exit(bb); }
+  if (a != 0) { struct task * __opt aa = a; do_exit(aa); }
+  context_switch(self);
+  return iters;
+}
+
+long wl_lat_ctx2(int iters) {
+  // Eight runnable tasks: a longer runqueue scan per switch.
+  struct task * __opt self = current_task;
+  if (self == 0) { return -1; }
+  struct task * __opt kids[8];
+  int i;
+  for (i = 0; i < 8; i++) {
+    kids[i] = 0;
+  }
+  for (i = 0; i < 6; i++) {
+    kids[i] = do_fork(self, GFP_KERNEL);
+  }
+  int r;
+  for (r = 0; r < iters; r++) {
+    struct task * __opt next = rq_pick();
+    context_switch(next);
+  }
+  for (i = 0; i < 6; i++) {
+    struct task * __opt k = kids[i];
+    if (k != 0) {
+      do_exit(k);
+      kids[i] = 0;
+    }
+  }
+  context_switch(self);
+  return iters;
+}
+
+long wl_lat_fs(int iters) {
+  vfs_create("system_configuration_db");
+  vfs_create("service_credentials_tab");
+  long found = 0;
+  int r;
+  for (r = 0; r < iters; r++) {
+    int fd = vfs_open("/system_configuration_db", 0);
+    if (fd >= 0) {
+      found++;
+      vfs_close(fd);
+    }
+    struct dentry * __opt d2 = path_lookup("/service_credentials_tab");
+    if (d2 != 0) { found++; }
+  }
+  return found;
+}
+
+long wl_lat_fslayer(int iters) {
+  vfs_create("small");
+  int fd = vfs_open("/small", 0);
+  if (fd < 0) { return fd; }
+  char tiny[16];
+  int i;
+  for (i = 0; i < 16; i++) { tiny[i] = i; }
+  vfs_write(fd, tiny, 16);
+  long total = 0;
+  int r;
+  for (r = 0; r < iters; r++) {
+    struct file * __opt f = fd_table[fd];
+    if (f != 0) { f->f_pos = 0; }
+    total = total + vfs_read(fd, tiny, 16);
+  }
+  vfs_close(fd);
+  return total;
+}
+
+long wl_lat_mmap(int iters) {
+  struct pgdir *pd = pgdir_alloc(GFP_KERNEL);
+  struct page *pg = page_alloc(GFP_KERNEL);
+  long ok = 0;
+  int r;
+  for (r = 0; r < iters; r++) {
+    long addr = 262144 + r * 4096;
+    pgdir_map_addr(pd, addr, pg, GFP_KERNEL);
+    struct page * __opt got = pgdir_get_addr(pd, addr);
+    if (got != 0) { ok++; }
+    pgdir_map_addr(pd, addr, 0, GFP_KERNEL);
+  }
+  pgdir_destroy(pd);
+  page_free(pg);
+  return ok;
+}
+
+long wl_lat_pipe(int iters) {
+  struct kfifo *f = kfifo_alloc(256, GFP_KERNEL);
+  char msg[16];
+  int i;
+  for (i = 0; i < 16; i++) { msg[i] = i; }
+  long moved = 0;
+  int r;
+  for (r = 0; r < iters; r++) {
+    kfifo_put(f, msg, 16);
+    moved = moved + kfifo_get(f, msg, 16);
+  }
+  kfifo_free(f);
+  return moved;
+}
+
+long wl_lat_proc(int iters) {
+  struct task * __opt self = current_task;
+  if (self == 0) { return -1; }
+  long made = 0;
+  int r;
+  for (r = 0; r < iters; r++) {
+    struct task * __opt it = self;
+    struct task * __opt child = do_fork(it, GFP_KERNEL);
+    if (child != 0) {
+      struct task * __opt c = child;
+      do_exit(c);
+      made++;
+    }
+  }
+  return made;
+}
+
+long wl_lat_rpc(int iters) {
+  int s1 = sock_create(17);
+  int s2 = sock_create(17);
+  if (s1 < 0) { return s1; }
+  if (s2 < 0) { return s2; }
+  char req[32];
+  char rep[32];
+  int i;
+  for (i = 0; i < 32; i++) { req[i] = i; }
+  long done = 0;
+  int r;
+  for (r = 0; r < iters; r++) {
+    udp_send(s1, s2, req, 32);
+    udp_recv(s2, rep, 32);
+    udp_send(s2, s1, rep, 32);
+    udp_recv(s1, rep, 32);
+    done++;
+  }
+  sock_release(s2);
+  sock_release(s1);
+  return done;
+}
+
+// Signal delivery: set a pending flag on a target task and have the
+// scheduler path notice it.
+long wl_lat_sig(int iters) {
+  struct task * __opt self = current_task;
+  if (self == 0) { return -1; }
+  struct task * __opt child = do_fork(self, GFP_KERNEL);
+  long delivered = 0;
+  int r;
+  for (r = 0; r < iters; r++) {
+    if (child != 0) {
+      struct task * __opt c = child;
+      send_signal(c, 10 + (r & 7));
+      int got = dequeue_signal(c);
+      if (got >= 0) {
+        struct task * __opt next = rq_pick();
+        context_switch(next);
+        delivered++;
+      }
+    }
+  }
+  if (child != 0) {
+    struct task * __opt c2 = child;
+    do_exit(c2);
+  }
+  context_switch(self);
+  return delivered;
+}
+
+long wl_lat_connect(int iters) {
+  long ok = 0;
+  int r;
+  for (r = 0; r < iters; r++) {
+    int s1 = sock_create(6);
+    int s2 = sock_create(6);
+    if (s1 >= 0) {
+      if (s2 >= 0) {
+        if (sock_connect(s1, s2) == 0) { ok++; }
+      }
+    }
+    if (s2 >= 0) { sock_release(s2); }
+    if (s1 >= 0) { sock_release(s1); }
+  }
+  return ok;
+}
+
+long wl_lat_udp(int iters) {
+  int s1 = sock_create(17);
+  int s2 = sock_create(17);
+  if (s1 < 0) { return s1; }
+  if (s2 < 0) { return s2; }
+  char msg[64];
+  int i;
+  for (i = 0; i < 64; i++) { msg[i] = i; }
+  long done = 0;
+  int r;
+  for (r = 0; r < iters; r++) {
+    udp_send(s1, s2, msg, 64);
+    done = done + udp_recv(s2, msg, 64);
+  }
+  sock_release(s2);
+  sock_release(s1);
+  return done;
+}
+
+long wl_lat_tcp(int iters) {
+  int s1 = sock_create(6);
+  int s2 = sock_create(6);
+  if (s1 < 0) { return s1; }
+  if (s2 < 0) { return s2; }
+  sock_connect(s1, s2);
+  char msg[128];
+  int i;
+  for (i = 0; i < 128; i++) { msg[i] = i; }
+  char drain[128];
+  long done = 0;
+  int r;
+  for (r = 0; r < iters; r++) {
+    done = done + tcp_send(s1, s2, msg, 128);
+    int got = 1;
+    while (got > 0) {
+      got = udp_recv(s2, drain, 128);
+    }
+  }
+  sock_release(s2);
+  sock_release(s1);
+  return done;
+}
+
+// ---------------------------------------------------------------
+// CCount E2 workloads: fork and module-load
+// ---------------------------------------------------------------
+
+long wl_fork(int iters) {
+  return wl_lat_proc(iters);
+}
+
+long wl_module_load(int iters) {
+  char image[8192];
+  int i;
+  for (i = 0; i < 8192; i++) { image[i] = i & 255; }
+  long ok = 0;
+  int r;
+  for (r = 0; r < iters; r++) {
+    int slot = load_module("hello", image, 8192);
+    if (slot >= 0) {
+      unload_module(slot);
+      ok++;
+    }
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------
+// CCount E3 workloads: idle and "copy a kernel in via ssh"
+// ---------------------------------------------------------------
+
+// Idle: timer ticks and console noise.
+long wl_idle(int iters) {
+  int r;
+  for (r = 0; r < iters; r++) {
+    raise_irq(0); // scheduler tick
+    kbd_pending_n = 1;
+    kbd_pending[0] = '.';
+    raise_irq(1);
+    char sink[4];
+    tty_read(&console_tty, sink, 4);
+  }
+  return iters;
+}
+
+// "ssh copy": stream a large payload over tcp into a file, exercising
+// sockets, skbs, the fs write path and process churn.
+long wl_ssh_copy(int iters) {
+  vfs_create("newkernel");
+  int fd = vfs_open("/newkernel", 0);
+  if (fd < 0) { return fd; }
+  int s1 = sock_create(6);
+  int s2 = sock_create(6);
+  if (s1 < 0) { return s1; }
+  if (s2 < 0) { return s2; }
+  sock_connect(s1, s2);
+  char chunk[512];
+  int i;
+  for (i = 0; i < 512; i++) { chunk[i] = i & 255; }
+  long moved = 0;
+  int r;
+  for (r = 0; r < iters; r++) {
+    tcp_send(s1, s2, chunk, 512);
+    char got[512];
+    int n = udp_recv(s2, got, 512);
+    if (n > 0) {
+      vfs_write(fd, got, n);
+      moved = moved + n;
+    }
+    // Occasional session churn: a helper process comes and goes, and
+    // a scratch connection is torn down the sloppy way.
+    if (r % 32 == 0) {
+      struct task * __opt self = current_task;
+      if (self != 0) {
+        struct task * __opt it = self;
+        struct task * __opt helper = do_fork(it, GFP_KERNEL);
+        if (helper != 0) {
+          struct task * __opt h = helper;
+          do_exit(h);
+        }
+      }
+      int s3 = sock_create(17);
+      if (s3 >= 0) {
+        sock_force_close(s3);
+      }
+    }
+  }
+  sock_release(s2);
+  sock_release(s1);
+  vfs_close(fd);
+  return moved;
+}
+
+// Probe the init task's children slots. Under CCount's sound
+// leak-on-bad-free policy this is always safe; if bad frees proceed
+// anyway, the unfixed kernel leaves a dangling child pointer here and
+// the dereference faults.
+long wl_probe_dangling_task(int iters) {
+  struct task * __opt it = init_task;
+  if (it == 0) { return -1; }
+  long acc = 0;
+  int i;
+  for (i = 0; i < 8; i++) {
+    struct task * __opt c = it->children[i];
+    if (c != 0) {
+      acc += c->pid;
+    }
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------
+// BlockStop bug triggers (not reached by boot)
+// ---------------------------------------------------------------
+
+long wl_trigger_resize_bug(int iters) {
+  return rd_ioctl_resize(64);
+}
+
+long wl_trigger_irq_bug(int iters) {
+  rd0.error_pending = 1;
+  return raise_irq(2);
+}
+|kc}
+
+(* The Table 1 rows in the paper's order. *)
+let table1 : row list =
+  [
+    { id = "bw_bzero"; kind = Bw; entry = "wl_bw_bzero"; iters = 20; paper = 1.01 };
+    { id = "bw_file_rd"; kind = Bw; entry = "wl_bw_file_rd"; iters = 5; paper = 0.98 };
+    { id = "bw_mem_cp"; kind = Bw; entry = "wl_bw_mem_cp"; iters = 20; paper = 1.00 };
+    { id = "bw_mem_rd"; kind = Bw; entry = "wl_bw_mem_rd"; iters = 20; paper = 1.00 };
+    { id = "bw_mem_wr"; kind = Bw; entry = "wl_bw_mem_wr"; iters = 20; paper = 1.06 };
+    { id = "bw_mmap_rd"; kind = Bw; entry = "wl_bw_mmap_rd"; iters = 5; paper = 0.85 };
+    { id = "bw_pipe"; kind = Bw; entry = "wl_bw_pipe"; iters = 10; paper = 0.98 };
+    { id = "bw_tcp"; kind = Bw; entry = "wl_bw_tcp"; iters = 5; paper = 0.83 };
+    { id = "lat_connect"; kind = Lat; entry = "wl_lat_connect"; iters = 40; paper = 1.10 };
+    { id = "lat_ctx"; kind = Lat; entry = "wl_lat_ctx"; iters = 200; paper = 1.15 };
+    { id = "lat_ctx2"; kind = Lat; entry = "wl_lat_ctx2"; iters = 200; paper = 1.35 };
+    { id = "lat_fs"; kind = Lat; entry = "wl_lat_fs"; iters = 100; paper = 1.35 };
+    { id = "lat_fslayer"; kind = Lat; entry = "wl_lat_fslayer"; iters = 100; paper = 1.04 };
+    { id = "lat_mmap"; kind = Lat; entry = "wl_lat_mmap"; iters = 100; paper = 1.41 };
+    { id = "lat_pipe"; kind = Lat; entry = "wl_lat_pipe"; iters = 100; paper = 1.14 };
+    { id = "lat_proc"; kind = Lat; entry = "wl_lat_proc"; iters = 50; paper = 1.29 };
+    { id = "lat_rpc"; kind = Lat; entry = "wl_lat_rpc"; iters = 50; paper = 1.37 };
+    { id = "lat_sig"; kind = Lat; entry = "wl_lat_sig"; iters = 200; paper = 1.31 };
+    { id = "lat_syscall"; kind = Lat; entry = "wl_lat_syscall"; iters = 500; paper = 0.74 };
+    { id = "lat_tcp"; kind = Lat; entry = "wl_lat_tcp"; iters = 50; paper = 1.41 };
+    { id = "lat_udp"; kind = Lat; entry = "wl_lat_udp"; iters = 50; paper = 1.48 };
+  ]
+
+let find_row id =
+  match List.find_opt (fun r -> r.id = id) table1 with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "no Table 1 row %s" id)
+
+(* Corpus + workloads, ready to check. *)
+let sources ?(fixed_frees = true) () : (string * string) list =
+  Corpus.sources ~fixed_frees () @ [ ("bench/workloads.kc", source) ]
+
+let load ?(fixed_frees = true) () : Kc.Ir.program =
+  Kc.Typecheck.check_sources (sources ~fixed_frees ())

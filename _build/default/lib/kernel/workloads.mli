@@ -1,0 +1,29 @@
+(** The benchmark workloads: the 21 hbench-shaped rows behind Table 1,
+    the fork / module-load workloads behind the CCount overheads (E2),
+    the boot / idle / ssh-copy scripts behind the free census (E3),
+    and the trigger functions for the seeded BlockStop bugs. *)
+
+type kind = Bw  (** bandwidth row: report base/instrumented ratio *)
+          | Lat  (** latency row: report instrumented/base ratio *)
+
+type row = {
+  id : string;  (** hbench row name, e.g. "bw_mem_cp" *)
+  kind : kind;
+  entry : string;  (** KC entry function; takes the iteration count *)
+  iters : int;  (** iterations of the timed region *)
+  paper : float;  (** the paper's Table 1 value, for reports *)
+}
+
+(** The KC source of the workload compilation unit. *)
+val source : string
+
+(** Table 1's rows, in the paper's order. *)
+val table1 : row list
+
+(** Find a row by id; raises [Invalid_argument] on unknown ids. *)
+val find_row : string -> row
+
+(** Corpus + workload unit, ready to check. *)
+val sources : ?fixed_frees:bool -> unit -> (string * string) list
+
+val load : ?fixed_frees:bool -> unit -> Kc.Ir.program

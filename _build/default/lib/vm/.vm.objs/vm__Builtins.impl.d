@@ -1,0 +1,1 @@
+lib/vm/builtins.ml: Alloc Buffer Char Cost Hashtbl Int64 Interp Kc List Machine Mem Printf String Trap

@@ -1,0 +1,1 @@
+lib/vm/builtins.mli: Interp Kc Machine

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Buffer Char Cost Hashtbl Int64 Kc List Machine Mem Stdlib String Trap

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Alloc Cost Hashtbl List Mem Trap

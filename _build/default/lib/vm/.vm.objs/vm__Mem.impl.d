@@ -1,0 +1,1 @@
+lib/vm/mem.ml: Bytes Char Int64 String Trap

@@ -1,0 +1,381 @@
+(* The kernel API implemented as VM builtins.
+
+   The KC corpus declares these [extern] with the appropriate
+   annotations (e.g. [__blocking]); calling one executes the OCaml
+   implementation below against the machine state. Blocking
+   primitives call {!Machine.block_here} first: reaching one in atomic
+   context is the ground-truth crash BlockStop must prevent.
+
+   GFP flags follow the kernel's split: bit 0 is __GFP_WAIT. *)
+
+let gfp_wait = 1L
+
+let arg n argv : int64 =
+  match List.nth_opt argv n with
+  | Some v -> v
+  | None -> Trap.trap Trap.Panic "builtin: missing argument %d" n
+
+let iarg n argv = Int64.to_int (arg n argv)
+
+let charge (t : Interp.t) n = Cost.charge t.Interp.m.Machine.cost n
+
+(* ------------------------------------------------------------------ *)
+(* Allocation.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let b_kmalloc (t : Interp.t) argv =
+  let size = iarg 0 argv in
+  let gfp = arg 1 argv in
+  if Int64.logand gfp gfp_wait <> 0L then Machine.block_here t.Interp.m ~what:"kmalloc(GFP_KERNEL)";
+  Int64.of_int (Machine.kmalloc t.Interp.m ~size)
+
+let b_kzalloc (t : Interp.t) argv =
+  let size = iarg 0 argv in
+  let gfp = arg 1 argv in
+  if Int64.logand gfp gfp_wait <> 0L then Machine.block_here t.Interp.m ~what:"kzalloc(GFP_KERNEL)";
+  let addr = Machine.kmalloc t.Interp.m ~size in
+  Mem.blit_zero t.Interp.m.Machine.mem addr size;
+  charge t (size / 8);
+  Int64.of_int addr
+
+let b_kfree (t : Interp.t) argv =
+  Machine.kfree t.Interp.m (iarg 0 argv) ~where:"kfree";
+  0L
+
+(* Slab caches: the cache handle is simply the object size. *)
+let b_kmem_cache_create (_t : Interp.t) argv = arg 0 argv
+
+let b_kmem_cache_alloc (t : Interp.t) argv =
+  let size = iarg 0 argv in
+  let gfp = arg 1 argv in
+  if Int64.logand gfp gfp_wait <> 0L then
+    Machine.block_here t.Interp.m ~what:"kmem_cache_alloc(GFP_KERNEL)";
+  Int64.of_int (Machine.kmalloc t.Interp.m ~size)
+
+let b_kmem_cache_free (t : Interp.t) argv =
+  Machine.kfree t.Interp.m (iarg 1 argv) ~where:"kmem_cache_free";
+  0L
+
+let b_vmalloc (t : Interp.t) argv =
+  Machine.block_here t.Interp.m ~what:"vmalloc";
+  Int64.of_int (Machine.kmalloc t.Interp.m ~size:(iarg 0 argv))
+
+let b_vfree (t : Interp.t) argv =
+  Machine.kfree t.Interp.m (iarg 0 argv) ~where:"vfree";
+  0L
+
+let b_alloc_pages (t : Interp.t) argv =
+  let pages = max 1 (iarg 0 argv) in
+  Int64.of_int (Alloc.pages_alloc t.Interp.m.Machine.alloc ~pages)
+
+let b_free_pages (t : Interp.t) argv =
+  Machine.kfree t.Interp.m (iarg 0 argv) ~where:"free_pages";
+  0L
+
+(* CCount RTTI registration, inserted by the instrumenter after
+   allocation sites with a known pointed-to type. *)
+let b_rc_set_type (t : Interp.t) argv =
+  Machine.set_obj_type t.Interp.m ~addr:(iarg 0 argv) ~type_id:(iarg 1 argv);
+  0L
+
+(* ------------------------------------------------------------------ *)
+(* Memory and string operations.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let b_memset (t : Interp.t) argv =
+  let p = iarg 0 argv and c = iarg 1 argv and n = iarg 2 argv in
+  Mem.blit_byte t.Interp.m.Machine.mem p n c;
+  charge t (4 + (n / 8));
+  arg 0 argv
+
+let b_memcpy (t : Interp.t) argv =
+  let d = iarg 0 argv and s = iarg 1 argv and n = iarg 2 argv in
+  Mem.blit_copy t.Interp.m.Machine.mem ~src:s ~dst:d n;
+  charge t (4 + (n / 8));
+  arg 0 argv
+
+(* Typed variants (paper §2.2: "change 50 uses of memset and memcpy to
+   type-aware versions"): the extra type id argument lets the CCount
+   runtime maintain refcounts across bulk operations. *)
+let b_memset_t (t : Interp.t) argv =
+  let p = iarg 0 argv and c = iarg 1 argv and n = iarg 2 argv and tid = iarg 3 argv in
+  let m = t.Interp.m in
+  if m.Machine.config.Machine.rc_check then begin
+    Machine.set_obj_type m ~addr:p ~type_id:tid;
+    Machine.drop_outgoing_refs m p n
+  end;
+  Mem.blit_byte m.Machine.mem p n c;
+  charge t (4 + (n / 8));
+  arg 0 argv
+
+let b_memcpy_t (t : Interp.t) argv =
+  let d = iarg 0 argv and s = iarg 1 argv and n = iarg 2 argv and tid = iarg 3 argv in
+  let m = t.Interp.m in
+  if m.Machine.config.Machine.rc_check then begin
+    Machine.set_obj_type m ~addr:d ~type_id:tid;
+    (* Incoming references copied into dst gain a count; dst's old
+       outgoing references lose theirs. Increment first. *)
+    Machine.set_obj_type m ~addr:s ~type_id:tid;
+    List.iter
+      (fun off ->
+        let target = Mem.load m.Machine.mem ~addr:(s + off) ~width:8 ~signed:false in
+        if target <> 0L then begin
+          Mem.rc_inc m.Machine.mem target;
+          Cost.op_rc m.Machine.cost
+        end)
+      (Machine.ptr_slots m s n);
+    Machine.drop_outgoing_refs m d n
+  end;
+  Mem.blit_copy m.Machine.mem ~src:s ~dst:d n;
+  charge t (4 + (n / 8));
+  arg 0 argv
+
+let b_memcmp (t : Interp.t) argv =
+  let a = iarg 0 argv and b = iarg 1 argv and n = iarg 2 argv in
+  let mem = t.Interp.m.Machine.mem in
+  charge t (4 + (n / 8));
+  let rec go i =
+    if i >= n then 0L
+    else
+      let x = Mem.load mem ~addr:(a + i) ~width:1 ~signed:false in
+      let y = Mem.load mem ~addr:(b + i) ~width:1 ~signed:false in
+      if x = y then go (i + 1) else Int64.of_int (compare x y)
+  in
+  go 0
+
+let b_strlen (t : Interp.t) argv =
+  let s = Interp.read_string t (arg 0 argv) in
+  charge t (4 + String.length s);
+  Int64.of_int (String.length s)
+
+let b_strcpy (t : Interp.t) argv =
+  let d = iarg 0 argv in
+  let s = Interp.read_string t (arg 1 argv) in
+  Mem.blit_string t.Interp.m.Machine.mem d s;
+  Mem.store t.Interp.m.Machine.mem ~addr:(d + String.length s) ~width:1 0L;
+  charge t (4 + String.length s);
+  arg 0 argv
+
+let b_strcmp (t : Interp.t) argv =
+  let a = Interp.read_string t (arg 0 argv) in
+  let b = Interp.read_string t (arg 1 argv) in
+  charge t (4 + min (String.length a) (String.length b));
+  Int64.of_int (compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Console.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let format_printk t fmt argv_rest =
+  let buf = Buffer.create (String.length fmt + 16) in
+  let args = ref argv_rest in
+  let next () =
+    match !args with
+    | [] -> 0L
+    | a :: rest ->
+        args := rest;
+        a
+  in
+  let n = String.length fmt in
+  let rec go i =
+    if i < n then
+      if fmt.[i] = '%' && i + 1 < n then begin
+        (match fmt.[i + 1] with
+        | 'd' | 'u' -> Buffer.add_string buf (Int64.to_string (next ()))
+        | 'x' -> Buffer.add_string buf (Printf.sprintf "%Lx" (next ()))
+        | 'p' -> Buffer.add_string buf (Printf.sprintf "0x%Lx" (next ()))
+        | 'c' -> Buffer.add_char buf (Char.chr (Int64.to_int (next ()) land 0xFF))
+        | 's' -> Buffer.add_string buf (Interp.read_string t (next ()))
+        | '%' -> Buffer.add_char buf '%'
+        | c ->
+            Buffer.add_char buf '%';
+            Buffer.add_char buf c);
+        go (i + 2)
+      end
+      else begin
+        Buffer.add_char buf fmt.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let b_printk (t : Interp.t) argv =
+  match argv with
+  | [] -> 0L
+  | fmt_addr :: rest ->
+      let fmt = Interp.read_string t fmt_addr in
+      Machine.printk t.Interp.m (format_printk t fmt rest);
+      charge t 60;
+      0L
+
+let b_panic (t : Interp.t) argv =
+  let msg = match argv with [] -> "panic" | a :: _ -> Interp.read_string t a in
+  t.Interp.m.Machine.panic_log <- msg :: t.Interp.m.Machine.panic_log;
+  Trap.trap Trap.Panic "%s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Interrupts, locks, contexts.                                       *)
+(* ------------------------------------------------------------------ *)
+
+let b_local_irq_disable (t : Interp.t) _ =
+  Machine.irq_disable t.Interp.m;
+  charge t 2;
+  0L
+
+let b_local_irq_enable (t : Interp.t) _ =
+  Machine.irq_enable t.Interp.m;
+  charge t 2;
+  0L
+
+let b_spin_lock (t : Interp.t) argv =
+  Machine.spin_lock t.Interp.m (iarg 0 argv);
+  charge t 12;
+  0L
+
+let b_spin_unlock (t : Interp.t) argv =
+  Machine.spin_unlock t.Interp.m (iarg 0 argv);
+  charge t 12;
+  0L
+
+let b_spin_lock_irqsave (t : Interp.t) argv =
+  let flags = Int64.of_int t.Interp.m.Machine.irq_depth in
+  Machine.spin_lock t.Interp.m (iarg 0 argv);
+  charge t 16;
+  flags
+
+let b_spin_unlock_irqrestore (t : Interp.t) argv =
+  Machine.spin_unlock t.Interp.m (iarg 0 argv);
+  charge t 16;
+  0L
+
+let b_in_interrupt (t : Interp.t) _ =
+  if t.Interp.m.Machine.in_interrupt then 1L else 0L
+
+let b_irq_enter (t : Interp.t) _ =
+  t.Interp.m.Machine.in_interrupt <- true;
+  0L
+
+let b_irq_exit (t : Interp.t) _ =
+  t.Interp.m.Machine.in_interrupt <- false;
+  0L
+
+(* Interrupt registration and delivery: [request_irq(n, handler)]
+   stores the handler; [raise_irq(n)] runs it in interrupt context —
+   the ground-truth environment for BlockStop's invariant. *)
+let b_request_irq (t : Interp.t) argv =
+  Hashtbl.replace t.Interp.m.Machine.irq_handlers (iarg 0 argv) (arg 1 argv);
+  0L
+
+let b_raise_irq (t : Interp.t) argv =
+  let irq = iarg 0 argv in
+  match Hashtbl.find_opt t.Interp.m.Machine.irq_handlers irq with
+  | None -> -1L
+  | Some fptr -> (
+      match Interp.fptr_decode fptr with
+      | None -> Trap.trap Trap.Unknown_function "bad irq handler for irq %d" irq
+      | Some fid -> (
+          match Hashtbl.find_opt t.Interp.fun_of_id fid with
+          | None -> Trap.trap Trap.Unknown_function "bad irq handler id for irq %d" irq
+          | Some fd ->
+              let was = t.Interp.m.Machine.in_interrupt in
+              t.Interp.m.Machine.in_interrupt <- true;
+              charge t 80 (* interrupt entry/exit *);
+              let r = Interp.call_function t fd [ Int64.of_int irq ] in
+              t.Interp.m.Machine.in_interrupt <- was;
+              r))
+
+(* The manual BlockStop runtime check (paper §2.3: "a special function
+   that panics if interrupts are disabled"). *)
+let b_assert_not_atomic (t : Interp.t) _ =
+  Cost.op_check t.Interp.m.Machine.cost;
+  if Machine.atomic_context t.Interp.m then
+    Trap.trap Trap.Not_atomic_check "assert_not_atomic failed";
+  0L
+
+(* ------------------------------------------------------------------ *)
+(* Blocking primitives.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let blocking name cycles (t : Interp.t) _argv =
+  Machine.block_here t.Interp.m ~what:name;
+  charge t cycles;
+  0L
+
+let b_copy_user name (t : Interp.t) argv =
+  Machine.block_here t.Interp.m ~what:name;
+  let d = iarg 0 argv and s = iarg 1 argv and n = iarg 2 argv in
+  Mem.blit_copy t.Interp.m.Machine.mem ~src:s ~dst:d n;
+  charge t (40 + (n / 8));
+  0L
+
+let b_get_cycles (t : Interp.t) _ = Int64.of_int t.Interp.m.Machine.cost.Cost.cycles
+
+let b_udelay (t : Interp.t) argv =
+  charge t (iarg 0 argv);
+  0L
+
+let b_nop (_t : Interp.t) _ = 0L
+
+(* ------------------------------------------------------------------ *)
+(* Registration.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let install (t : Interp.t) =
+  let reg name impl = Interp.register_builtin t name impl in
+  reg "kmalloc" b_kmalloc;
+  reg "kzalloc" b_kzalloc;
+  reg "kfree" b_kfree;
+  reg "kmem_cache_create" b_kmem_cache_create;
+  reg "kmem_cache_alloc" b_kmem_cache_alloc;
+  reg "kmem_cache_free" b_kmem_cache_free;
+  reg "vmalloc" b_vmalloc;
+  reg "vfree" b_vfree;
+  reg "alloc_pages" b_alloc_pages;
+  reg "free_pages" b_free_pages;
+  reg "__rc_set_type" b_rc_set_type;
+  reg "memset" b_memset;
+  reg "memcpy" b_memcpy;
+  reg "memmove" b_memcpy;
+  reg "memset_t" b_memset_t;
+  reg "memcpy_t" b_memcpy_t;
+  reg "memcmp" b_memcmp;
+  reg "strlen" b_strlen;
+  reg "strcpy" b_strcpy;
+  reg "strcmp" b_strcmp;
+  reg "printk" b_printk;
+  reg "panic" b_panic;
+  reg "local_irq_disable" b_local_irq_disable;
+  reg "local_irq_enable" b_local_irq_enable;
+  reg "spin_lock" b_spin_lock;
+  reg "spin_unlock" b_spin_unlock;
+  reg "spin_lock_irqsave" b_spin_lock_irqsave;
+  reg "spin_unlock_irqrestore" b_spin_unlock_irqrestore;
+  reg "in_interrupt" b_in_interrupt;
+  reg "irq_enter" b_irq_enter;
+  reg "irq_exit" b_irq_exit;
+  reg "assert_not_atomic" b_assert_not_atomic;
+  reg "request_irq" b_request_irq;
+  reg "raise_irq" b_raise_irq;
+  reg "schedule" (blocking "schedule" 1200);
+  reg "might_sleep" (blocking "might_sleep" 2);
+  reg "msleep" (blocking "msleep" 2000);
+  reg "wait_for_completion" (blocking "wait_for_completion" 800);
+  reg "complete" b_nop;
+  reg "mutex_lock" (blocking "mutex_lock" 60);
+  reg "mutex_unlock" b_nop;
+  reg "down" (blocking "down" 60);
+  reg "up" b_nop;
+  reg "copy_to_user" (b_copy_user "copy_to_user");
+  reg "copy_from_user" (b_copy_user "copy_from_user");
+  reg "get_cycles" b_get_cycles;
+  reg "udelay" b_udelay;
+  reg "barrier" b_nop;
+  reg "cpu_relax" b_nop
+
+(* Convenience: build a ready-to-run interpreter for a program. *)
+let boot ?(config = Machine.default_config) (prog : Kc.Ir.program) : Interp.t =
+  let m = Machine.create ~config () in
+  let t = Interp.create prog m in
+  install t;
+  t

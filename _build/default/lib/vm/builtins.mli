@@ -1,0 +1,12 @@
+(** The kernel API implemented as VM builtins: allocators, memory and
+    string operations (including the CCount type-aware [memset_t] /
+    [memcpy_t]), console, interrupts and locking, interrupt
+    registration/delivery, and the blocking primitives — which call
+    {!Machine.block_here} first, so reaching one in atomic context is
+    the ground-truth crash BlockStop must prevent. *)
+
+(** Install the standard kernel API into an interpreter. *)
+val install : Interp.t -> unit
+
+(** Convenience: machine + interpreter + builtins for a program. *)
+val boot : ?config:Machine.config -> Kc.Ir.program -> Interp.t

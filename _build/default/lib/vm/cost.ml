@@ -1,0 +1,108 @@
+(* Deterministic cycle cost model.
+
+   Absolute numbers are loosely calibrated to a mid-2000s x86; what
+   matters for the reproduction is the *relative* cost structure:
+   memory traffic dominates ALU work, calls have fixed overhead,
+   runtime checks are a couple of cycles, and reference-count updates
+   are cheap on a uniprocessor but expensive with locked operations on
+   an SMP Pentium 4 (paper footnote 4). *)
+
+type profile =
+  | Up (* uniprocessor: plain read-modify-write *)
+  | Smp_p4 (* SMP kernel on P4: locked inc/dec/add *)
+
+type t = {
+  mutable cycles : int;
+  profile : profile;
+  (* Event counters for reports. *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable calls : int;
+  mutable checks_executed : int;
+  mutable rc_ops : int;
+  mutable allocs : int;
+  mutable frees : int;
+}
+
+let create ?(profile = Up) () =
+  {
+    cycles = 0;
+    profile;
+    loads = 0;
+    stores = 0;
+    calls = 0;
+    checks_executed = 0;
+    rc_ops = 0;
+    allocs = 0;
+    frees = 0;
+  }
+
+let reset t =
+  t.cycles <- 0;
+  t.loads <- 0;
+  t.stores <- 0;
+  t.calls <- 0;
+  t.checks_executed <- 0;
+  t.rc_ops <- 0;
+  t.allocs <- 0;
+  t.frees <- 0
+
+let charge t n = t.cycles <- t.cycles + n
+
+(* Basic operation costs. *)
+let alu = 1
+let load_cost = 3
+let store_cost = 3
+let call_overhead = 8
+let branch = 1
+let check_cost = 2 (* a compare + predicted branch *)
+let nt_check_cost = 4 (* load + compare *)
+
+(* One refcount update (inc or dec): compute the shadow-chunk address
+   and read-modify-write the shadow byte, which usually misses the
+   cache. On SMP the RMW must be a locked operation: on a Pentium 4
+   that is on the order of 100 cycles (the paper's footnote 4: the P4
+   "has relatively slow locked operations"). *)
+let rc_op_cost = function Up -> 22 | Smp_p4 -> 100
+
+let alloc_overhead = 40
+let free_overhead = 30
+let zero_per_16_bytes = 2 (* CCount zeroing of allocated storage *)
+let free_scan_per_chunk = 2 (* CCount refcount scan of freed object *)
+
+let op_load t =
+  t.loads <- t.loads + 1;
+  charge t load_cost
+
+let op_store t =
+  t.stores <- t.stores + 1;
+  charge t store_cost
+
+let op_alu t = charge t alu
+let op_branch t = charge t branch
+
+let op_call t =
+  t.calls <- t.calls + 1;
+  charge t call_overhead
+
+let op_check t =
+  t.checks_executed <- t.checks_executed + 1;
+  charge t check_cost
+
+let op_nt_check t =
+  t.checks_executed <- t.checks_executed + 1;
+  charge t nt_check_cost
+
+let op_rc t =
+  t.rc_ops <- t.rc_ops + 1;
+  charge t (rc_op_cost t.profile)
+
+let op_alloc t ~bytes ~zero =
+  t.allocs <- t.allocs + 1;
+  charge t alloc_overhead;
+  if zero then charge t (zero_per_16_bytes * ((bytes + 15) / 16))
+
+let op_free t ~bytes ~rc_scan =
+  t.frees <- t.frees + 1;
+  charge t free_overhead;
+  if rc_scan then charge t (free_scan_per_chunk * ((bytes + 15) / 16))

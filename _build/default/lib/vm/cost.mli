@@ -1,0 +1,58 @@
+(** Deterministic cycle cost model. Absolute values are loosely
+    calibrated to a mid-2000s x86; what the experiments rely on is the
+    relative structure: memory traffic beats ALU work, checks cost a
+    couple of cycles, and refcount updates are cheap on UP but need
+    locked operations on SMP (the paper's footnote 4). *)
+
+type profile =
+  | Up  (** uniprocessor: plain read-modify-write *)
+  | Smp_p4  (** SMP kernel on a Pentium 4: locked inc/dec *)
+
+type t = {
+  mutable cycles : int;
+  profile : profile;
+  mutable loads : int;
+  mutable stores : int;
+  mutable calls : int;
+  mutable checks_executed : int;
+  mutable rc_ops : int;
+  mutable allocs : int;
+  mutable frees : int;
+}
+
+val create : ?profile:profile -> unit -> t
+val reset : t -> unit
+
+(** Add raw cycles. *)
+val charge : t -> int -> unit
+
+(** Cost constants (exposed for tests and calibration). *)
+
+val alu : int
+val load_cost : int
+val store_cost : int
+val call_overhead : int
+val branch : int
+val check_cost : int
+val nt_check_cost : int
+
+(** One shadow-refcount read-modify-write under the given profile. *)
+val rc_op_cost : profile -> int
+
+val alloc_overhead : int
+val free_overhead : int
+val zero_per_16_bytes : int
+val free_scan_per_chunk : int
+
+(** Operation hooks used by the interpreter. *)
+
+val op_load : t -> unit
+val op_store : t -> unit
+val op_alu : t -> unit
+val op_branch : t -> unit
+val op_call : t -> unit
+val op_check : t -> unit
+val op_nt_check : t -> unit
+val op_rc : t -> unit
+val op_alloc : t -> bytes:int -> zero:bool -> unit
+val op_free : t -> bytes:int -> rc_scan:bool -> unit

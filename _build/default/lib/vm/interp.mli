@@ -1,0 +1,57 @@
+(** The IR interpreter over {!Machine}.
+
+    Scalars are [int64], normalized to the width/sign of their type;
+    pointers are flat addresses; function pointers are encoded as
+    negative sentinels. Locals that are scalar and never address-taken
+    live in register slots — free to access and invisible to CCount
+    (the paper's footnote 2); everything else lives on the VM stack.
+    Every executed operation charges the cost model, so cycle counts
+    are a deterministic function of the executed path. *)
+
+type slot = Reg of int64 ref | Stack of int
+
+type frame = {
+  func : Kc.Ir.fundec;
+  slots : (int, slot) Hashtbl.t;  (** vid -> slot *)
+  base : int;  (** stack frame base address *)
+}
+
+type t = {
+  prog : Kc.Ir.program;
+  m : Machine.t;
+  globals_addr : (int, int) Hashtbl.t;
+  strings : (string, int) Hashtbl.t;
+  mutable rodata_brk : int;
+  mutable static_brk : int;
+  mutable call_depth : int;
+  mutable max_call_depth : int;
+  builtins : (string, t -> int64 list -> int64) Hashtbl.t;
+  fun_of_id : (int, Kc.Ir.fundec) Hashtbl.t;
+}
+
+(** Function-pointer encoding. *)
+
+val fptr_encode : int -> int64
+val fptr_decode : int64 -> int option
+
+(** Normalize a value to the width/sign of a type. *)
+val norm : Kc.Ir.ty -> int64 -> int64
+
+(** Create an interpreter: places and initializes globals, interns
+    nothing else until needed. Builtins must be installed separately
+    (see {!Builtins.install} / {!Builtins.boot}). *)
+val create : Kc.Ir.program -> Machine.t -> t
+
+(** Intern a string literal in rodata, returning its address. *)
+val intern_string : t -> string -> int
+
+(** Call a defined function (by fundec) with arguments. *)
+val call_function : t -> Kc.Ir.fundec -> int64 list -> int64
+
+(** Read a null-terminated string out of VM memory. *)
+val read_string : t -> int64 -> string
+
+(** Run a defined function by name. *)
+val run : t -> string -> int64 list -> int64
+
+val register_builtin : t -> string -> (t -> int64 list -> int64) -> unit

@@ -1,0 +1,157 @@
+(* Flat byte-addressed memory with validity tracking and the CCount
+   shadow reference counts.
+
+   Layout (addresses are plain ints; address 0 is the null page):
+
+     0        .. 4095           unmapped (null page)
+     4096     .. rodata_end     string literals (read-only data)
+     rodata_end .. globals_end  globals
+     HEAP_BASE ..               kernel heap (refcounted)
+     STACK_BASE ..              interpreter stacks (not refcounted,
+                                cf. paper footnote 2: local variables
+                                are not tracked)
+
+   Every byte has a validity bit; access to an invalid byte traps like
+   a page fault. Out-of-bounds accesses that land in *valid* memory
+   are silent corruption, exactly as on real hardware — that is the
+   failure mode Deputy's checks are designed to turn into clean traps.
+
+   The shadow array keeps one 8-bit counter per 16-byte chunk (6.25%
+   space overhead, as in the paper). Counters saturate modulo 256:
+   "bad frees of objects with k*256 references will be missed". *)
+
+let null_page_end = 4096
+let rodata_base = 4096
+let rodata_size = 1 lsl 20
+let static_base = rodata_base + rodata_size
+let static_size = 1 lsl 20
+let heap_base = static_base + static_size
+let heap_size = 1 lsl 24 (* 16 MiB heap *)
+let stack_base = heap_base + heap_size
+let stack_size = 1 lsl 22 (* 4 MiB of interpreter stacks *)
+let total_size = stack_base + stack_size
+
+let chunk_shift = 4 (* 16-byte chunks *)
+
+type t = {
+  bytes : Bytes.t;
+  valid : Bytes.t; (* 1 byte per address: crude but simple *)
+  rc : Bytes.t; (* 1 byte per 16-byte chunk *)
+  mutable rc_enabled : bool;
+  (* "Bad frees of objects with k*256 references will be missed ...
+     For total safety, an overflow check could be used." This is that
+     check: trap instead of wrapping. *)
+  mutable rc_overflow_trap : bool;
+}
+
+let create () =
+  {
+    bytes = Bytes.make total_size '\000';
+    valid = Bytes.make total_size '\000';
+    rc = Bytes.make (total_size lsr chunk_shift) '\000';
+    rc_enabled = false;
+    rc_overflow_trap = false;
+  }
+
+let in_range addr len = addr >= 0 && len >= 0 && addr + len <= total_size
+
+let set_valid t addr len v =
+  if not (in_range addr len) then Trap.trap Trap.Wild_access "map %d+%d out of range" addr len;
+  Bytes.fill t.valid addr len (if v then '\001' else '\000')
+
+let is_valid t addr len =
+  in_range addr len
+  &&
+  let rec go i = i >= len || (Bytes.get t.valid (addr + i) <> '\000' && go (i + 1)) in
+  go 0
+
+let check_access t addr len what =
+  if addr >= 0 && addr < null_page_end then
+    Trap.trap Trap.Wild_access "null-page %s at address %d" what addr;
+  if not (is_valid t addr len) then
+    Trap.trap Trap.Wild_access "%s of %d bytes at unmapped address %d" what len addr
+
+(* Little-endian load/store of 1/2/4/8 bytes. *)
+let load t ~addr ~width ~signed : int64 =
+  check_access t addr width "load";
+  let v = ref 0L in
+  for i = width - 1 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get t.bytes (addr + i))))
+  done;
+  if signed && width < 8 then begin
+    let shift = 64 - (8 * width) in
+    Int64.shift_right (Int64.shift_left !v shift) shift
+  end
+  else !v
+
+let store t ~addr ~width (v : int64) =
+  check_access t addr width "store";
+  let x = ref v in
+  for i = 0 to width - 1 do
+    Bytes.set t.bytes (addr + i) (Char.chr (Int64.to_int (Int64.logand !x 0xFFL)));
+    x := Int64.shift_right_logical !x 8
+  done
+
+(* Raw block operations used by the allocator and memcpy/memset. *)
+let blit_zero t addr len =
+  check_access t addr len "memset";
+  Bytes.fill t.bytes addr len '\000'
+
+let blit_byte t addr len c =
+  check_access t addr len "memset";
+  Bytes.fill t.bytes addr len (Char.chr (c land 0xFF))
+
+let blit_copy t ~src ~dst len =
+  check_access t src len "memcpy-src";
+  check_access t dst len "memcpy-dst";
+  Bytes.blit t.bytes src t.bytes dst len
+
+let blit_string t addr s =
+  check_access t addr (String.length s) "intern";
+  Bytes.blit_string s 0 t.bytes addr (String.length s)
+
+(* ------------------------------------------------------------------ *)
+(* Shadow reference counts.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let refcounted addr = addr >= heap_base && addr < heap_base + heap_size
+
+let chunk_of addr = addr lsr chunk_shift
+
+let rc_get t addr = Char.code (Bytes.get t.rc (chunk_of addr))
+
+let rc_set t addr v = Bytes.set t.rc (chunk_of addr) (Char.chr (v land 0xFF))
+
+(* Increment the refcount of the chunk containing [target]; wraps at
+   256 as in the paper's 8-bit counters. *)
+let rc_inc t (target : int64) =
+  if t.rc_enabled then begin
+    let addr = Int64.to_int target in
+    if refcounted addr then begin
+      let cur = rc_get t addr in
+      if cur = 255 && t.rc_overflow_trap then
+        Trap.trap Trap.Rc_overflow "refcount overflow on chunk of address %d" addr;
+      rc_set t addr (cur + 1)
+    end
+  end
+
+let rc_dec t (target : int64) =
+  if t.rc_enabled then begin
+    let addr = Int64.to_int target in
+    if refcounted addr then rc_set t addr (rc_get t addr - 1)
+  end
+
+(* Sum of refcounts over an object, for the free-time check. *)
+let rc_sum t addr len =
+  let first = chunk_of addr and last = chunk_of (addr + len - 1) in
+  let s = ref 0 in
+  for c = first to last do
+    s := !s + Char.code (Bytes.get t.rc c)
+  done;
+  !s
+
+let rc_clear t addr len =
+  let first = chunk_of addr and last = chunk_of (addr + len - 1) in
+  for c = first to last do
+    Bytes.set t.rc c '\000'
+  done

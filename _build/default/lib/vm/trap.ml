@@ -1,0 +1,40 @@
+(* Runtime traps raised by the VM.
+
+   A trap models a kernel crash / oops / panic. The instrumented
+   checks (Deputy, CCount, BlockStop) raise dedicated traps so tests
+   can distinguish "caught by a sound check" from "silently corrupted
+   and crashed later" — the difference the paper is about. *)
+
+type kind =
+  | Wild_access (* access to unmapped memory: a page-fault analogue *)
+  | Check_failed (* a Deputy runtime check fired *)
+  | Bad_free (* CCount: freeing an object with live references *)
+  | Rc_overflow (* CCount: a chunk's 8-bit refcount wrapped *)
+  | Double_free
+  | Use_after_free
+  | Blocking_in_atomic (* blocked with interrupts disabled: ground truth *)
+  | Not_atomic_check (* the BlockStop manual runtime check fired *)
+  | Panic (* explicit kernel panic() / BUG() *)
+  | Out_of_fuel (* interpreter step budget exhausted *)
+  | Div_by_zero
+  | Stack_overflow_trap
+  | Unknown_function
+
+exception Trap of kind * string
+
+let kind_to_string = function
+  | Wild_access -> "wild-access"
+  | Check_failed -> "check-failed"
+  | Bad_free -> "bad-free"
+  | Rc_overflow -> "rc-overflow"
+  | Double_free -> "double-free"
+  | Use_after_free -> "use-after-free"
+  | Blocking_in_atomic -> "blocking-in-atomic"
+  | Not_atomic_check -> "not-atomic-check"
+  | Panic -> "panic"
+  | Out_of_fuel -> "out-of-fuel"
+  | Div_by_zero -> "div-by-zero"
+  | Stack_overflow_trap -> "stack-overflow"
+  | Unknown_function -> "unknown-function"
+
+let trap kind fmt = Printf.ksprintf (fun msg -> raise (Trap (kind, msg))) fmt

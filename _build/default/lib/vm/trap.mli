@@ -1,0 +1,26 @@
+(** Runtime traps raised by the VM: the machine-level analogue of a
+    kernel oops/panic. Instrumented checks raise dedicated kinds so
+    callers can distinguish "caught by a sound check" from "silently
+    corrupted and crashed later". *)
+
+type kind =
+  | Wild_access  (** access to unmapped memory: a page-fault analogue *)
+  | Check_failed  (** a Deputy runtime check fired *)
+  | Bad_free  (** CCount: freeing an object with live references *)
+  | Rc_overflow  (** CCount: a chunk's 8-bit refcount wrapped (only with the overflow check) *)
+  | Double_free
+  | Use_after_free
+  | Blocking_in_atomic  (** blocked with interrupts disabled: ground truth *)
+  | Not_atomic_check  (** the BlockStop manual runtime check fired *)
+  | Panic  (** explicit panic() / BUG() *)
+  | Out_of_fuel  (** interpreter step budget exhausted *)
+  | Div_by_zero
+  | Stack_overflow_trap
+  | Unknown_function
+
+exception Trap of kind * string
+
+val kind_to_string : kind -> string
+
+(** [trap kind fmt ...] raises {!Trap} with a formatted message. *)
+val trap : kind -> ('a, unit, string, 'b) format4 -> 'a

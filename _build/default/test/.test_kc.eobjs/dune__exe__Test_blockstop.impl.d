@@ -1,0 +1,1 @@
+test/test_blockstop.ml: Alcotest Blockstop Kc List Set String Vm

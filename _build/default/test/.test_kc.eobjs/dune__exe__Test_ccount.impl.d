@@ -1,0 +1,1 @@
+test/test_ccount.ml: Alcotest Ccount Kc Printf QCheck2 QCheck_alcotest Vm

@@ -1,0 +1,1 @@
+test/test_deputy.ml: Alcotest Deputy Int64 Kc List Printf QCheck2 QCheck_alcotest String Vm

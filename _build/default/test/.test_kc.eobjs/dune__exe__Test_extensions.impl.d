@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Annotdb Errcheck Filename Kc Kernel List Locksafe Printf Stackcheck Sys Userck

@@ -1,0 +1,1 @@
+test/test_kc.ml: Alcotest Array Hashtbl Kc List String

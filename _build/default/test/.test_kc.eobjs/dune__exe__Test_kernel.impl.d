@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Blockstop Deputy Ivy Kc Kernel List Printf Vm

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Annotdb Deputy Int32 Int64 Kc Kernel List Locksafe Printf QCheck2 QCheck_alcotest Queue String Vm

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Int64 Kc Printf Vm

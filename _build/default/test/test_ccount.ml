@@ -1,0 +1,408 @@
+(* Tests for CCount: refcount instrumentation, free checking, delayed
+   free scopes, typed memory operations, and the untracked-locals
+   policy. *)
+
+let parse src = Kc.Typecheck.check_sources [ ("t.kc", src) ]
+
+let preamble =
+  "void *kmalloc(unsigned long size, int gfp) __blocking_if_gfp_wait;\n\
+   void *kzalloc(unsigned long size, int gfp) __blocking_if_gfp_wait;\n\
+   void kfree(void * __opt p);\n\
+   void *memset(void *p, int c, unsigned long n);\n\
+   void *memcpy(void *d, void *s, unsigned long n);\n\
+   void printk(char * __nullterm fmt, ...);\n"
+
+let p src = preamble ^ src
+
+(* Run under CCount; returns (result, free census, interp). *)
+let run_ccount ?(profile = Vm.Cost.Up) ?(fn = "main") src =
+  let prog = parse src in
+  let t, report = Ccount.Creport.ccount_boot ~profile prog in
+  let result = Vm.Interp.run t fn [] in
+  (result, Vm.Machine.free_census t.Vm.Interp.m, report, t)
+
+let census_ok name ?(expect_total = -1) src =
+  Alcotest.test_case name `Quick (fun () ->
+      let _, census, _, _ = run_ccount src in
+      Alcotest.(check int) (name ^ ": no bad frees") 0 census.Vm.Machine.bad;
+      if expect_total >= 0 then
+        Alcotest.(check int) (name ^ ": total frees") expect_total census.Vm.Machine.total_frees)
+
+let census_bad name ~bad src =
+  Alcotest.test_case name `Quick (fun () ->
+      let _, census, _, _ = run_ccount src in
+      Alcotest.(check int) (name ^ ": bad frees detected") bad census.Vm.Machine.bad)
+
+(* ------------------------------------------------------------------ *)
+(* Basic good/bad frees                                               *)
+(* ------------------------------------------------------------------ *)
+
+let basic_cases =
+  [
+    census_ok "simple alloc/free" ~expect_total:1
+      (p "int main(void) { int *x = kmalloc(16, 0); kfree(x); return 0; }");
+    census_ok "free with only local refs (footnote 2)" ~expect_total:1
+      (p
+         "int main(void) { int *x = kmalloc(16, 0); int *alias = x; kfree(x); return alias == x; }");
+    census_bad "dangling global ref makes a bad free" ~bad:1
+      (p
+         "int *cache;\n\
+          int main(void) { cache = kmalloc(16, 0); kfree(cache); return 0; }");
+    census_ok "nulling the global first is clean" ~expect_total:1
+      (p
+         "int *cache;\n\
+          int main(void) { cache = kmalloc(16, 0); int *x = cache; cache = 0; kfree(x); return 0; }");
+    census_bad "dangling heap field ref" ~bad:1
+      (p
+         "struct holder { int *payload; };\n\
+          int main(void) {\n\
+          struct holder *h = kmalloc(sizeof(struct holder), 0);\n\
+          h->payload = kmalloc(16, 0);\n\
+          int *x = h->payload;\n\
+          kfree(x);\n\
+          kfree(h);\n\
+          return 0; }");
+    census_ok "nulling heap field first is clean" ~expect_total:2
+      (p
+         "struct holder { int *payload; };\n\
+          int main(void) {\n\
+          struct holder *h = kmalloc(sizeof(struct holder), 0);\n\
+          h->payload = kmalloc(16, 0);\n\
+          int *x = h->payload;\n\
+          h->payload = 0;\n\
+          kfree(x);\n\
+          kfree(h);\n\
+          return 0; }");
+  ]
+
+(* Soundness: after a bad free the object is leaked, so the dangling
+   reference still works instead of becoming a use-after-free. *)
+let test_leak_on_bad_free_sound () =
+  let src =
+    p
+      "int *cache;\n\
+       int main(void) { cache = kmalloc(16, 0); *cache = 7; kfree(cache); return *cache; }"
+  in
+  let result, census, _, _ = run_ccount src in
+  Alcotest.(check int) "bad free logged" 1 census.Vm.Machine.bad;
+  Alcotest.(check int64) "dangling access still reads the leaked object" 7L result
+
+(* The same program *without* CCount faults on the dangling access. *)
+let test_without_ccount_faults () =
+  let src =
+    p
+      "int *cache;\n\
+       int main(void) { cache = kmalloc(16, 0); *cache = 7; kfree(cache); return *cache; }"
+  in
+  let t = Vm.Builtins.boot (parse src) in
+  match Vm.Interp.run t "main" [] with
+  | v -> Alcotest.failf "expected a fault, got %Ld" v
+  | exception Vm.Trap.Trap (Vm.Trap.Wild_access, _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* RTTI: outgoing references die with the object                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_list_teardown_with_rtti () =
+  (* Each node references the next; freeing front-to-back is clean
+     because the free path drops the freed node's outgoing refs. *)
+  let src =
+    p
+      "struct node { int v; struct node * __opt next; };\n\
+       struct node * __opt head;\n\
+       int main(void) {\n\
+       int i;\n\
+       for (i = 0; i < 5; i++) {\n\
+       struct node *n = kmalloc(sizeof(struct node), 0);\n\
+       n->v = i; n->next = head; head = n;\n\
+       }\n\
+       while (head != 0) { struct node *d = head; head = head->next; kfree(d); }\n\
+       return 0; }"
+  in
+  let _, census, report, _ = run_ccount src in
+  Alcotest.(check int) "five frees, all good" 5 census.Vm.Machine.total_frees;
+  Alcotest.(check int) "no bad frees" 0 census.Vm.Machine.bad;
+  Alcotest.(check bool) "alloc sites were typed" true
+    (report.Ccount.Creport.instr.Ccount.Rc_instrument.alloc_sites_typed >= 1)
+
+let test_cycle_without_scope_is_bad () =
+  let src =
+    p
+      "struct ring { struct ring * __opt other; };\n\
+       int main(void) {\n\
+       struct ring *a = kmalloc(sizeof(struct ring), 0);\n\
+       struct ring *b = kmalloc(sizeof(struct ring), 0);\n\
+       a->other = b; b->other = a;\n\
+       kfree(a);\n\
+       kfree(b);\n\
+       return 0; }"
+  in
+  let _, census, _, _ = run_ccount src in
+  (* Freeing a while b->other still points at it is a bad free. *)
+  Alcotest.(check bool) "at least one bad free" true (census.Vm.Machine.bad >= 1)
+
+let test_cycle_with_delayed_scope_is_clean () =
+  let src =
+    p
+      "struct ring { struct ring * __opt other; };\n\
+       int main(void) {\n\
+       struct ring *a = kmalloc(sizeof(struct ring), 0);\n\
+       struct ring *b = kmalloc(sizeof(struct ring), 0);\n\
+       a->other = b; b->other = a;\n\
+       __delayed_free { kfree(a); kfree(b); }\n\
+       return 0; }"
+  in
+  let _, census, _, _ = run_ccount src in
+  Alcotest.(check int) "both frees good" 2 census.Vm.Machine.good;
+  Alcotest.(check int) "no bad frees" 0 census.Vm.Machine.bad
+
+(* ------------------------------------------------------------------ *)
+(* Typed memory operations                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_typed_memset_drops_refs () =
+  (* Clearing a struct with memset must drop its references, or the
+     later free of the target is wrongly flagged. *)
+  let src =
+    p
+      "struct holder { int * __opt payload; };\n\
+       int main(void) {\n\
+       struct holder *h = kmalloc(sizeof(struct holder), 0);\n\
+       h->payload = kmalloc(16, 0);\n\
+       int *x = h->payload;\n\
+       memset(h, 0, sizeof(struct holder));\n\
+       kfree(x);\n\
+       kfree(h);\n\
+       return 0; }"
+  in
+  let _, census, report, _ = run_ccount src in
+  Alcotest.(check int) "no bad frees" 0 census.Vm.Machine.bad;
+  Alcotest.(check bool) "memset was retyped" true
+    (report.Ccount.Creport.instr.Ccount.Rc_instrument.memops_retyped >= 1)
+
+let test_typed_memcpy_tracks_refs () =
+  (* Copying a struct duplicates its references; both copies must be
+     cleared before the target dies. *)
+  let src =
+    p
+      "struct holder { int * __opt payload; };\n\
+       struct holder *a;\n\
+       struct holder *b;\n\
+       int main(void) {\n\
+       a = kmalloc(sizeof(struct holder), 0);\n\
+       b = kmalloc(sizeof(struct holder), 0);\n\
+       a->payload = kmalloc(16, 0);\n\
+       memcpy(b, a, sizeof(struct holder));\n\
+       int *x = a->payload;\n\
+       a->payload = 0;\n\
+       b->payload = 0;\n\
+       kfree(x);\n\
+       return 0; }"
+  in
+  let _, census, _, _ = run_ccount src in
+  Alcotest.(check int) "no bad frees after clearing both" 0 census.Vm.Machine.bad
+
+let test_memcpy_copy_detected_as_bad_if_not_cleared () =
+  let src =
+    p
+      "struct holder { int * __opt payload; };\n\
+       struct holder *a;\n\
+       struct holder *b;\n\
+       int main(void) {\n\
+       a = kmalloc(sizeof(struct holder), 0);\n\
+       b = kmalloc(sizeof(struct holder), 0);\n\
+       a->payload = kmalloc(16, 0);\n\
+       memcpy(b, a, sizeof(struct holder));\n\
+       int *x = a->payload;\n\
+       a->payload = 0;\n\
+       kfree(x);\n\
+       return 0; }"
+  in
+  let _, census, _, _ = run_ccount src in
+  Alcotest.(check int) "copy in b caught" 1 census.Vm.Machine.bad
+
+let test_struct_assign_tracks_refs () =
+  let src =
+    p
+      "struct holder { int * __opt payload; };\n\
+       struct holder ga;\n\
+       struct holder gb;\n\
+       int main(void) {\n\
+       ga.payload = kmalloc(16, 0);\n\
+       gb = ga;\n\
+       int *x = ga.payload;\n\
+       ga.payload = 0;\n\
+       gb.payload = 0;\n\
+       kfree(x);\n\
+       return 0; }"
+  in
+  let _, census, _, _ = run_ccount src in
+  Alcotest.(check int) "struct assignment counted" 0 census.Vm.Machine.bad
+
+(* ------------------------------------------------------------------ *)
+(* Cost profile                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rc_heavy_src =
+  p
+    "struct node { int v; struct node * __opt next; };\n\
+     struct node * __opt head;\n\
+     int main(void) {\n\
+     int r;\n\
+     for (r = 0; r < 20; r++) {\n\
+     int i;\n\
+     for (i = 0; i < 20; i++) {\n\
+     struct node *n = kmalloc(sizeof(struct node), 0);\n\
+     n->v = i; n->next = head; head = n;\n\
+     }\n\
+     while (head != 0) { struct node *d = head; head = head->next; kfree(d); }\n\
+     }\n\
+     return 0; }"
+
+let test_smp_costs_more () =
+  let _, _, _, t_up = run_ccount ~profile:Vm.Cost.Up rc_heavy_src in
+  let _, _, _, t_smp = run_ccount ~profile:Vm.Cost.Smp_p4 rc_heavy_src in
+  let up = t_up.Vm.Interp.m.Vm.Machine.cost.Vm.Cost.cycles in
+  let smp = t_smp.Vm.Interp.m.Vm.Machine.cost.Vm.Cost.cycles in
+  Alcotest.(check bool)
+    (Printf.sprintf "smp run costs more (up=%d smp=%d)" up smp)
+    true (smp > up)
+
+let test_rc_ops_counted () =
+  let _, _, _, t = run_ccount rc_heavy_src in
+  Alcotest.(check bool) "rc ops recorded" true
+    (t.Vm.Interp.m.Vm.Machine.cost.Vm.Cost.rc_ops > 100)
+
+(* CCount preserves results. *)
+let test_semantics_preserved () =
+  let src =
+    p
+      "struct node { int v; struct node * __opt next; };\n\
+       struct node * __opt head;\n\
+       int main(void) {\n\
+       int i;\n\
+       for (i = 1; i <= 4; i++) {\n\
+       struct node *n = kmalloc(sizeof(struct node), 0);\n\
+       n->v = i * i; n->next = head; head = n;\n\
+       }\n\
+       int s = 0;\n\
+       while (head != 0) { s += head->v; struct node *d = head; head = head->next; kfree(d); }\n\
+       return s; }"
+  in
+  let base = Vm.Interp.run (Vm.Builtins.boot (parse src)) "main" [] in
+  let rc_result, census, _, _ = run_ccount src in
+  Alcotest.(check int64) "same result" base rc_result;
+  Alcotest.(check int) "clean frees" 0 census.Vm.Machine.bad
+
+(* ------------------------------------------------------------------ *)
+(* The k*256 blind spot and the overflow check                        *)
+(* ------------------------------------------------------------------ *)
+
+(* 256 live references wrap the 8-bit counter to zero: the bad free is
+   MISSED, exactly as the paper admits ("bad frees of objects with
+   k*256 references will be missed"). *)
+let wrap_src =
+  p
+    "int * __opt refs[256];\n\
+     int main(void) {\n\
+     int *obj = kmalloc(16, 0);\n\
+     int i;\n\
+     for (i = 0; i < 256; i++) { refs[i] = obj; }\n\
+     kfree(obj); // 256 dangling references, counter wrapped to 0\n\
+     return 0; }"
+
+let test_k256_blind_spot () =
+  let _, census, _, _ = run_ccount wrap_src in
+  Alcotest.(check int) "the wrapped bad free is missed" 0 census.Vm.Machine.bad;
+  Alcotest.(check int) "it even counts as good" 1 census.Vm.Machine.good
+
+(* "For total safety, an overflow check could be used": with it on,
+   the 256th increment traps instead of wrapping. *)
+let test_overflow_check_catches_wrap () =
+  let prog = parse wrap_src in
+  let t, _ = Ccount.Creport.ccount_boot ~overflow_check:true prog in
+  match Vm.Interp.run t "main" [] with
+  | v -> Alcotest.failf "expected rc-overflow trap, got %Ld" v
+  | exception Vm.Trap.Trap (Vm.Trap.Rc_overflow, _) -> ()
+
+let test_overflow_check_no_false_alarm () =
+  (* 255 references stay under the limit. *)
+  let src =
+    p
+      "int * __opt refs[256];\n\
+       int main(void) {\n\
+       int *obj = kmalloc(16, 0);\n\
+       int i;\n\
+       for (i = 0; i < 255; i++) { refs[i] = obj; }\n\
+       for (i = 0; i < 255; i++) { refs[i] = 0; }\n\
+       kfree(obj);\n\
+       return 0; }"
+  in
+  let prog = parse src in
+  let t, _ = Ccount.Creport.ccount_boot ~overflow_check:true prog in
+  ignore (Vm.Interp.run t "main" []);
+  let census = Vm.Machine.free_census t.Vm.Interp.m in
+  Alcotest.(check int) "clean free under the limit" 0 census.Vm.Machine.bad
+
+(* ------------------------------------------------------------------ *)
+(* Property: push/pop conservation                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_conservation =
+  QCheck2.Test.make ~count:40 ~name:"ccount: stack of n nodes tears down clean"
+    QCheck2.Gen.(int_range 0 40)
+    (fun n ->
+      let src =
+        Printf.sprintf
+          "%s\n\
+           struct node { int v; struct node * __opt next; };\n\
+           struct node * __opt top;\n\
+           int main(void) {\n\
+           int i;\n\
+           for (i = 0; i < %d; i++) {\n\
+           struct node *x = kmalloc(sizeof(struct node), 0);\n\
+           x->v = i; x->next = top; top = x;\n\
+           }\n\
+           while (top != 0) { struct node *d = top; top = top->next; kfree(d); }\n\
+           return 0; }"
+          preamble n
+      in
+      let _, census, _, _ = run_ccount src in
+      census.Vm.Machine.bad = 0 && census.Vm.Machine.total_frees = n)
+
+let () =
+  Alcotest.run "ccount"
+    [
+      ( "frees",
+        basic_cases
+        @ [
+            Alcotest.test_case "leak on bad free is sound" `Quick test_leak_on_bad_free_sound;
+            Alcotest.test_case "without ccount faults" `Quick test_without_ccount_faults;
+          ] );
+      ( "rtti",
+        [
+          Alcotest.test_case "list teardown" `Quick test_list_teardown_with_rtti;
+          Alcotest.test_case "cycle without scope" `Quick test_cycle_without_scope_is_bad;
+          Alcotest.test_case "cycle with delayed scope" `Quick test_cycle_with_delayed_scope_is_clean;
+        ] );
+      ( "typed-ops",
+        [
+          Alcotest.test_case "typed memset" `Quick test_typed_memset_drops_refs;
+          Alcotest.test_case "typed memcpy" `Quick test_typed_memcpy_tracks_refs;
+          Alcotest.test_case "memcpy dup caught" `Quick test_memcpy_copy_detected_as_bad_if_not_cleared;
+          Alcotest.test_case "struct assign" `Quick test_struct_assign_tracks_refs;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "smp more expensive" `Quick test_smp_costs_more;
+          Alcotest.test_case "rc ops counted" `Quick test_rc_ops_counted;
+          Alcotest.test_case "semantics preserved" `Quick test_semantics_preserved;
+        ] );
+      ( "overflow",
+        [
+          Alcotest.test_case "k*256 blind spot" `Quick test_k256_blind_spot;
+          Alcotest.test_case "overflow check catches wrap" `Quick test_overflow_check_catches_wrap;
+          Alcotest.test_case "no false alarm at 255" `Quick test_overflow_check_no_false_alarm;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_conservation ]);
+    ]

@@ -1,0 +1,428 @@
+(* Tests for Deputy: check generation, static discharge, and runtime
+   behaviour of the instrumented program. *)
+
+let parse src = Kc.Typecheck.check_sources [ ("t.kc", src) ]
+
+let preamble =
+  "void *kmalloc(unsigned long size, int gfp) __blocking_if_gfp_wait;\n\
+   void kfree(void * __opt p);\n\
+   void printk(char * __nullterm fmt, ...);\n"
+
+let p src = preamble ^ src
+
+(* Run plain (no deputy). *)
+let run_base ?(fn = "main") src : int64 =
+  let t = Vm.Builtins.boot (parse src) in
+  Vm.Interp.run t fn []
+
+(* Run under Deputy (instrument + optimize). *)
+let run_deputy ?(fn = "main") ?(optimize = true) src : int64 * Deputy.Dreport.report =
+  let prog = parse src in
+  let report = Deputy.Dreport.deputize ~optimize prog in
+  let t = Vm.Builtins.boot prog in
+  (Vm.Interp.run t fn [], report)
+
+let deputy_traps name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match run_deputy src with
+      | v, _ -> Alcotest.failf "%s: expected check failure, got %Ld" name v
+      | exception Vm.Trap.Trap (Vm.Trap.Check_failed, _) -> ())
+
+let deputy_ok name expected src =
+  Alcotest.test_case name `Quick (fun () ->
+      let v, _ = run_deputy src in
+      Alcotest.(check int64) name expected v)
+
+let report_of src =
+  let prog = parse src in
+  Deputy.Dreport.deputize prog
+
+(* ------------------------------------------------------------------ *)
+(* Catching real bugs                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Off-by-one overflow into an adjacent struct field: silent
+   corruption without Deputy, a clean trap with it. *)
+let overflow_src =
+  "struct mixed { int buf[4]; int secret; };\n\
+   struct mixed g;\n\
+   int main(void) {\n\
+   g.secret = 42;\n\
+   int i;\n\
+   for (i = 0; i <= 4; i++) { g.buf[i] = 0; }\n\
+   return g.secret;\n\
+   }"
+
+let test_silent_corruption_base () =
+  (* The base run does NOT trap: the write lands in g.secret. *)
+  Alcotest.(check int64) "secret corrupted silently" 0L (run_base overflow_src)
+
+let test_deputy_catches_overflow () =
+  match run_deputy overflow_src with
+  | v, _ -> Alcotest.failf "expected trap, got %Ld" v
+  | exception Vm.Trap.Trap (Vm.Trap.Check_failed, msg) ->
+      Alcotest.(check bool) "mentions array bound" true
+        (String.length msg > 0)
+
+let bug_cases =
+  [
+    deputy_traps "constant index past array"
+      "int a[4];\nint main(void) { a[4] = 1; return 0; }";
+    deputy_traps "negative index"
+      "int a[4];\nint main(void) { int i = -1; if (a[0] == 0) { i = -2; } a[i] = 1; return 0; }";
+    deputy_traps "counted pointer overflow"
+      (p
+         "int sum(int * __count(n) buf, int n) { int s = 0; int i; for (i = 0; i <= n; i++) { s += buf[i]; } return s; }\n\
+          int main(void) { int * __count(4) b = kmalloc(4 * 4, 0); return sum(b, 4); }");
+    deputy_traps "count flow violation at call site"
+      (p
+         "int read4(int * __count(4) buf) { return buf[3]; }\n\
+          int take(int * __count(n) b, int n) { return read4(b); }\n\
+          int main(void) { int * __count(2) b = kmalloc(8, 0); return take(b, 2); }");
+    deputy_traps "opt pointer deref without test"
+      (p "int get(int * __opt p) { return *p; }\nint main(void) { return get(0); }");
+    deputy_traps "nullterm advance past terminator"
+      (p
+         "int bad_scan(char * __nullterm s) { int n = 0; while (n < 100) { s = s + 1; n++; } return n; }\n\
+          int main(void) { return bad_scan(\"abc\"); }");
+    deputy_traps "struct field count violation"
+      (p
+         "struct vec { int len; int * __count(len) data; };\n\
+          int main(void) {\n\
+          struct vec v;\n\
+          v.len = 2;\n\
+          v.data = kmalloc(2 * 4, 0);\n\
+          int i = 3;\n\
+          if (v.data[0] == 0) { i = 2; }\n\
+          return v.data[i];\n\
+          }");
+  ]
+
+let ok_cases =
+  [
+    deputy_ok "in-bounds loop" 6L
+      (p
+         "int sum(int * __count(n) buf, int n) { int s = 0; int i; for (i = 0; i < n; i++) { s += buf[i]; } return s; }\n\
+          int main(void) { int * __count(3) b = kmalloc(3 * 4, 0); b[0] = 1; b[1] = 2; b[2] = 3; return sum(b, 3); }");
+    deputy_ok "opt pointer with null test" (-1L)
+      (p "int get(int * __opt p) { if (p == 0) { return -1; } return *p; }\nint main(void) { return get(0); }");
+    deputy_ok "nullterm strlen idiom" 5L
+      (p
+         "int my_strlen(char * __nullterm s) { int n = 0; while (*s != 0) { s = s + 1; n++; } return n; }\n\
+          int main(void) { return my_strlen(\"hello\"); }");
+    deputy_ok "trusted block allows weird code" 7L
+      (p
+         "int main(void) { int a[4]; a[1] = 7; int *q; __trusted { q = a; q = q + 1; } return *q; }");
+    deputy_ok "struct field count ok" 5L
+      (p
+         "struct vec { int len; int * __count(len) data; };\n\
+          int main(void) {\n\
+          struct vec v;\n\
+          v.len = 3;\n\
+          v.data = kmalloc(3 * 4, 0);\n\
+          v.data[2] = 5;\n\
+          int i;\n\
+          int s = 0;\n\
+          for (i = 0; i < v.len; i++) { s += v.data[i]; }\n\
+          return s;\n\
+          }");
+    deputy_ok "count flow at call checked ok" 9L
+      (p
+         "int read4(int * __count(4) buf) { return buf[3]; }\n\
+          int main(void) { int n = 6; int * __count(n) q = kmalloc(6 * 4, 0); q[3] = 9; return read4(q); }");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Static discharge                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_loop_checks_discharged () =
+  let r =
+    report_of
+      (p
+         "int sum(int * __count(n) buf, int n) { int s = 0; int i; for (i = 0; i < n; i++) { s += buf[i]; } return s; }")
+  in
+  (* The for-loop guard proves 0 <= i < n; nothing should remain. *)
+  Alcotest.(check int) "no residual checks in canonical loop" 0 r.Deputy.Dreport.residual;
+  Alcotest.(check bool) "some checks were inserted" true (r.Deputy.Dreport.inserted > 0)
+
+let test_constant_index_discharged () =
+  let r = report_of "int a[8];\nint main(void) { a[0] = 1; a[7] = 2; return a[3]; }" in
+  Alcotest.(check int) "constant in-bounds indices are free" 0 r.Deputy.Dreport.inserted
+
+let test_null_test_discharges_nonnull () =
+  let r =
+    report_of
+      (p "int get(int * __opt p) { if (p != 0) { return *p; } return -1; }")
+  in
+  Alcotest.(check int) "nonnull discharged by branch" 0 r.Deputy.Dreport.residual
+
+let test_unprovable_check_kept () =
+  let r =
+    report_of
+      (p "int get(int * __count(n) b, int n, int i) { return b[i]; }")
+  in
+  Alcotest.(check bool) "unprovable bounds stay as runtime checks" true
+    (r.Deputy.Dreport.residual >= 2)
+
+let test_dedup_same_check () =
+  let r =
+    report_of
+      (p "int get(int * __count(n) b, int n, int i) { return b[i] + b[i] + b[i]; }")
+  in
+  (* Three identical accesses: the first pays, the rest are proven by
+     the passed check. *)
+  Alcotest.(check int) "only one pair of checks kept" 2 r.Deputy.Dreport.residual
+
+let test_static_error_reported () =
+  let r = report_of "int a[4];\nint main(void) { return a[9]; }" in
+  Alcotest.(check bool) "constant OOB is a static error" true
+    (List.length r.Deputy.Dreport.static_errors >= 1)
+
+let test_annotation_census () =
+  let r =
+    report_of
+      (p
+         "struct v { int len; int * __count(len) __opt data; };\n\
+          int f(char * __nullterm s, int * __count(4) q) { return q[0]; }")
+  in
+  (* count+opt on the field, nullterm + count on params, plus the
+     preamble's own annotations. *)
+  Alcotest.(check bool) "annotations counted" true (r.Deputy.Dreport.annotations >= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Semantics preservation (erasure)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let preservation_srcs =
+  [
+    ( "sum loop",
+      p
+        "int sum(int * __count(n) buf, int n) { int s = 0; int i; for (i = 0; i < n; i++) { s += buf[i]; } return s; }\n\
+         int main(void) { int * __count(16) b = kmalloc(16 * 4, 0); int i; for (i = 0; i < 16; i++) { b[i] = i; } return sum(b, 16); }"
+    );
+    ( "string walk",
+      p
+        "int my_strlen(char * __nullterm s) { int n = 0; while (*s != 0) { s = s + 1; n++; } return n; }\n\
+         int main(void) { return my_strlen(\"erasure semantics\"); }" );
+    ( "struct vec",
+      p
+        "struct vec { int len; int * __count(len) data; };\n\
+         int main(void) { struct vec v; v.len = 4; v.data = kmalloc(16, 0); int i; for (i = 0; i < v.len; i++) { v.data[i] = i * i; } int s = 0; for (i = 0; i < v.len; i++) { s += v.data[i]; } return s; }"
+    );
+  ]
+
+let test_preservation () =
+  List.iter
+    (fun (name, src) ->
+      let base = run_base src in
+      let dep, _ = run_deputy src in
+      Alcotest.(check int64) (name ^ ": deputized result equals base") base dep)
+    preservation_srcs
+
+(* Deputy overhead exists but is bounded when checks discharge. *)
+let test_cost_overhead_small_when_discharged () =
+  let src =
+    p
+      "int sum(int * __count(n) buf, int n) { int s = 0; int i; for (i = 0; i < n; i++) { s += buf[i]; } return s; }\n\
+       int main(void) { int * __count(1000) b = kmalloc(1000 * 4, 0); int r = 0; int k; for (k = 0; k < 50; k++) { r = sum(b, 1000); } return r; }"
+  in
+  let base_prog = parse src in
+  let tb = Vm.Builtins.boot base_prog in
+  ignore (Vm.Interp.run tb "main" []);
+  let base_cycles = tb.Vm.Interp.m.Vm.Machine.cost.Vm.Cost.cycles in
+  let dep_prog = parse src in
+  ignore (Deputy.Dreport.deputize dep_prog);
+  let td = Vm.Builtins.boot dep_prog in
+  ignore (Vm.Interp.run td "main" []);
+  let dep_cycles = td.Vm.Interp.m.Vm.Machine.cost.Vm.Cost.cycles in
+  let ratio = float_of_int dep_cycles /. float_of_int base_cycles in
+  Alcotest.(check bool)
+    (Printf.sprintf "discharged loop overhead < 5%% (ratio %.3f)" ratio)
+    true (ratio < 1.05)
+
+let test_cost_overhead_visible_when_kept () =
+  let src =
+    p
+      "int get(int * __count(n) b, int n, int i) { return b[i]; }\n\
+       int idx = 3;\n\
+       int main(void) { int * __count(16) b = kmalloc(64, 0); int r = 0; int k; for (k = 0; k < 1000; k++) { r += get(b, 16, idx); } return r; }"
+  in
+  let base_prog = parse src in
+  let tb = Vm.Builtins.boot base_prog in
+  ignore (Vm.Interp.run tb "main" []);
+  let base_cycles = tb.Vm.Interp.m.Vm.Machine.cost.Vm.Cost.cycles in
+  let dep_prog = parse src in
+  ignore (Deputy.Dreport.deputize dep_prog);
+  let td = Vm.Builtins.boot dep_prog in
+  ignore (Vm.Interp.run td "main" []);
+  let dep_cycles = td.Vm.Interp.m.Vm.Machine.cost.Vm.Cost.cycles in
+  Alcotest.(check bool) "kept checks cost cycles" true (dep_cycles > base_cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Property: randomized bounds                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* For random (size, index), the deputized program traps iff the index
+   is out of bounds; in-bounds runs return the same value as base. *)
+let prop_bounds =
+  QCheck2.Test.make ~count:60 ~name:"deputy traps iff index out of bounds"
+    QCheck2.Gen.(pair (int_range 1 12) (int_range (-4) 16))
+    (fun (size, idx) ->
+      let src =
+        Printf.sprintf
+          "%s\n\
+           int probe(int * __count(n) b, int n, int i) { return b[i]; }\n\
+           int cell = %d;\n\
+           int main(void) { int * __count(%d) b = kmalloc(%d * 4, 0); int i; for (i = 0; i < %d; i++) { b[i] = i * 10; } return probe(b, %d, cell); }"
+          preamble idx size size size size
+      in
+      let in_bounds = idx >= 0 && idx < size in
+      match run_deputy src with
+      | v, _ -> in_bounds && v = Int64.of_int (idx * 10)
+      | exception Vm.Trap.Trap (Vm.Trap.Check_failed, _) -> not in_bounds)
+
+(* ------------------------------------------------------------------ *)
+(* Dependent-count updates (writes to variables a count mentions)     *)
+(* ------------------------------------------------------------------ *)
+
+let count_update_cases =
+  [
+    deputy_ok "shrinking a live count is fine" 3L
+      (p
+         "struct vec { int len; int * __count(len) data; };\n\
+          int main(void) {\n\
+          struct vec v;\n\
+          v.len = 8;\n\
+          v.data = kmalloc(8 * 4, 0);\n\
+          v.data[5] = 3;\n\
+          v.len = 4; // shrink: ok\n\
+          return v.data[3] + 3;\n\
+          }");
+    deputy_traps "growing a live count traps"
+      (p
+         "struct vec { int len; int * __count(len) data; };\n\
+          int main(void) {\n\
+          struct vec v;\n\
+          v.len = 4;\n\
+          v.data = kmalloc(4 * 4, 0);\n\
+          v.len = 16; // grow without reallocating: the lie\n\
+          return v.data[0];\n\
+          }");
+    deputy_ok "any count while the pointer is null (init pattern)" 0L
+      (p
+         "struct vec { int len; int * __count(len) data; };\n\
+          int main(void) {\n\
+          struct vec v;\n\
+          v.len = 123; // data is null: fine\n\
+          v.data = kmalloc(123 * 4, 0);\n\
+          v.len = 64;\n\
+          return v.data[63];\n\
+          }");
+    deputy_ok "local count variable follows the same rule" 0L
+      (p
+         "int main(void) {\n\
+          int n = 16;\n\
+          int * __count(n) p = kmalloc(16 * 4, 0);\n\
+          n = 8; // shrink ok\n\
+          return p[7];\n\
+          }");
+    deputy_traps "growing a local count traps"
+      (p
+         "int main(void) {\n\
+          int n = 4;\n\
+          int * __count(n) p = kmalloc(4 * 4, 0);\n\
+          n = 12;\n\
+          return p[0];\n\
+          }");
+    deputy_ok "trusted region may re-establish counts" 0L
+      (p
+         "int main(void) {\n\
+          int n = 4;\n\
+          int * __count(n) p = kmalloc(16 * 4, 0);\n\
+          __trusted { n = 16; } // the programmer vouches for it\n\
+          return p[15];\n\
+          }");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Annotation inference                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_infer_count () =
+  let prog =
+    parse
+      "int sum(int *buf, int n) { int s = 0; int i; for (i = 0; i < n; i++) { s += buf[i]; } return s; }"
+  in
+  let suggestions = Deputy.Infer.suggest prog in
+  Alcotest.(check bool) "count(n) suggested for buf" true
+    (List.exists
+       (fun (s : Deputy.Infer.suggestion) ->
+         s.Deputy.Infer.sg_fn = "sum" && s.Deputy.Infer.sg_param = "buf"
+         && s.Deputy.Infer.sg_annot = "__count(n)")
+       suggestions)
+
+let test_infer_opt () =
+  let prog = parse "int get(int *p) { if (p == 0) { return -1; } return *p; }" in
+  let suggestions = Deputy.Infer.suggest prog in
+  Alcotest.(check bool) "opt suggested for p" true
+    (List.exists
+       (fun (s : Deputy.Infer.suggestion) ->
+         s.Deputy.Infer.sg_param = "p" && s.Deputy.Infer.sg_annot = "__opt")
+       suggestions)
+
+let test_infer_skips_annotated () =
+  let prog =
+    parse
+      (p
+         "int sum(int * __count(n) buf, int n) { int s = 0; int i; for (i = 0; i < n; i++) { s += buf[i]; } return s; }")
+  in
+  Alcotest.(check int) "already-annotated params get no suggestions" 0
+    (List.length (Deputy.Infer.suggest prog))
+
+let test_infer_suggestion_checks_clean () =
+  (* Applying the suggested annotation produces a program that Deputy
+     accepts and that discharges its checks. *)
+  let prog =
+    parse
+      "int sum(int * __count(n) buf, int n) { int s = 0; int i; for (i = 0; i < n; i++) { s += buf[i]; } return s; }"
+  in
+  let r = Deputy.Dreport.deputize prog in
+  Alcotest.(check int) "no residual checks" 0 r.Deputy.Dreport.residual
+
+let () =
+  Alcotest.run "deputy"
+    [
+      ( "catches",
+        [
+          Alcotest.test_case "base run corrupts silently" `Quick test_silent_corruption_base;
+          Alcotest.test_case "deputy catches overflow" `Quick test_deputy_catches_overflow;
+        ]
+        @ bug_cases );
+      ("accepts", ok_cases);
+      ( "discharge",
+        [
+          Alcotest.test_case "loop checks discharged" `Quick test_loop_checks_discharged;
+          Alcotest.test_case "constant index free" `Quick test_constant_index_discharged;
+          Alcotest.test_case "null test discharges" `Quick test_null_test_discharges_nonnull;
+          Alcotest.test_case "unprovable kept" `Quick test_unprovable_check_kept;
+          Alcotest.test_case "dedup" `Quick test_dedup_same_check;
+          Alcotest.test_case "static error" `Quick test_static_error_reported;
+          Alcotest.test_case "annotation census" `Quick test_annotation_census;
+        ] );
+      ( "preservation",
+        [
+          Alcotest.test_case "results preserved" `Quick test_preservation;
+          Alcotest.test_case "discharged overhead small" `Quick test_cost_overhead_small_when_discharged;
+          Alcotest.test_case "kept checks cost" `Quick test_cost_overhead_visible_when_kept;
+        ] );
+      ("count-updates", count_update_cases);
+      ( "inference",
+        [
+          Alcotest.test_case "count" `Quick test_infer_count;
+          Alcotest.test_case "opt" `Quick test_infer_opt;
+          Alcotest.test_case "skips annotated" `Quick test_infer_skips_annotated;
+          Alcotest.test_case "suggestion checks clean" `Quick test_infer_suggestion_checks_clean;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_bounds ]);
+    ]

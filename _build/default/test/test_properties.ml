@@ -1,0 +1,432 @@
+(* Property-based tests (qcheck) over the core data structures and
+   invariants: interpreter arithmetic vs. a reference C semantics,
+   parser precedence, layout laws, memory round-trips, refcount
+   conservation, the Facts lattice laws, a kfifo model test, and
+   annotation-database serialization. *)
+
+let parse src = Kc.Typecheck.check_sources [ ("t.kc", src) ]
+
+let run_main src =
+  let t = Vm.Builtins.boot (parse src) in
+  Vm.Interp.run t "main" []
+
+(* ------------------------------------------------------------------ *)
+(* 1. Interpreter arithmetic agrees with C int32 semantics            *)
+(* ------------------------------------------------------------------ *)
+
+type cexp =
+  | Cint of int32
+  | Cbin of string * cexp * cexp
+  | Cneg of cexp
+  | Cnot of cexp
+
+let rec render = function
+  | Cint n ->
+      (* Negative literals via unary minus to stay in the grammar. *)
+      if n >= 0l then Int32.to_string n else Printf.sprintf "(-%s)" (Int32.to_string (Int32.neg n))
+  | Cbin (op, a, b) -> Printf.sprintf "(%s %s %s)" (render a) op (render b)
+  | Cneg a -> Printf.sprintf "(-%s)" (render a)
+  | Cnot a -> Printf.sprintf "(~%s)" (render a)
+
+(* Reference evaluation with C int32 wrap-around semantics. *)
+let rec ceval = function
+  | Cint n -> n
+  | Cneg a -> Int32.neg (ceval a)
+  | Cnot a -> Int32.lognot (ceval a)
+  | Cbin (op, a, b) -> (
+      let x = ceval a and y = ceval b in
+      match op with
+      | "+" -> Int32.add x y
+      | "-" -> Int32.sub x y
+      | "*" -> Int32.mul x y
+      | "/" -> if y = 0l || (x = Int32.min_int && y = -1l) then 1l else Int32.div x y
+      | "%" -> if y = 0l || (x = Int32.min_int && y = -1l) then 1l else Int32.rem x y
+      | "&" -> Int32.logand x y
+      | "|" -> Int32.logor x y
+      | "^" -> Int32.logxor x y
+      | "<<" -> Int32.shift_left x (Int32.to_int (Int32.logand y 31l))
+      | ">>" -> Int32.shift_right x (Int32.to_int (Int32.logand y 31l))
+      | "<" -> if x < y then 1l else 0l
+      | ">" -> if x > y then 1l else 0l
+      | "==" -> if x = y then 1l else 0l
+      | _ -> failwith "bad op")
+
+(* Avoid the divide-by-zero / overflow traps: the reference returns 1
+   there, and we guard the generated program the same way by only
+   generating division by nonzero constants. *)
+let gen_cexp =
+  let open QCheck2.Gen in
+  let leaf = map (fun n -> Cint (Int32.of_int n)) (int_range (-1000) 1000) in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 6,
+              let* op =
+                oneofl [ "+"; "-"; "*"; "&"; "|"; "^"; "<"; ">"; "==" ]
+              in
+              let* a = self (depth - 1) in
+              let* b = self (depth - 1) in
+              return (Cbin (op, a, b)) );
+            ( 2,
+              let* op = oneofl [ "/"; "%" ] in
+              let* a = self (depth - 1) in
+              let* b = map (fun n -> Cint (Int32.of_int n)) (oneofl [ 1; 2; 3; 7; 100; -3 ]) in
+              return (Cbin (op, a, b)) );
+            ( 1,
+              let* op = oneofl [ "<<"; ">>" ] in
+              let* a = self (depth - 1) in
+              let* b = map (fun n -> Cint (Int32.of_int n)) (int_range 0 15) in
+              return (Cbin (op, a, b)) );
+            (1, map (fun a -> Cneg a) (self (depth - 1)));
+            (1, map (fun a -> Cnot a) (self (depth - 1)));
+          ])
+    3
+
+let prop_interp_arithmetic =
+  QCheck2.Test.make ~count:200 ~name:"interpreter agrees with C int32 semantics" gen_cexp
+    (fun e ->
+      (* Division by a negative constant of min_int would trap; the
+         reference's special cases use 1, so only compare when no
+         division edge case is hit — we detect it by catching traps. *)
+      let src = Printf.sprintf "int main(void) { return %s; }" (render e) in
+      match run_main src with
+      | got -> got = Int64.of_int32 (ceval e)
+      | exception Vm.Trap.Trap (Vm.Trap.Div_by_zero, _) -> true)
+
+(* ------------------------------------------------------------------ *)
+(* 2. Parser precedence: unparenthesized chains group like C          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_precedence =
+  (* a op1 b op2 c without parens must equal the grouping C mandates. *)
+  let ops = [ ("+", 9); ("-", 9); ("*", 10); ("&", 5); ("|", 3); ("^", 4); ("<<", 8) ] in
+  QCheck2.Test.make ~count:100 ~name:"binary operator precedence matches C"
+    QCheck2.Gen.(
+      tup5 (int_range 1 50) (oneofl ops) (int_range 1 50) (oneofl ops) (int_range 1 16))
+    (fun (a, (op1, p1), b, (op2, p2), c) ->
+      let flat = Printf.sprintf "int main(void) { return %d %s %d %s %d; }" a op1 b op2 c in
+      let grouped =
+        if p1 >= p2 then
+          Printf.sprintf "int main(void) { return (%d %s %d) %s %d; }" a op1 b op2 c
+        else Printf.sprintf "int main(void) { return %d %s (%d %s %d); }" a op1 b op2 c
+      in
+      run_main flat = run_main grouped)
+
+(* ------------------------------------------------------------------ *)
+(* 3. Layout laws on random structs                                   *)
+(* ------------------------------------------------------------------ *)
+
+let gen_fields =
+  QCheck2.Gen.(list_size (int_range 1 8) (oneofl [ "char"; "short"; "int"; "long"; "int *" ]))
+
+let prop_layout =
+  QCheck2.Test.make ~count:100 ~name:"struct layout: aligned, non-overlapping, padded size"
+    gen_fields (fun field_types ->
+      let fields =
+        List.mapi (fun i t -> Printf.sprintf "%s f%d;" t i) field_types |> String.concat " "
+      in
+      let prog = parse (Printf.sprintf "struct s { %s };" fields) in
+      let comp = Kc.Ir.comp_find prog "s" in
+      let size = Kc.Layout.comp_size prog comp in
+      let infos =
+        List.map
+          (fun (f : Kc.Ir.fieldinfo) ->
+            ( Kc.Layout.field_offset prog f,
+              Kc.Layout.size_of prog f.Kc.Ir.fty,
+              Kc.Layout.align_of prog f.Kc.Ir.fty ))
+          comp.Kc.Ir.cfields
+      in
+      (* Offsets aligned; fields inside the struct; no overlap. *)
+      let aligned = List.for_all (fun (off, _, al) -> off mod al = 0) infos in
+      let inside = List.for_all (fun (off, sz, _) -> off + sz <= size) infos in
+      let rec no_overlap = function
+        | (o1, s1, _) :: ((o2, _, _) :: _ as rest) -> o1 + s1 <= o2 && no_overlap rest
+        | _ -> true
+      in
+      let max_align = List.fold_left (fun m (_, _, al) -> max m al) 1 infos in
+      aligned && inside && no_overlap infos && size mod max_align = 0)
+
+(* ------------------------------------------------------------------ *)
+(* 4. Memory: load/store round-trips                                  *)
+(* ------------------------------------------------------------------ *)
+
+let prop_mem_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"memory load/store round-trip with normalization"
+    QCheck2.Gen.(tup3 (oneofl [ 1; 2; 4; 8 ]) (oneofl [ true; false ]) (ui64 : int64 t))
+    (fun (width, signed, v) ->
+      let m = Vm.Mem.create () in
+      let addr = 5000 in
+      Vm.Mem.set_valid m addr 16 true;
+      Vm.Mem.store m ~addr ~width v;
+      let got = Vm.Mem.load m ~addr ~width ~signed in
+      let expect =
+        if width = 8 then v
+        else begin
+          let shift = 64 - (8 * width) in
+          let shifted = Int64.shift_left v shift in
+          if signed then Int64.shift_right shifted shift
+          else Int64.shift_right_logical shifted shift
+        end
+      in
+      got = expect)
+
+(* ------------------------------------------------------------------ *)
+(* 5. Refcount conservation under random inc/dec                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_rc_conservation =
+  QCheck2.Test.make ~count:100 ~name:"refcounts: balanced inc/dec nets to zero (mod 256)"
+    QCheck2.Gen.(list_size (int_range 0 60) (int_range 0 9))
+    (fun chunk_picks ->
+      let m = Vm.Mem.create () in
+      m.Vm.Mem.rc_enabled <- true;
+      let target i = Int64.of_int (Vm.Mem.heap_base + (i * 16)) in
+      List.iter (fun i -> Vm.Mem.rc_inc m (target i)) chunk_picks;
+      List.iter (fun i -> Vm.Mem.rc_dec m (target i)) chunk_picks;
+      List.for_all (fun i -> Vm.Mem.rc_get m (Int64.to_int (target i)) = 0) chunk_picks)
+
+(* ------------------------------------------------------------------ *)
+(* 6. Facts lattice laws                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Random facts built from random add operations over a few vids. *)
+let gen_facts =
+  QCheck2.Gen.(
+    let op =
+      oneof
+        [
+          map2 (fun v c -> `Lower (v, Int64.of_int c)) (int_range 0 4) (int_range (-10) 10);
+          map2 (fun v c -> `UpperC (v, Int64.of_int c)) (int_range 0 4) (int_range (-10) 10);
+          map2 (fun v w -> `UpperV (v, w)) (int_range 0 4) (int_range 0 4);
+          map (fun v -> `Nonnull v) (int_range 0 4);
+        ]
+    in
+    map
+      (fun ops ->
+        List.fold_left
+          (fun acc op ->
+            match op with
+            | `Lower (v, c) -> Deputy.Facts.add_lower v c acc
+            | `UpperC (v, c) -> Deputy.Facts.add_upper v (Deputy.Facts.Bconst c) acc
+            | `UpperV (v, w) -> Deputy.Facts.add_upper v (Deputy.Facts.Bvar w) acc
+            | `Nonnull v -> Deputy.Facts.add_nonnull v acc)
+          Deputy.Facts.top ops)
+      (list_size (int_range 0 12) op))
+
+let prop_facts_join_laws =
+  QCheck2.Test.make ~count:150 ~name:"facts join: commutative, idempotent, top-absorbing"
+    QCheck2.Gen.(pair gen_facts gen_facts)
+    (fun (a, b) ->
+      Deputy.Facts.equal (Deputy.Facts.join a b) (Deputy.Facts.join b a)
+      && Deputy.Facts.equal (Deputy.Facts.join a a) a
+      && Deputy.Facts.equal (Deputy.Facts.join a Deputy.Facts.top) Deputy.Facts.top)
+
+(* Joined facts are weaker: anything provable from (join a b) is
+   provable from a alone (soundness of the join for discharge). *)
+let prop_facts_join_weaker =
+  QCheck2.Test.make ~count:150 ~name:"facts join is a weakening" QCheck2.Gen.(pair gen_facts gen_facts)
+    (fun (a, b) ->
+      let j = Deputy.Facts.join a b in
+      let mk_var vid =
+        {
+          Kc.Ir.vname = Printf.sprintf "v%d" vid;
+          vid;
+          vty = Kc.Ir.int_type;
+          vglob = false;
+          vparam = false;
+          vtemp = false;
+          vaddrof = false;
+        }
+      in
+      List.for_all
+        (fun vid ->
+          let v = mk_var vid in
+          (match Deputy.Facts.lower_bound j v with
+          | Some c -> (
+              match Deputy.Facts.lower_bound a v with Some ca -> ca >= c | None -> false)
+          | None -> true)
+          && ((not (Deputy.Facts.is_nonnull j v)) || Deputy.Facts.is_nonnull a v))
+        [ 0; 1; 2; 3; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* 7. kfifo model test                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Compare the KC kfifo against an OCaml queue over a random op
+   sequence; the whole trace is driven from a generated KC main. *)
+let prop_kfifo_model =
+  QCheck2.Test.make ~count:60 ~name:"kfifo agrees with a queue model"
+    QCheck2.Gen.(
+      pair (int_range 1 6) (list_size (int_range 1 25) (pair (oneofl [ true; false ]) (int_range 1 24))))
+    (fun (size_16ths, ops) ->
+      let cap = size_16ths * 16 in
+      (* Model: compute expected outputs. *)
+      let q = Queue.create () in
+      let counter = ref 0 in
+      let expected =
+        List.map
+          (fun (is_put, n) ->
+            if is_put then begin
+              let room = cap - Queue.length q in
+              let todo = min n room in
+              for k = 1 to todo do
+                ignore k;
+                incr counter;
+                Queue.add (!counter land 0xFF) q
+              done;
+              todo
+            end
+            else begin
+              let todo = min n (Queue.length q) in
+              let s = ref 0 in
+              for _ = 1 to todo do
+                s := !s + Queue.pop q
+              done;
+              !s + todo
+            end)
+          ops
+      in
+      (* KC program playing the same trace; returns a rolling hash of
+         the per-op results. *)
+      let body =
+        List.map
+          (fun (is_put, n) ->
+            if is_put then
+              Printf.sprintf
+                "{ char tmp[32]; int k; int c0 = counter; for (k = 0; k < %d; k++) { counter++; tmp[k] = counter & 255; } int r = kfifo_put(q, tmp, %d); counter = c0 + r; h = h * 31 + r; }"
+                n n
+            else
+              Printf.sprintf
+                "{ char tmp[32]; int r = kfifo_get(q, tmp, %d); int s = 0; int k; for (k = 0; k < r; k++) { char c = tmp[k]; s += c; } h = h * 31 + s + r; }"
+                n)
+          ops
+        |> String.concat "\n"
+      in
+      let src =
+        Printf.sprintf
+          "%s\nlong h;\nint counter;\nint main(void) {\n  struct kfifo *q = kfifo_alloc(%d, 0);\n  h = 7;\n%s\n  kfifo_free(q);\n  return 0;\n}\nlong result(void) { return h; }"
+          (Kernel.Src_header.source ^ Kernel.Src_lib.source)
+          cap body
+      in
+      let t = Vm.Builtins.boot (Kc.Typecheck.check_sources [ ("kfifo.kc", src) ]) in
+      ignore (Vm.Interp.run t "main" []);
+      let got = Vm.Interp.run t "result" [] in
+      let expect = List.fold_left (fun h r -> Int64.add (Int64.mul h 31L) (Int64.of_int r)) 7L expected in
+      got = expect)
+
+(* ------------------------------------------------------------------ *)
+(* 8. Annotation database serialization                               *)
+(* ------------------------------------------------------------------ *)
+
+let gen_fact =
+  QCheck2.Gen.(
+    let name = map (Printf.sprintf "f%d") (int_range 0 50) in
+    let* subject =
+      oneof
+        [
+          map (fun n -> Annotdb.Func n) name;
+          map2 (fun t f -> Annotdb.Field (t, f)) name name;
+          map (fun n -> Annotdb.Global n) name;
+        ]
+    in
+    let* kind = oneofl [ "blocking"; "count"; "opt"; "returns_err"; "stack_bytes" ] in
+    let* payload = oneofl [ ""; "len"; "-5,-22"; "128" ] in
+    let* provenance =
+      oneofl [ Annotdb.Manual; Annotdb.Inferred "blockstop"; Annotdb.Inferred "errcheck" ]
+    in
+    return { Annotdb.subject; kind; payload; provenance })
+
+let prop_annotdb_roundtrip =
+  QCheck2.Test.make ~count:100 ~name:"annotdb to_string/of_string round-trip"
+    QCheck2.Gen.(list_size (int_range 0 30) gen_fact)
+    (fun facts ->
+      let db = Annotdb.create () in
+      List.iter (Annotdb.add db) facts;
+      let db2 = Annotdb.of_string (Annotdb.to_string db) in
+      Annotdb.to_string db = Annotdb.to_string db2 && Annotdb.size db = Annotdb.size db2)
+
+(* ------------------------------------------------------------------ *)
+(* 8b. Locksafe: consistently ordered programs are never flagged      *)
+(* ------------------------------------------------------------------ *)
+
+(* Generate functions that each take a random subset of locks but
+   always in the global order lock0 < lock1 < lock2: no deadlock pair
+   may be reported. *)
+let prop_locksafe_consistent =
+  QCheck2.Test.make ~count:60 ~name:"locksafe: ordered acquisitions never flagged"
+    QCheck2.Gen.(list_size (int_range 1 5) (list_size (int_range 0 3) (int_range 0 2)))
+    (fun fns ->
+      let fn_src i picks =
+        let picks = List.sort_uniq compare picks in
+        let acquires =
+          List.map (fun l -> Printf.sprintf "spin_lock(&glock%d);" l) picks
+        in
+        let releases =
+          List.rev_map (fun l -> Printf.sprintf "spin_unlock(&glock%d);" l) picks
+        in
+        Printf.sprintf "int fn%d(void) { %s %s return 0; }" i
+          (String.concat " " acquires)
+          (String.concat " " releases)
+      in
+      let src =
+        "void spin_lock(long *l);
+void spin_unlock(long *l);
+         long glock0;
+long glock1;
+long glock2;
+"
+        ^ String.concat "
+" (List.mapi fn_src fns)
+      in
+      let r = Locksafe.analyze (parse src) in
+      r.Locksafe.deadlock_cycles = [])
+
+(* ------------------------------------------------------------------ *)
+(* 9. Deputy instrumentation never changes results of safe programs   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_deputy_preserves =
+  QCheck2.Test.make ~count:50 ~name:"deputy preserves results of in-bounds programs"
+    QCheck2.Gen.(pair (int_range 1 20) (int_range 0 1000))
+    (fun (n, seed) ->
+      let src =
+        Printf.sprintf
+          "void *kmalloc(unsigned long size, int gfp);\nvoid kfree(void * __opt p);\n\
+           int work(int * __count(len) buf, int len, int seed) {\n\
+           int i; int acc = seed;\n\
+           for (i = 0; i < len; i++) { buf[i] = acc; acc = acc * 1103515245 + 12345; }\n\
+           int s = 0;\n\
+           for (i = 0; i < len; i++) { s ^= buf[i]; }\n\
+           return s; }\n\
+           int main(void) { int * __count(%d) b = kmalloc(%d * 4, 0); int r = work(b, %d, %d); kfree(b); return r; }"
+          n n n seed
+      in
+      let base = run_main src in
+      let prog = parse src in
+      ignore (Deputy.Dreport.deputize prog);
+      let t = Vm.Builtins.boot prog in
+      Vm.Interp.run t "main" [] = base)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "qcheck",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_interp_arithmetic;
+            prop_precedence;
+            prop_layout;
+            prop_mem_roundtrip;
+            prop_rc_conservation;
+            prop_facts_join_laws;
+            prop_facts_join_weaker;
+            prop_kfifo_model;
+            prop_locksafe_consistent;
+            prop_annotdb_roundtrip;
+            prop_deputy_preserves;
+          ] );
+    ]
