@@ -44,6 +44,56 @@ let regenerate () =
   print_string (Ivy.Report_fmt.render_x4 (Ivy.Experiment.x4_userck ()))
 
 (* ------------------------------------------------------------------ *)
+(* Part 1b: unified engine vs six independent analysis runs           *)
+(* ------------------------------------------------------------------ *)
+
+(* The point of lib/engine: running every analysis over one shared
+   context builds the call graph / points-to once per mode, where the
+   six standalone subcommands each rebuilt them from scratch. Both
+   sides get best-of-N wall-clock to damp host noise. *)
+let bench_unified () =
+  section "ENGINE: one-pass check vs six independent runs";
+  let prog = Kernel.Workloads.load () in
+  let best_of n f =
+    let best = ref infinity in
+    for _ = 1 to n do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let iters = 5 in
+  let independent =
+    best_of iters (fun () ->
+        (* What `ivy blockstop && ivy locksafe && ... && ivy annotdb`
+           paid before the engine: each analysis rebuilds its own
+           whole-program artifacts. *)
+        ignore (Blockstop.Breport.analyze prog);
+        ignore (Locksafe.analyze prog);
+        ignore (Stackcheck.analyze prog);
+        ignore (Errcheck.analyze prog);
+        ignore (Userck.analyze prog);
+        ignore (Annotdb.populate prog))
+  in
+  let shared_ctxt = ref None in
+  let shared =
+    best_of iters (fun () ->
+        (* `ivy check` + annotdb population over one context. *)
+        let ctxt = Engine.Context.create prog in
+        ignore (Ivy.Checks.run_all ctxt);
+        ignore (Annotdb.populate_ctxt ctxt);
+        shared_ctxt := Some ctxt)
+  in
+  Printf.printf "six independent runs:   %8.2f ms\n" (independent *. 1e3);
+  Printf.printf "one shared context:     %8.2f ms\n" (shared *. 1e3);
+  Printf.printf "speedup:                %8.2fx (shared wins: %b)\n"
+    (independent /. shared) (shared < independent);
+  match !shared_ctxt with
+  | Some ctxt -> Format.printf "%a" Engine.Context.pp_stats ctxt
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: bechamel micro-benchmarks of the implementation            *)
 (* ------------------------------------------------------------------ *)
 
@@ -91,6 +141,10 @@ let tests () =
     Test.make ~name:"x2:stackcheck" (Staged.stage (fun () -> ignore (Stackcheck.analyze parsed)));
     Test.make ~name:"x3:errcheck" (Staged.stage (fun () -> ignore (Errcheck.analyze parsed)));
     Test.make ~name:"x4:userck" (Staged.stage (fun () -> ignore (Userck.analyze parsed)));
+    Test.make ~name:"engine:check (all, shared ctxt)"
+      (Staged.stage (fun () ->
+           let ctxt = Engine.Context.create parsed in
+           ignore (Ivy.Checks.run_all ctxt)));
   ]
 
 let benchmark () =
@@ -122,5 +176,6 @@ let benchmark () =
 
 let () =
   regenerate ();
+  bench_unified ();
   section "Implementation micro-benchmarks (bechamel)";
   benchmark ()

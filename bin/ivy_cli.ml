@@ -4,6 +4,7 @@
 
      ivy boot [--mode MODE]        boot the kernel on the VM
      ivy run ENTRY [--iters N]     run a workload entry point
+     ivy check [--only a,b]        all analyses over one shared context
      ivy deputy [FILE...]          Deputy census (and static errors)
      ivy ccount [--profile P]      CCount free census after light use
      ivy blockstop [--guards]      BlockStop warnings
@@ -250,12 +251,27 @@ let infer_cmd =
     (Cmd.info "infer" ~doc:"Suggest Deputy annotations for unannotated parameters.")
     Term.(const run $ files_t)
 
+let pointsto_t =
+  let parse = function
+    | "type" -> Ok Blockstop.Pointsto.Type_based
+    | "field" -> Ok Blockstop.Pointsto.Field_based
+    | s -> Error (`Msg (Printf.sprintf "unknown points-to mode %s (use type or field)" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with Blockstop.Pointsto.Type_based -> "type" | Blockstop.Pointsto.Field_based -> "field")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Blockstop.Pointsto.Type_based
+    & info [ "pointsto" ] ~docv:"MODE" ~doc:"Points-to precision: type or field.")
+
 let annotdb_cmd =
   let out_t = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
-  let run files out =
+  let run files out mode =
     handle_frontend_errors (fun () ->
         let prog = load_files files ~fixed_frees:true in
-        let db = Annotdb.populate prog in
+        let db = Annotdb.populate ~mode prog in
         match out with
         | Some path ->
             Annotdb.save db path;
@@ -264,7 +280,50 @@ let annotdb_cmd =
   in
   Cmd.v
     (Cmd.info "annotdb" ~doc:"Populate the shared annotation database (paper §3.2).")
-    Term.(const run $ files_t $ out_t)
+    Term.(const run $ files_t $ out_t $ pointsto_t)
+
+(* ---- check: every analysis over one shared engine context ---- *)
+
+let check_cmd =
+  let only_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"NAMES"
+          ~doc:"Comma-separated subset of analyses to run (default: all).")
+  in
+  let json_t = Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON.") in
+  let stats_t =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Show engine artifact builds, cache hits and build times.")
+  in
+  let run files only json stats =
+    handle_frontend_errors (fun () ->
+        let prog = load_files files ~fixed_frees:true in
+        let ctxt = Engine.Context.create prog in
+        let only =
+          match only with
+          | None -> []
+          | Some s -> List.filter (fun n -> n <> "") (String.split_on_char ',' s)
+        in
+        let results =
+          try Ivy.Checks.run_all ~only ctxt
+          with Ivy.Checks.Unknown_analysis n ->
+            Printf.eprintf "unknown analysis %s (use %s)\n" n
+              (String.concat ", " (List.map Engine.Analysis.name Ivy.Checks.all));
+            exit 1
+        in
+        if json then print_string (Ivy.Report_fmt.render_diags_json results)
+        else print_string (Ivy.Report_fmt.render_diags results);
+        if stats then print_string (Ivy.Report_fmt.render_engine_stats ctxt))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run every registered analysis (blockstop, locksafe, stackcheck, errcheck, userck) \
+          over one shared whole-program context.")
+    Term.(const run $ files_t $ only_t $ json_t $ stats_t)
 
 (* ---- corpus ---- *)
 
@@ -345,8 +404,9 @@ let main =
   in
   Cmd.group info
     [
-      boot_cmd; run_cmd; deputy_cmd; ccount_cmd; blockstop_cmd; locksafe_cmd; stackcheck_cmd;
-      errcheck_cmd; userck_cmd; infer_cmd; annotdb_cmd; corpus_cmd; experiments_cmd;
+      boot_cmd; run_cmd; check_cmd; deputy_cmd; ccount_cmd; blockstop_cmd; locksafe_cmd;
+      stackcheck_cmd; errcheck_cmd; userck_cmd; infer_cmd; annotdb_cmd; corpus_cmd;
+      experiments_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -217,13 +217,20 @@ let add_infer_facts (db : t) (prog : I.program) : unit =
         })
     (Deputy.Infer.suggest prog)
 
-(* One-call population: everything we know about a program. *)
-let populate (prog : I.program) : t =
+(* One-call population: everything we know about a program. All
+   whole-program artifacts come from the shared engine context, so a
+   caller already holding one (ivy check, the bench) pays no rebuild;
+   [mode] selects the points-to precision for the blocking facts. *)
+let populate_ctxt ?(mode = Blockstop.Pointsto.Type_based) (ctxt : Engine.Context.t) : t =
+  let prog = Engine.Context.program ctxt in
   let db = create () in
   add_source_annotations db prog;
-  let cg = Blockstop.Callgraph.build prog in
-  add_blockstop_facts db (Blockstop.Blocking.compute cg);
-  add_stackcheck_facts db (Stackcheck.analyze prog);
+  add_blockstop_facts db (Engine.Context.blocking ~mode ctxt);
+  add_stackcheck_facts
+    db
+    (Stackcheck.analyze ~cg:(Engine.Context.callgraph ~mode:Blockstop.Pointsto.Field_based ctxt) prog);
   add_errcheck_facts db (Errcheck.analyze prog);
   add_infer_facts db prog;
   db
+
+let populate ?mode (prog : I.program) : t = populate_ctxt ?mode (Engine.Context.create prog)

@@ -15,11 +15,17 @@ type report = {
 (* Run the whole BlockStop pipeline. [guard] names functions that get
    the manual runtime check (and are excluded from propagation). When
    [insert_checks] is set the checks are also compiled into the
-   program so the VM enforces them. *)
-let analyze ?(mode = Pointsto.Type_based) ?(guard = []) ?(insert_checks = false)
+   program so the VM enforces them. A caller already holding a call
+   graph (the engine) passes it via [cg] and pays no rebuild; the
+   report's mode is then the prebuilt graph's points-to mode. *)
+let analyze ?(mode = Pointsto.Type_based) ?cg ?(guard = []) ?(insert_checks = false)
     (prog : I.program) : report =
   if insert_checks then ignore (Bcheck.guard_functions prog guard);
-  let cg = Callgraph.build ~mode prog in
+  let cg, mode =
+    match cg with
+    | Some cg -> (cg, cg.Callgraph.pointsto.Pointsto.mode)
+    | None -> (Callgraph.build ~mode prog, mode)
+  in
   let bl = Blocking.compute ~guarded:(SS.of_list guard) cg in
   let result = Atomic.analyze bl in
   {

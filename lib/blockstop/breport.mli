@@ -15,9 +15,17 @@ type report = {
     propagation, atomic-region analysis. [guard] names functions that
     carry the manual [assert_not_atomic] runtime check (excluded from
     propagation); with [insert_checks] the checks are also compiled
-    into the program so the VM enforces them. *)
+    into the program so the VM enforces them. [cg] supplies a prebuilt
+    call graph (e.g. the engine's cached one) so callers holding one
+    don't pay a rebuild; the report's [mode] then comes from the
+    prebuilt graph. *)
 val analyze :
-  ?mode:Pointsto.mode -> ?guard:string list -> ?insert_checks:bool -> Kc.Ir.program -> report
+  ?mode:Pointsto.mode ->
+  ?cg:Callgraph.t ->
+  ?guard:string list ->
+  ?insert_checks:bool ->
+  Kc.Ir.program ->
+  report
 
 (** Warnings deduplicated to (containing function, callee) pairs. *)
 val distinct_warnings : report -> (string * string) list

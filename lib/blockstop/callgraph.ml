@@ -68,8 +68,12 @@ let gfp_of_call (prog : I.program) (callee : string) (args : I.exp list) : gfp_i
                 | None -> Gfp_unknown))
       end
 
-let build ?(mode = Pointsto.Type_based) (prog : I.program) : t =
-  let pointsto = Pointsto.build ~mode prog in
+let build ?(mode = Pointsto.Type_based) ?pointsto (prog : I.program) : t =
+  (* A caller already holding points-to facts (the engine) passes them
+     in; [mode] is then taken from the prebuilt result. *)
+  let pointsto =
+    match pointsto with Some p -> p | None -> Pointsto.build ~mode prog
+  in
   let edges = ref [] in
   List.iter
     (fun (fd : I.fundec) ->

@@ -29,7 +29,10 @@ type t = {
   callers_of : (string, edge list) Hashtbl.t;
 }
 
-val build : ?mode:Pointsto.mode -> Kc.Ir.program -> t
+(** Build the graph. [pointsto] supplies prebuilt points-to facts
+    (e.g. from the engine's cache) — when given, [mode] is ignored in
+    favour of the prebuilt result's own mode. *)
+val build : ?mode:Pointsto.mode -> ?pointsto:Pointsto.t -> Kc.Ir.program -> t
 val callees : t -> string -> edge list
 val callers : t -> string -> edge list
 val n_edges : t -> int

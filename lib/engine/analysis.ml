@@ -1,0 +1,22 @@
+(* The common interface every analysis implements to run under the
+   engine: a name (for [--only] selection), a one-line doc string, and
+   a run function from the shared context to unified diagnostics.
+   Implementations live next to their analyses (Ivy.Checks wraps the
+   five libraries); the engine itself only defines the contract. *)
+
+module type S = sig
+  val name : string
+
+  (** One line, shown by [ivy check --list]-style output. *)
+  val doc : string
+
+  (** Run over the shared context; artifacts must be obtained through
+      {!Context} getters so they are built at most once per run. *)
+  val run : Context.t -> Diag.t list
+end
+
+type t = (module S)
+
+let name (module A : S) = A.name
+let doc (module A : S) = A.doc
+let run (module A : S) ctxt = Diag.sort (A.run ctxt)

@@ -1,0 +1,137 @@
+(* The shared whole-program analysis context. See context.mli.
+
+   Memoization discipline: every artifact getter first consults its
+   cache table, and on a miss constructs the value inside [timed] so
+   the per-artifact counters record exactly how many constructions the
+   run paid for. The call graph deliberately requests the points-to
+   result *outside* its own timed region, so "points-to built once"
+   and "call graph built once" show up as separate stats lines. *)
+
+module P = Blockstop.Pointsto
+module CG = Blockstop.Callgraph
+module BL = Blockstop.Blocking
+module AT = Blockstop.Atomic
+
+type counters = { mutable c_builds : int; mutable c_hits : int; mutable c_seconds : float }
+
+type t = {
+  prog : Kc.Ir.program;
+  pointsto_tbl : (P.mode, P.t) Hashtbl.t;
+  callgraph_tbl : (P.mode, CG.t) Hashtbl.t;
+  blocking_tbl : (P.mode, BL.t) Hashtbl.t;
+  cfg_tbl : (string, Dataflow.Cfg.t) Hashtbl.t;
+  mutable handlers : AT.SS.t option;
+  counters_tbl : (string, counters) Hashtbl.t;
+}
+
+let create (prog : Kc.Ir.program) : t =
+  {
+    prog;
+    pointsto_tbl = Hashtbl.create 4;
+    callgraph_tbl = Hashtbl.create 4;
+    blocking_tbl = Hashtbl.create 4;
+    cfg_tbl = Hashtbl.create 64;
+    handlers = None;
+    counters_tbl = Hashtbl.create 8;
+  }
+
+let program t = t.prog
+
+let counters_for (t : t) (name : string) : counters =
+  match Hashtbl.find_opt t.counters_tbl name with
+  | Some c -> c
+  | None ->
+      let c = { c_builds = 0; c_hits = 0; c_seconds = 0.0 } in
+      Hashtbl.replace t.counters_tbl name c;
+      c
+
+let hit t name = (counters_for t name).c_hits <- (counters_for t name).c_hits + 1
+
+let timed (t : t) (name : string) (build : unit -> 'a) : 'a =
+  let c = counters_for t name in
+  let t0 = Unix.gettimeofday () in
+  let v = build () in
+  c.c_builds <- c.c_builds + 1;
+  c.c_seconds <- c.c_seconds +. (Unix.gettimeofday () -. t0);
+  v
+
+let memo (t : t) (name : string) tbl key (build : unit -> 'a) : 'a =
+  match Hashtbl.find_opt tbl key with
+  | Some v ->
+      hit t name;
+      v
+  | None ->
+      let v = timed t name build in
+      Hashtbl.replace tbl key v;
+      v
+
+let mode_name = function P.Type_based -> "type-based" | P.Field_based -> "field-based"
+
+let pointsto ?(mode = P.Type_based) (t : t) : P.t =
+  memo t
+    (Printf.sprintf "pointsto(%s)" (mode_name mode))
+    t.pointsto_tbl mode
+    (fun () -> P.build ~mode t.prog)
+
+let callgraph ?(mode = P.Type_based) (t : t) : CG.t =
+  let name = Printf.sprintf "callgraph(%s)" (mode_name mode) in
+  match Hashtbl.find_opt t.callgraph_tbl mode with
+  | Some cg ->
+      hit t name;
+      cg
+  | None ->
+      let pt = pointsto ~mode t in
+      let cg = timed t name (fun () -> CG.build ~pointsto:pt t.prog) in
+      Hashtbl.replace t.callgraph_tbl mode cg;
+      cg
+
+let blocking ?(mode = P.Type_based) (t : t) : BL.t =
+  let name = Printf.sprintf "blocking(%s)" (mode_name mode) in
+  match Hashtbl.find_opt t.blocking_tbl mode with
+  | Some bl ->
+      hit t name;
+      bl
+  | None ->
+      let cg = callgraph ~mode t in
+      let bl = timed t name (fun () -> BL.compute cg) in
+      Hashtbl.replace t.blocking_tbl mode bl;
+      bl
+
+let cfg (t : t) (fname : string) : Dataflow.Cfg.t option =
+  match Hashtbl.find_opt t.cfg_tbl fname with
+  | Some c ->
+      hit t "cfg";
+      Some c
+  | None -> (
+      match Kc.Ir.find_fun t.prog fname with
+      | Some fd when not fd.Kc.Ir.fextern ->
+          let c = timed t "cfg" (fun () -> Dataflow.Cfg.build fd) in
+          Hashtbl.replace t.cfg_tbl fname c;
+          Some c
+      | _ -> None)
+
+let irq_handlers (t : t) : AT.SS.t =
+  match t.handlers with
+  | Some h ->
+      hit t "irq-handlers";
+      h
+  | None ->
+      let h = timed t "irq-handlers" (fun () -> AT.irq_handlers t.prog) in
+      t.handlers <- Some h;
+      h
+
+type stat = { artifact : string; builds : int; hits : int; seconds : float }
+
+let stats (t : t) : stat list =
+  Hashtbl.fold
+    (fun artifact c acc ->
+      { artifact; builds = c.c_builds; hits = c.c_hits; seconds = c.c_seconds } :: acc)
+    t.counters_tbl []
+  |> List.sort (fun a b -> String.compare a.artifact b.artifact)
+
+let pp_stats fmt (t : t) =
+  Format.fprintf fmt "engine artifacts (builds / cache hits / build seconds):@.";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  %-24s built %d  hits %d  %.4fs@." s.artifact s.builds s.hits s.seconds)
+    (stats t)

@@ -1,0 +1,45 @@
+(** The shared whole-program analysis context (engine).
+
+    One [Context.t] is the single owner of every expensive
+    whole-program artifact: the typed program, {!Blockstop.Pointsto.t}
+    and {!Blockstop.Callgraph.t} memoized per points-to mode,
+    per-function {!Dataflow.Cfg.t} tables, blocking summaries, and the
+    interrupt-handler facts from {!Blockstop.Atomic}. Everything is
+    built lazily, built at most once per key, and instrumented with
+    hit/miss counters and wall-clock build timers so the bench (and
+    [ivy check --stats]) can show that N analyses pay for one build. *)
+
+type t
+
+val create : Kc.Ir.program -> t
+val program : t -> Kc.Ir.program
+
+(** Points-to facts for [mode] (default {!Blockstop.Pointsto.Type_based}),
+    built on first request and shared thereafter. *)
+val pointsto : ?mode:Blockstop.Pointsto.mode -> t -> Blockstop.Pointsto.t
+
+(** Call graph for [mode]; reuses the cached points-to for that mode. *)
+val callgraph : ?mode:Blockstop.Pointsto.mode -> t -> Blockstop.Callgraph.t
+
+(** Unguarded blocking propagation over the cached call graph. *)
+val blocking : ?mode:Blockstop.Pointsto.mode -> t -> Blockstop.Blocking.t
+
+(** Control-flow graph of a defined function ([None] for externs),
+    cached per function name. *)
+val cfg : t -> string -> Dataflow.Cfg.t option
+
+(** Functions registered as interrupt handlers (cached). *)
+val irq_handlers : t -> Blockstop.Atomic.SS.t
+
+(** Observability for the bench and [--stats]. *)
+type stat = {
+  artifact : string;  (** e.g. ["callgraph(type-based)"] *)
+  builds : int;  (** times actually constructed (1 per key if shared) *)
+  hits : int;  (** times served from the cache *)
+  seconds : float;  (** wall-clock spent constructing *)
+}
+
+(** Stats sorted by artifact name. *)
+val stats : t -> stat list
+
+val pp_stats : Format.formatter -> t -> unit

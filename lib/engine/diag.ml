@@ -1,0 +1,86 @@
+(* The unified diagnostic record shared by every analysis (see
+   diag.mli). Kept deliberately flat: a severity, a location, the
+   analysis that produced it, a human message and an optional fix
+   hint. *)
+
+type severity = Info | Warning | Error
+
+type t = {
+  analysis : string;
+  severity : severity;
+  loc : Kc.Loc.t;
+  message : string;
+  fix_hint : string option;
+}
+
+let make ?(severity = Warning) ?fix_hint ~analysis ~loc message =
+  { analysis; severity; loc; message; fix_hint }
+
+let severity_to_string = function Info -> "info" | Warning -> "warning" | Error -> "error"
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare (a : t) (b : t) : int =
+  let c = String.compare a.loc.Kc.Loc.file b.loc.Kc.Loc.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.loc.Kc.Loc.line b.loc.Kc.Loc.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.loc.Kc.Loc.col b.loc.Kc.Loc.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.analysis b.analysis in
+        if c <> 0 then c
+        else
+          let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+          if c <> 0 then c else String.compare a.message b.message
+
+let sort (ds : t list) : t list = List.sort_uniq compare ds
+
+let to_string (d : t) : string =
+  Printf.sprintf "%s: [%s] %s: %s%s"
+    (Kc.Loc.to_string d.loc)
+    (severity_to_string d.severity)
+    d.analysis d.message
+    (match d.fix_hint with None -> "" | Some h -> Printf.sprintf " (hint: %s)" h)
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)
+
+(* Hand-rolled JSON (no JSON library in the tree): escape the string
+   payloads, everything else is already structured. *)
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json (d : t) : string =
+  let hint =
+    match d.fix_hint with
+    | None -> "null"
+    | Some h -> Printf.sprintf "\"%s\"" (json_escape h)
+  in
+  Printf.sprintf
+    "{\"analysis\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\",\"fix_hint\":%s}"
+    (json_escape d.analysis)
+    (severity_to_string d.severity)
+    (json_escape d.loc.Kc.Loc.file)
+    d.loc.Kc.Loc.line d.loc.Kc.Loc.col (json_escape d.message) hint
+
+let list_to_json (ds : t list) : string =
+  "[" ^ String.concat "," (List.map to_json (sort ds)) ^ "]"
+
+let tally (ds : t list) : (severity * int) list =
+  let count s = List.length (List.filter (fun d -> d.severity = s) ds) in
+  List.filter_map
+    (fun s -> match count s with 0 -> None | n -> Some (s, n))
+    [ Error; Warning; Info ]

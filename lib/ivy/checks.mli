@@ -1,0 +1,27 @@
+(** The engine's analysis registry: the five whole-program checkers
+    ([blockstop], [locksafe], [stackcheck], [errcheck], [userck])
+    wrapped as {!Engine.Analysis.S} implementations that share one
+    {!Engine.Context.t} — the call graph and points-to facts are built
+    once per mode for the whole batch — and report unified
+    {!Engine.Diag.t} diagnostics. *)
+
+val blockstop : Engine.Analysis.t
+val locksafe : Engine.Analysis.t
+val stackcheck : Engine.Analysis.t
+val errcheck : Engine.Analysis.t
+val userck : Engine.Analysis.t
+
+(** Registration order (also the default run order). *)
+val all : Engine.Analysis.t list
+
+val find : string -> Engine.Analysis.t option
+
+exception Unknown_analysis of string
+
+(** Run the named analyses (default: all) over one shared context.
+    Raises {!Unknown_analysis} for a name not in the registry. *)
+val run_all :
+  ?only:string list -> Engine.Context.t -> (string * Engine.Diag.t list) list
+
+(** Flatten a run's results into one sorted, deduplicated list. *)
+val diags : (string * Engine.Diag.t list) list -> Engine.Diag.t list

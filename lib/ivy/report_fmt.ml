@@ -209,6 +209,55 @@ let render_x4 (x : Experiment.x4) : string =
       "";
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Unified diagnostics (ivy check): one renderer for every analysis.  *)
+(* ------------------------------------------------------------------ *)
+
+let render_diags (results : (string * Engine.Diag.t list) list) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, ds) ->
+      Buffer.add_string buf (fprintf "%s: %d finding%s\n" name (List.length ds)
+                               (if List.length ds = 1 then "" else "s"));
+      List.iter (fun d -> Buffer.add_string buf ("  " ^ Engine.Diag.to_string d ^ "\n")) ds)
+    results;
+  let all = List.concat_map snd results in
+  let tally = Engine.Diag.tally all in
+  Buffer.add_string buf
+    (fprintf "total: %d diagnostics%s\n" (List.length all)
+       (if tally = [] then ""
+        else
+          " ("
+          ^ String.concat ", "
+              (List.map
+                 (fun (s, n) -> fprintf "%d %s" n (Engine.Diag.severity_to_string s))
+                 tally)
+          ^ ")"));
+  Buffer.contents buf
+
+(* JSON shape: {"analyses": {...per-analysis arrays...}, "diagnostics": [...]} *)
+let render_diags_json (results : (string * Engine.Diag.t list) list) : string =
+  let per =
+    String.concat ","
+      (List.map
+         (fun (name, ds) ->
+           fprintf "\"%s\":%s" name (Engine.Diag.list_to_json ds))
+         results)
+  in
+  fprintf "{\"analyses\":{%s},\"diagnostics\":%s}\n" per
+    (Engine.Diag.list_to_json (List.concat_map snd results))
+
+let render_engine_stats (ctxt : Engine.Context.t) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "engine artifacts (builds / cache hits / build seconds):\n";
+  List.iter
+    (fun (s : Engine.Context.stat) ->
+      Buffer.add_string buf
+        (fprintf "  %-24s built %d  hits %d  %.4fs\n" s.Engine.Context.artifact
+           s.Engine.Context.builds s.Engine.Context.hits s.Engine.Context.seconds))
+    (Engine.Context.stats ctxt);
+  Buffer.contents buf
+
 let render_e5 (e : Experiment.e5) : string =
   let r = e.Experiment.report in
   String.concat "\n"

@@ -32,5 +32,7 @@ type report = {
       (** irq-context locks also taken in process context without irqsave *)
 }
 
-val analyze : Kc.Ir.program -> report
+(** [handlers] supplies precomputed interrupt-handler facts (e.g. the
+    engine's cached {!Blockstop.Atomic.irq_handlers}). *)
+val analyze : ?handlers:SS.t -> Kc.Ir.program -> report
 val pp : Format.formatter -> report -> unit

@@ -23,8 +23,10 @@ type result = {
 }
 
 (** Analyze with the given points-to precision for function-pointer
-    calls (default field-based). *)
-val analyze : ?mode:Blockstop.Pointsto.mode -> Kc.Ir.program -> result
+    calls (default field-based). [cg] supplies a prebuilt call graph
+    (e.g. the engine's cached one); [mode] is then ignored. *)
+val analyze :
+  ?mode:Blockstop.Pointsto.mode -> ?cg:Blockstop.Callgraph.t -> Kc.Ir.program -> result
 
 (** Does every chain from [entry] fit in [budget] bytes? *)
 val fits : result -> entry:string -> budget:int -> bool
