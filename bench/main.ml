@@ -145,6 +145,12 @@ let tests () =
       (Staged.stage (fun () ->
            let ctxt = Engine.Context.create parsed in
            ignore (Ivy.Checks.run_all ctxt)));
+    (* Fuzz-subsystem throughput: one full case = generate + render +
+       typecheck + all analyses + three instrumented VM runs. *)
+    Test.make ~name:"gen:render (one case)"
+      (Staged.stage (fun () -> ignore (Gen.Prog.render (Gen.Fuzz.case_program ~seed:1 1))));
+    Test.make ~name:"gen:generate+oracle (one case)"
+      (Staged.stage (fun () -> ignore (Gen.Oracle.check (Gen.Fuzz.case_program ~seed:1 1))));
   ]
 
 let benchmark () =

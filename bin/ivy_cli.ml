@@ -325,6 +325,55 @@ let check_cmd =
           over one shared whole-program context.")
     Term.(const run $ files_t $ only_t $ json_t $ stats_t)
 
+(* ---- fuzz: generator + fault injector + differential oracle ---- *)
+
+let fuzz_cmd =
+  let seed_t =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Campaign root seed.")
+  in
+  let count_t =
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"K" ~doc:"Number of generated cases.")
+  in
+  let shrink_t =
+    Arg.(
+      value & flag
+      & info [ "shrink" ] ~doc:"Greedily minimize failing cases before writing repros.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt string "fuzz-repros"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Directory for shrunk .kc repro files.")
+  in
+  let dump_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "dump-case" ] ~docv:"I"
+          ~doc:"Print the generated KC source of case $(docv) and exit (debugging aid).")
+  in
+  let quiet_t = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress progress lines.") in
+  let run seed count shrink out dump quiet =
+    match dump with
+    | Some i ->
+        let p = Gen.Fuzz.case_program ~seed i in
+        List.iter
+          (fun (k, fn) -> Printf.printf "// label: %s in %s\n" (Gen.Fault.to_string k) fn)
+          p.Gen.Prog.faults;
+        print_string (Gen.Prog.render p)
+    | None ->
+        let log = if quiet then ignore else fun s -> Printf.eprintf "%s\n%!" s in
+        let s = Gen.Fuzz.run ~shrink ~out ~log ~seed ~count () in
+        print_string (Gen.Fuzz.render_summary s);
+        if s.Gen.Fuzz.s_failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generate random annotated kernels, inject known faults, and cross-check every \
+          static verdict against VM execution (differential soundness testing).")
+    Term.(const run $ seed_t $ count_t $ shrink_t $ out_t $ dump_t $ quiet_t)
+
 (* ---- corpus ---- *)
 
 let corpus_cmd =
@@ -405,7 +454,7 @@ let main =
   Cmd.group info
     [
       boot_cmd; run_cmd; check_cmd; deputy_cmd; ccount_cmd; blockstop_cmd; locksafe_cmd;
-      stackcheck_cmd; errcheck_cmd; userck_cmd; infer_cmd; annotdb_cmd; corpus_cmd;
+      stackcheck_cmd; errcheck_cmd; userck_cmd; infer_cmd; annotdb_cmd; fuzz_cmd; corpus_cmd;
       experiments_cmd;
     ]
 

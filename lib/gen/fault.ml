@@ -1,0 +1,27 @@
+type kind =
+  | Oob_write
+  | Dangling_free
+  | Atomic_block
+  | Lock_inversion
+  | Unchecked_err
+  | User_deref
+
+let all = [ Oob_write; Dangling_free; Atomic_block; Lock_inversion; Unchecked_err; User_deref ]
+
+let to_string = function
+  | Oob_write -> "oob-write"
+  | Dangling_free -> "dangling-free"
+  | Atomic_block -> "atomic-block"
+  | Lock_inversion -> "lock-inversion"
+  | Unchecked_err -> "unchecked-err"
+  | User_deref -> "user-deref"
+
+let of_string s = List.find_opt (fun k -> to_string k = s) all
+
+let owner = function
+  | Oob_write -> "deputy"
+  | Dangling_free -> "ccount"
+  | Atomic_block -> "blockstop"
+  | Lock_inversion -> "locksafe"
+  | Unchecked_err -> "errcheck"
+  | User_deref -> "userck"

@@ -1,0 +1,23 @@
+(** The fault taxonomy.
+
+    Each kind names a defect class owned by exactly one layer of the
+    system, mirroring the bug classes of the paper's five analyses plus
+    the Deputy/CCount runtime checks.  The injector plants one of these
+    into an otherwise-clean program and records the ground-truth label;
+    the oracle then demands that the owning analysis (or instrumented
+    run) reports it. *)
+
+type kind =
+  | Oob_write  (** out-of-bounds array write; owner: deputy (static or runtime check) *)
+  | Dangling_free  (** kfree with a live outstanding reference; owner: ccount free census *)
+  | Atomic_block  (** blocking call under [local_irq_disable]; owner: blockstop + VM trap *)
+  | Lock_inversion  (** two spinlocks acquired in both orders; owner: locksafe *)
+  | Unchecked_err  (** discarded error-returning call; owner: errcheck *)
+  | User_deref  (** direct dereference of a [__user] pointer; owner: userck *)
+
+val all : kind list
+val to_string : kind -> string
+val of_string : string -> kind option
+
+val owner : kind -> string
+(** Name of the analysis/tool responsible for catching this class. *)

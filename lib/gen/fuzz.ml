@@ -1,0 +1,116 @@
+type case = {
+  c_idx : int;
+  c_seed : int;
+  c_labels : (Fault.kind * string) list;
+  c_violations : Oracle.violation list;
+  c_repro : string option;
+}
+
+type summary = {
+  s_seed : int;
+  s_count : int;
+  s_clean : int;
+  s_injected : (Fault.kind * int) list;
+  s_detected : (Fault.kind * int) list;
+  s_failures : case list;
+  s_elapsed : float;
+}
+
+let case_program ~seed i : Prog.t =
+  let cseed = Rng.mix seed i in
+  let p = Generate.clean cseed in
+  if i mod 4 = 0 then p
+  else
+    let rng = Rng.create (cseed + 1) in
+    Inject.plant rng (Rng.pick rng Fault.all) p
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+
+let write_repro ~out ~idx (p : Prog.t) (v : Oracle.verdict) : string =
+  ensure_dir out;
+  let path = Filename.concat out (Printf.sprintf "repro_%d_seed%d.kc" idx p.Prog.seed) in
+  let oc = open_out path in
+  output_string oc "// ivy fuzz repro\n";
+  List.iter
+    (fun (k, fn) -> Printf.fprintf oc "// label: %s in %s\n" (Fault.to_string k) fn)
+    p.Prog.faults;
+  List.iter
+    (fun viol -> Printf.fprintf oc "// violation: %s\n" (Oracle.violation_to_string viol))
+    v.Oracle.violations;
+  output_string oc (Prog.render p);
+  close_out oc;
+  path
+
+let bump kind counts =
+  List.map (fun (k, n) -> if k = kind then (k, n + 1) else (k, n)) counts
+
+let run ?(shrink = false) ?out ?(log = ignore) ~seed ~count () : summary =
+  let t0 = Unix.gettimeofday () in
+  let zero = List.map (fun k -> (k, 0)) Fault.all in
+  let injected = ref zero and detected = ref zero in
+  let clean = ref 0 and failures = ref [] in
+  for i = 0 to count - 1 do
+    let p = case_program ~seed i in
+    if p.Prog.faults = [] then incr clean;
+    List.iter (fun (k, _) -> injected := bump k !injected) p.Prog.faults;
+    let v = Oracle.check p in
+    List.iter (fun (k, _) -> detected := bump k !detected) v.Oracle.detected;
+    if v.Oracle.violations <> [] then begin
+      log
+        (Printf.sprintf "case %d (seed %d): %s" i p.Prog.seed
+           (String.concat "; " (List.map Oracle.violation_to_string v.Oracle.violations)));
+      let p, v =
+        if shrink then
+          let small =
+            Shrink.minimize ~check:(fun q -> (Oracle.check q).Oracle.violations <> []) p
+          in
+          (small, Oracle.check small)
+        else (p, v)
+      in
+      let repro = Option.map (fun out -> write_repro ~out ~idx:i p v) out in
+      failures :=
+        {
+          c_idx = i;
+          c_seed = p.Prog.seed;
+          c_labels = p.Prog.faults;
+          c_violations = v.Oracle.violations;
+          c_repro = repro;
+        }
+        :: !failures
+    end;
+    if (i + 1) mod 100 = 0 then log (Printf.sprintf "%d/%d cases, %d failures" (i + 1) count (List.length !failures))
+  done;
+  {
+    s_seed = seed;
+    s_count = count;
+    s_clean = !clean;
+    s_injected = !injected;
+    s_detected = !detected;
+    s_failures = List.rev !failures;
+    s_elapsed = Unix.gettimeofday () -. t0;
+  }
+
+let render_summary (s : summary) : string =
+  let buf = Buffer.create 1024 in
+  let bpf fmt = Printf.bprintf buf fmt in
+  bpf "fuzz campaign: seed %d, %d cases (%d clean, %d faulty) in %.2fs\n" s.s_seed s.s_count
+    s.s_clean (s.s_count - s.s_clean) s.s_elapsed;
+  bpf "%-16s %10s %10s\n" "fault kind" "injected" "detected";
+  List.iter
+    (fun k ->
+      bpf "%-16s %10d %10d\n" (Fault.to_string k)
+        (List.assoc k s.s_injected) (List.assoc k s.s_detected))
+    Fault.all;
+  (match s.s_failures with
+  | [] -> bpf "oracle violations: none\n"
+  | fs ->
+      bpf "oracle violations: %d case(s)\n" (List.length fs);
+      List.iter
+        (fun c ->
+          bpf "  case %d (seed %d)%s:\n" c.c_idx c.c_seed
+            (match c.c_repro with Some p -> " repro " ^ p | None -> "");
+          List.iter
+            (fun v -> bpf "    %s\n" (Oracle.violation_to_string v))
+            c.c_violations)
+        fs);
+  Buffer.contents buf

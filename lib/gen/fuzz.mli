@@ -1,0 +1,42 @@
+(** Campaign driver behind [ivy fuzz].
+
+    Runs [count] cases derived from the root [seed]: every fourth case
+    is left clean (precision witness), the rest get one fault planted
+    from the taxonomy.  Each case goes through the differential
+    {!Oracle}; on a violation, the case is optionally shrunk and a
+    standalone [.kc] repro (with the verdict in a comment header) is
+    written to [out]. *)
+
+type case = {
+  c_idx : int;
+  c_seed : int;  (** per-case derived seed *)
+  c_labels : (Fault.kind * string) list;
+  c_violations : Oracle.violation list;
+  c_repro : string option;  (** path of the shrunk repro file, if written *)
+}
+
+type summary = {
+  s_seed : int;
+  s_count : int;
+  s_clean : int;  (** cases generated without a fault *)
+  s_injected : (Fault.kind * int) list;  (** per-kind planted count *)
+  s_detected : (Fault.kind * int) list;  (** per-kind credited count *)
+  s_failures : case list;  (** cases with a non-empty violation list *)
+  s_elapsed : float;  (** wall-clock seconds *)
+}
+
+val case_program : seed:int -> int -> Prog.t
+(** [case_program ~seed i] builds case [i] of a campaign (exposed for
+    tests and repro): clean when [i mod 4 = 0], one fault otherwise. *)
+
+val run :
+  ?shrink:bool ->
+  ?out:string ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  summary
+
+val render_summary : summary -> string
+(** Human-readable campaign report. *)

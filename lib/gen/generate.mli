@@ -1,0 +1,9 @@
+(** Seeded generator of clean KC programs.
+
+    [clean seed] is deterministic in [seed] and produces a program
+    whose rendering typechecks, is silent under every analysis (no
+    Warning/Error diagnostics, no Deputy static errors) and runs to
+    completion on the VM under Base, Deputy and CCount instrumentation
+    with identical results. *)
+
+val clean : int -> Prog.t

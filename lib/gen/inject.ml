@@ -1,0 +1,24 @@
+let block_of rng (kind : Fault.kind) : Prog.block =
+  match kind with
+  | Fault.Oob_write ->
+      if Rng.bool rng then Prog.F_oob_const { idx = Rng.range rng 4 7 }
+      else Prog.F_oob_dyn { off = Rng.range rng 4 9 }
+  | Fault.Dangling_free -> Prog.F_dangling
+  | Fault.Atomic_block -> Prog.F_atomic_block
+  | Fault.Lock_inversion ->
+      let lo = Rng.int rng 2 in
+      Prog.F_lock_inversion { lo; hi = Rng.range rng (lo + 1) 2 }
+  | Fault.Unchecked_err -> Prog.F_unchecked_err
+  | Fault.User_deref -> Prog.F_user_deref
+
+let plant rng kind (p : Prog.t) : Prog.t =
+  let host = List.nth p.Prog.funcs (Rng.int rng (List.length p.Prog.funcs)) in
+  let fb = block_of rng kind in
+  let funcs =
+    List.map
+      (fun (f : Prog.func) ->
+        if f.Prog.fid = host.Prog.fid then { f with Prog.blocks = f.Prog.blocks @ [ fb ] }
+        else f)
+      p.Prog.funcs
+  in
+  { p with Prog.funcs; Prog.faults = p.Prog.faults @ [ (kind, Prog.fname host.Prog.fid) ] }

@@ -1,0 +1,13 @@
+(** Fault injector.
+
+    [plant rng kind prog] appends one fault block of the given kind to
+    a function chosen from [rng] and records the ground-truth label
+    [(kind, host function)] in [prog.faults].  Fault blocks have no
+    preconditions — they reference only their own locals and dedicated
+    globals — so planting never perturbs the clean parts of the
+    program. *)
+
+val plant : Rng.t -> Fault.kind -> Prog.t -> Prog.t
+
+val block_of : Rng.t -> Fault.kind -> Prog.block
+(** The fault block itself (exposed for tests). *)

@@ -1,0 +1,223 @@
+(* Differential oracle: see the .mli for the contract.  Detection and
+   "allowed outcome" rules are deliberately written per fault kind so a
+   new taxonomy entry forces a decision in both tables. *)
+
+module Diag = Engine.Diag
+
+type outcome = Completed of int64 | Trapped of Vm.Trap.kind * string
+
+type run_results = {
+  base : outcome;
+  deputy : outcome;
+  ccount : outcome;
+  bad_frees : int;
+}
+
+type violation =
+  | Frontend_error of string
+  | Missed_fault of Fault.kind * string
+  | False_alarm of string
+  | Spurious_trap of string
+  | Result_mismatch of string
+
+type verdict = {
+  diags : (string * Diag.t list) list;
+  static_errors : int;
+  runs : run_results option;
+  detected : (Fault.kind * string) list;
+  violations : violation list;
+}
+
+let violation_to_string = function
+  | Frontend_error m -> "frontend-error: " ^ m
+  | Missed_fault (k, fn) ->
+      Printf.sprintf "missed-fault: %s in %s not flagged by %s" (Fault.to_string k) fn
+        (Fault.owner k)
+  | False_alarm m -> "false-alarm: " ^ m
+  | Spurious_trap m -> "spurious-trap: " ^ m
+  | Result_mismatch m -> "result-mismatch: " ^ m
+
+let outcome_to_string = function
+  | Completed v -> Printf.sprintf "completed (%Ld)" v
+  | Trapped (k, m) -> Printf.sprintf "trapped %s: %s" (Vm.Trap.kind_to_string k) m
+
+(* ---- helpers ------------------------------------------------------ *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* Does [analysis] emit a Warning/Error diag mentioning [needle]? *)
+let flagged diags ~analysis ~needle =
+  match List.assoc_opt analysis diags with
+  | None -> false
+  | Some ds ->
+      List.exists
+        (fun (d : Diag.t) ->
+          d.Diag.severity <> Diag.Info && contains ~needle d.Diag.message)
+        ds
+
+(* A program is statically clean when no analysis raises above Info
+   (stackcheck's depth summary is informational by design). *)
+let noisy_diags diags =
+  List.concat_map
+    (fun (_, ds) -> List.filter (fun (d : Diag.t) -> d.Diag.severity <> Diag.Info) ds)
+    diags
+
+(* ---- the three dynamic runs --------------------------------------- *)
+
+let parse ~name src = Kc.Typecheck.check_sources [ (name, src) ]
+
+let run_main (interp : Vm.Interp.t) : outcome =
+  match Vm.Interp.run interp "main" [] with
+  | v -> Completed v
+  | exception Vm.Trap.Trap (k, m) -> Trapped (k, m)
+
+let dynamic ~name src : run_results =
+  let base = run_main (Vm.Builtins.boot (parse ~name src)) in
+  let deputy =
+    let p = parse ~name src in
+    ignore (Deputy.Dreport.deputize p);
+    run_main (Vm.Builtins.boot p)
+  in
+  let ccount, bad_frees =
+    let p = parse ~name src in
+    let interp, _report = Ccount.Creport.ccount_boot p in
+    let o = run_main interp in
+    (o, (Vm.Machine.free_census interp.Vm.Interp.m).Vm.Machine.bad)
+  in
+  { base; deputy; ccount; bad_frees }
+
+(* ---- detection rules (soundness) ---------------------------------- *)
+
+(* Each label must be caught by its owner.  Static analyses must flag
+   the host function; runtime-owned classes accept either the static
+   error or the instrumented trap/census evidence. *)
+let detects ~diags ~static_errors ~(runs : run_results) (kind, fn) =
+  match (kind : Fault.kind) with
+  | Fault.Atomic_block ->
+      flagged diags ~analysis:"blockstop" ~needle:fn
+      && (match runs.base with Trapped (Vm.Trap.Blocking_in_atomic, _) -> true | _ -> false)
+  | Fault.Oob_write -> (
+      static_errors > 0
+      || match runs.deputy with Trapped (Vm.Trap.Check_failed, _) -> true | _ -> false)
+  | Fault.Dangling_free -> (
+      runs.bad_frees > 0
+      ||
+      match runs.ccount with
+      | Trapped ((Vm.Trap.Bad_free | Vm.Trap.Use_after_free | Vm.Trap.Double_free), _) -> true
+      | _ -> false)
+  | Fault.Lock_inversion ->
+      (* the deadlock diag names the lock pair, not the acquiring
+         function; any both-orders report must be the injected one
+         because clean lock regions share a single global order *)
+      flagged diags ~analysis:"locksafe" ~needle:"both orders"
+  | Fault.Unchecked_err -> flagged diags ~analysis:"errcheck" ~needle:fn
+  | Fault.User_deref -> flagged diags ~analysis:"userck" ~needle:fn
+
+(* ---- allowed dynamic behaviour (consistency) ---------------------- *)
+
+(* What may each run legitimately do, given the labels?  Anything else
+   is a spurious trap / result mismatch. *)
+let check_runs ~labels (runs : run_results) : violation list =
+  let kinds = List.map fst labels in
+  let has k = List.mem k kinds in
+  let vs = ref [] in
+  let spurious where o = vs := Spurious_trap (where ^ " " ^ outcome_to_string o) :: !vs in
+  (* base: only an atomic-block fault may trap it (the VM's own ground
+     truth); an OOB write lands in mapped stack, so it corrupts rather
+     than faults, and everything else is semantically invisible. *)
+  (match runs.base with
+  | Completed _ -> ()
+  | Trapped (Vm.Trap.Blocking_in_atomic, _) when has Fault.Atomic_block -> ()
+  | Trapped (Vm.Trap.Wild_access, _) when has Fault.Oob_write -> ()
+  | o -> spurious "base:" o);
+  (* deputy: additionally, the residual checks catch OOB writes. *)
+  (match runs.deputy with
+  | Completed _ -> ()
+  | Trapped (Vm.Trap.Blocking_in_atomic, _) when has Fault.Atomic_block -> ()
+  | Trapped (Vm.Trap.Check_failed, _) when has Fault.Oob_write -> ()
+  | o -> spurious "deputy:" o);
+  (* ccount: bad frees leak (never trap) under the soundness-preserving
+     config, so the allowances mirror base. *)
+  (match runs.ccount with
+  | Completed _ -> ()
+  | Trapped (Vm.Trap.Blocking_in_atomic, _) when has Fault.Atomic_block -> ()
+  | Trapped (Vm.Trap.Wild_access, _) when has Fault.Oob_write -> ()
+  | o -> spurious "ccount:" o);
+  (* census: only a dangling-free label explains bad frees. *)
+  if runs.bad_frees > 0 && not (has Fault.Dangling_free) then
+    vs :=
+      Spurious_trap (Printf.sprintf "ccount census: %d unexplained bad frees" runs.bad_frees)
+      :: !vs;
+  (* result agreement: when every run completed, instrumentation must
+     not have changed the program's meaning. *)
+  (match (runs.base, runs.deputy, runs.ccount) with
+  | Completed b, Completed d, Completed c ->
+      if not (Int64.equal b d && Int64.equal b c) then
+        vs :=
+          Result_mismatch (Printf.sprintf "base=%Ld deputy=%Ld ccount=%Ld" b d c) :: !vs
+  | _ -> ());
+  List.rev !vs
+
+(* ---- the oracle --------------------------------------------------- *)
+
+let check_source ~name src (labels : (Fault.kind * string) list) : verdict =
+  match parse ~name src with
+  | exception e ->
+      {
+        diags = [];
+        static_errors = 0;
+        runs = None;
+        detected = [];
+        violations = [ Frontend_error (Printexc.to_string e) ];
+      }
+  | prog ->
+      let ctxt = Engine.Context.create prog in
+      let diags = Ivy.Checks.run_all ctxt in
+      let dep_static =
+        (* deputize mutates, so give it its own parse *)
+        (Deputy.Dreport.deputize (parse ~name src)).Deputy.Dreport.static_errors
+      in
+      let static_errors = List.length dep_static in
+      let runs = dynamic ~name src in
+      let detected =
+        List.filter (detects ~diags ~static_errors ~runs) labels
+      in
+      let missed =
+        List.filter_map
+          (fun l -> if List.mem l detected then None else Some (Missed_fault (fst l, snd l)))
+          labels
+      in
+      let false_alarms =
+        if labels <> [] then []
+        else
+          let noisy =
+            List.map
+              (fun (d : Diag.t) ->
+                False_alarm
+                  (Printf.sprintf "%s: %s" d.Diag.analysis d.Diag.message))
+              (noisy_diags diags)
+          in
+          if static_errors > 0 then
+            noisy
+            @ [
+                False_alarm
+                  (Printf.sprintf "deputy: %d static errors in a clean program" static_errors);
+              ]
+          else noisy
+      in
+      let run_violations = check_runs ~labels runs in
+      {
+        diags;
+        static_errors;
+        runs = Some runs;
+        detected;
+        violations = missed @ false_alarms @ run_violations;
+      }
+
+let check (p : Prog.t) : verdict =
+  check_source ~name:"gen.kc" (Prog.render p) p.Prog.faults
+
+let passes p = (check p).violations = []

@@ -1,0 +1,59 @@
+(** The static-vs-dynamic differential oracle.
+
+    A generated program is judged on two axes at once:
+
+    - {b static}: one shared {!Engine.Context} runs all five analyses
+      ([Ivy.Checks.run_all]), and a separate parse is deputized to
+      collect Deputy's definite static errors;
+    - {b dynamic}: three fresh parses execute on the VM — uninstrumented
+      (Base), with Deputy runtime checks, and with CCount reference
+      counting — recording each run's outcome and CCount's free census.
+
+    The verdict cross-checks the two sides against the program's
+    ground-truth labels:
+
+    - {e soundness}: every injected fault must be flagged by its owning
+      analysis (or caught by its owning instrumentation layer);
+    - {e precision witness}: a statically clean program must complete
+      all three runs without traps, with equal results and a clean free
+      census;
+    - {e consistency}: the instrumented runs may not disagree with the
+      uninstrumented one except in the fault's own failure mode. *)
+
+type outcome =
+  | Completed of int64  (** main returned *)
+  | Trapped of Vm.Trap.kind * string
+
+type run_results = {
+  base : outcome;
+  deputy : outcome;
+  ccount : outcome;
+  bad_frees : int;  (** CCount free-census [bad] count *)
+}
+
+type violation =
+  | Frontend_error of string  (** generated source failed to parse/typecheck *)
+  | Missed_fault of Fault.kind * string  (** label not flagged by its owner *)
+  | False_alarm of string  (** clean program drew a Warning/Error diag or static error *)
+  | Spurious_trap of string  (** a run trapped in a way the labels don't explain *)
+  | Result_mismatch of string  (** instrumented and base runs disagree *)
+
+type verdict = {
+  diags : (string * Engine.Diag.t list) list;  (** per-analysis diagnostics *)
+  static_errors : int;  (** Deputy definite violations *)
+  runs : run_results option;  (** None when the frontend failed *)
+  detected : (Fault.kind * string) list;  (** labels credited as caught *)
+  violations : violation list;
+}
+
+val violation_to_string : violation -> string
+
+val check_source : name:string -> string -> (Fault.kind * string) list -> verdict
+(** [check_source ~name src labels] judges raw KC text carrying the
+    given ground-truth labels. *)
+
+val check : Prog.t -> verdict
+(** Render and judge a generated program. *)
+
+val passes : Prog.t -> bool
+(** [violations = []] — the shrinker's and fuzz loop's pass predicate. *)

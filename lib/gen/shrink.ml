@@ -1,0 +1,121 @@
+(* Greedy delta-debugging over the program skeleton.  Candidate moves
+   must keep the skeleton self-consistent (no dangling call targets, no
+   labels without their fault block); the renderer then drops unused
+   globals on its own, which is what actually makes repros short. *)
+
+let remove_nth n xs = List.filteri (fun i _ -> i <> n) xs
+
+(* Drop function [fid]: its label entries and every direct call to it. *)
+let drop_func (p : Prog.t) fid : Prog.t =
+  let funcs =
+    List.filter_map
+      (fun (f : Prog.func) ->
+        if f.Prog.fid = fid then None
+        else
+          Some
+            {
+              f with
+              Prog.blocks =
+                List.filter
+                  (function Prog.Call { callee } -> callee <> fid | _ -> true)
+                  f.Prog.blocks;
+            })
+      p.Prog.funcs
+  in
+  let faults = List.filter (fun (_, host) -> host <> Prog.fname fid) p.Prog.faults in
+  { p with Prog.funcs; Prog.faults }
+
+(* Drop block [idx] of function [fid]; if it is a fault block, retire
+   one matching ground-truth label. *)
+let drop_block (p : Prog.t) fid idx : Prog.t option =
+  match List.find_opt (fun (f : Prog.func) -> f.Prog.fid = fid) p.Prog.funcs with
+  | None -> None
+  | Some f when idx >= List.length f.Prog.blocks -> None
+  | Some f ->
+      let b = List.nth f.Prog.blocks idx in
+      let faults =
+        match Prog.fault_kind_of_block b with
+        | None -> p.Prog.faults
+        | Some k ->
+            let dropped = ref false in
+            List.filter
+              (fun (k', host) ->
+                if (not !dropped) && k' = k && host = Prog.fname fid then (
+                  dropped := true;
+                  false)
+                else true)
+              p.Prog.faults
+      in
+      let funcs =
+        List.map
+          (fun (g : Prog.func) ->
+            if g.Prog.fid = fid then { g with Prog.blocks = remove_nth idx g.Prog.blocks }
+            else g)
+          p.Prog.funcs
+      in
+      Some { p with Prog.funcs; Prog.faults }
+
+let drop_table (p : Prog.t) tid : Prog.t =
+  let funcs =
+    List.map
+      (fun (f : Prog.func) ->
+        {
+          f with
+          Prog.blocks =
+            List.filter
+              (function Prog.Fptr_call { table; _ } -> table <> tid | _ -> true)
+              f.Prog.blocks;
+        })
+      p.Prog.funcs
+  in
+  { p with Prog.funcs; Prog.tables = List.filter (fun t -> t.Prog.tid <> tid) p.Prog.tables }
+
+let drop_op (p : Prog.t) oid : Prog.t option =
+  let referenced =
+    List.exists (fun (t : Prog.table) -> t.Prog.ta = oid || t.Prog.tb = oid) p.Prog.tables
+  in
+  if referenced then None else Some { p with Prog.ops = List.filter (fun o -> o.Prog.oid <> oid) p.Prog.ops }
+
+(* One greedy sweep; returns the improved program and whether anything
+   was deleted. *)
+let sweep ~check (p : Prog.t) : Prog.t * bool =
+  let cur = ref p and changed = ref false in
+  let try_candidate cand =
+    match cand with
+    | Some c when check c ->
+        cur := c;
+        changed := true;
+        true
+    | _ -> false
+  in
+  (* whole functions, highest fid first so callers go before callees *)
+  List.iter
+    (fun (f : Prog.func) -> ignore (try_candidate (Some (drop_func !cur f.Prog.fid))))
+    (List.sort (fun a b -> compare b.Prog.fid a.Prog.fid) !cur.Prog.funcs);
+  (* individual blocks, scanned back-to-front inside each function *)
+  List.iter
+    (fun (f : Prog.func) ->
+      match List.find_opt (fun (g : Prog.func) -> g.Prog.fid = f.Prog.fid) !cur.Prog.funcs with
+      | None -> ()
+      | Some g ->
+          for idx = List.length g.Prog.blocks - 1 downto 0 do
+            ignore (try_candidate (drop_block !cur f.Prog.fid idx))
+          done)
+    !cur.Prog.funcs;
+  (* tables, then ops left unreferenced *)
+  List.iter
+    (fun (t : Prog.table) -> ignore (try_candidate (Some (drop_table !cur t.Prog.tid))))
+    !cur.Prog.tables;
+  List.iter (fun (o : Prog.op) -> ignore (try_candidate (drop_op !cur o.Prog.oid))) !cur.Prog.ops;
+  (!cur, !changed)
+
+let minimize ~check (p : Prog.t) : Prog.t =
+  if not (check p) then p
+  else
+    let rec fix p rounds =
+      if rounds = 0 then p
+      else
+        let p', changed = sweep ~check p in
+        if changed then fix p' (rounds - 1) else p'
+    in
+    fix p 8

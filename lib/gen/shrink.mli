@@ -1,0 +1,12 @@
+(** Greedy test-case minimizer.
+
+    [minimize ~check p] repeatedly tries structure-preserving deletions
+    — whole functions (cascading away calls to them and their fault
+    labels), individual blocks (cascading away the matching label when
+    the block is a fault), tables (cascading away their call sites) and
+    unreferenced ops — keeping a candidate whenever [check] still holds
+    on it, until no single deletion survives.  Because candidates are
+    built from the structured {!Prog.t} and re-rendered, every
+    intermediate program stays well-typed by construction. *)
+
+val minimize : check:(Prog.t -> bool) -> Prog.t -> Prog.t

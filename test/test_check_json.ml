@@ -1,0 +1,74 @@
+(* Golden tests locking the `ivy check --json` schema.
+
+   Downstream consumers parse this output, so the exact field set,
+   field order, severity spellings, null encoding of absent fix hints,
+   the per-analysis "analyses" map (present even when empty) and the
+   flattened, sorted "diagnostics" array are all part of the contract.
+   If a change here is intentional, update the expected strings AND
+   bump whatever consumes the schema. *)
+
+let parse src = Kc.Typecheck.check_sources [ ("golden.kc", src) ]
+
+let render src =
+  let ctxt = Engine.Context.create (parse src) in
+  Ivy.Report_fmt.render_diags_json (Ivy.Checks.run_all ctxt)
+
+(* One diagnostic from each of locksafe (error), errcheck (warning),
+   userck (error) and stackcheck (info, null fix_hint): covers every
+   severity spelling and both fix_hint encodings. *)
+let fixture =
+  "void spin_lock(long *l);\n\
+   void spin_unlock(long *l);\n\
+   long la;\n\
+   long lb;\n\
+   int risky(int x) { if (x < 0) { return -5; } return 0; }\n\
+   int caller(void) { risky(1); return 0; }\n\
+   int one(void) { spin_lock(&la); spin_lock(&lb); spin_unlock(&lb); spin_unlock(&la); return 0; }\n\
+   int two(void) { spin_lock(&lb); spin_lock(&la); spin_unlock(&la); spin_unlock(&lb); return 0; }\n\
+   int bad(char * __user u) { return *u; }\n"
+
+let expected =
+  "{\"analyses\":{\"blockstop\":[],\"locksafe\":[{\"analysis\":\"locksafe\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":7,\"col\":33,\"message\":\"locks la and lb are acquired in both orders (deadlock risk)\",\"fix_hint\":\"always acquire la before lb (or vice versa)\"}],\"stackcheck\":[{\"analysis\":\"stackcheck\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":6,\"col\":1,\"message\":\"deepest bounded call chain: 64 bytes (caller -> risky)\",\"fix_hint\":null}],\"errcheck\":[{\"analysis\":\"errcheck\",\"severity\":\"warning\",\"file\":\"golden.kc\",\"line\":6,\"col\":20,\"message\":\"caller discards error result of risky\",\"fix_hint\":\"test the result of risky against its error codes\"}],\"userck\":[{\"analysis\":\"userck\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":9,\"col\":28,\"message\":\"in bad: dereference of __user pointer (u)\",\"fix_hint\":\"stage the access through copy_from_user/copy_to_user\"}]},\"diagnostics\":[{\"analysis\":\"stackcheck\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":6,\"col\":1,\"message\":\"deepest bounded call chain: 64 bytes (caller -> risky)\",\"fix_hint\":null},{\"analysis\":\"errcheck\",\"severity\":\"warning\",\"file\":\"golden.kc\",\"line\":6,\"col\":20,\"message\":\"caller discards error result of risky\",\"fix_hint\":\"test the result of risky against its error codes\"},{\"analysis\":\"locksafe\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":7,\"col\":33,\"message\":\"locks la and lb are acquired in both orders (deadlock risk)\",\"fix_hint\":\"always acquire la before lb (or vice versa)\"},{\"analysis\":\"userck\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":9,\"col\":28,\"message\":\"in bad: dereference of __user pointer (u)\",\"fix_hint\":\"stage the access through copy_from_user/copy_to_user\"}]}\n"
+
+let test_schema_golden () = Alcotest.(check string) "exact JSON output" expected (render fixture)
+
+let test_quiet_program_shape () =
+  (* every analysis key is present (empty array), and the flattened
+     diagnostics hold just stackcheck's informational summary *)
+  let out = render "int f(void) { return 0; }\n" in
+  let starts_with pre s =
+    String.length s >= String.length pre && String.sub s 0 (String.length pre) = pre
+  in
+  Alcotest.(check bool) "leads with the analyses map in registry order" true
+    (starts_with "{\"analyses\":{\"blockstop\":[],\"locksafe\":[],\"stackcheck\":[{" out);
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "errcheck and userck keys present though empty" true
+    (contains "\"errcheck\":[]" out && contains "\"userck\":[]" out);
+  Alcotest.(check bool) "single info diagnostic" true
+    (contains "\"diagnostics\":[{\"analysis\":\"stackcheck\",\"severity\":\"info\"" out)
+
+let test_json_escaping () =
+  (* field order of a single rendered diag, and escaping of quotes *)
+  let d =
+    Engine.Diag.make ~analysis:"errcheck" ~severity:Engine.Diag.Warning
+      ~loc:{ Kc.Loc.file = "a\"b.kc"; line = 3; col = 1 }
+      "say \"hi\"\n"
+  in
+  Alcotest.(check string) "escaped and ordered"
+    "{\"analysis\":\"errcheck\",\"severity\":\"warning\",\"file\":\"a\\\"b.kc\",\"line\":3,\"col\":1,\"message\":\"say \\\"hi\\\"\\n\",\"fix_hint\":null}"
+    (Engine.Diag.to_json d)
+
+let () =
+  Alcotest.run "check-json"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "full fixture" `Quick test_schema_golden;
+          Alcotest.test_case "quiet program shape" `Quick test_quiet_program_shape;
+          Alcotest.test_case "escaping and field order" `Quick test_json_escaping;
+        ] );
+    ]

@@ -1,0 +1,108 @@
+(* Dedicated errcheck suite: inference of error-returning functions
+   from negative-constant returns, the __returns_err annotation, the
+   accounting rules (tested / propagated / stored results are fine;
+   discarded or never-tested bindings are not), and the engine-level
+   diagnostic wording. *)
+
+let parse src = Kc.Typecheck.check_sources [ ("t.kc", src) ]
+
+(* ---- positive: violations the analysis must report ---- *)
+
+let test_discarded_result_flagged () =
+  let r =
+    Errcheck.analyze
+      (parse
+         "int risky(int x) { if (x < 0) { return -5; } return 0; }\n\
+          int caller(void) { risky(1); return 0; }")
+  in
+  Alcotest.(check bool) "risky inferred" true (Errcheck.SS.mem "risky" r.Errcheck.inferred);
+  Alcotest.(check bool) "discarded call reported" true
+    (List.exists
+       (fun (s : Errcheck.site) ->
+         s.Errcheck.s_caller = "caller" && s.Errcheck.s_kind = `Ignored)
+       r.Errcheck.violations)
+
+let test_bound_never_tested_flagged () =
+  let r =
+    Errcheck.analyze
+      (parse
+         "int risky(int x) { if (x < 0) { return -5; } return 0; }\n\
+          int caller(void) { int r = risky(1); return 7; }")
+  in
+  Alcotest.(check bool) "untested binding reported" true
+    (List.exists (fun (s : Errcheck.site) -> s.Errcheck.s_kind = `Unchecked) r.Errcheck.violations)
+
+let test_annotated_extern_flagged () =
+  let r =
+    Errcheck.analyze
+      (parse
+         "int api(void) __returns_err(-5, -22);\n\
+          int caller(void) { api(); return 0; }")
+  in
+  Alcotest.(check bool) "annotated extern reported when discarded" true
+    (List.exists (fun (s : Errcheck.site) -> s.Errcheck.s_callee = "api") r.Errcheck.violations)
+
+(* ---- clean: accounted results draw no report ---- *)
+
+let test_tested_result_clean () =
+  let r =
+    Errcheck.analyze
+      (parse
+         "int risky(int x) { if (x < 0) { return -5; } return 0; }\n\
+          int caller(void) { int r = risky(1); if (r < 0) { return r; } return 0; }")
+  in
+  Alcotest.(check int) "tested binding clean" 0 (List.length r.Errcheck.violations)
+
+let test_propagated_result_clean () =
+  let r =
+    Errcheck.analyze
+      (parse
+         "int risky(int x) { if (x < 0) { return -5; } return 0; }\n\
+          int caller(void) { int r = risky(1); return r; }")
+  in
+  Alcotest.(check int) "propagated binding clean" 0 (List.length r.Errcheck.violations)
+
+let test_non_err_function_clean () =
+  (* no negative constant returns anywhere: nothing to check *)
+  let r =
+    Errcheck.analyze
+      (parse
+         "int benign(int x) { return x + 1; }\n\
+          int caller(void) { benign(1); return 0; }")
+  in
+  Alcotest.(check int) "no error-returning functions" 0 (List.length r.Errcheck.err_functions);
+  Alcotest.(check int) "no violations" 0 (List.length r.Errcheck.violations)
+
+(* ---- engine contract ---- *)
+
+let test_engine_diag_wording () =
+  let prog =
+    parse
+      "int risky(int x) { if (x < 0) { return -5; } return 0; }\n\
+       int caller(void) { risky(1); return 0; }"
+  in
+  let diags = Ivy.Checks.run_all ~only:[ "errcheck" ] (Engine.Context.create prog) in
+  let ds = List.assoc "errcheck" diags in
+  Alcotest.(check bool) "diag names caller and callee" true
+    (List.exists
+       (fun (d : Engine.Diag.t) ->
+         d.Engine.Diag.message = "caller discards error result of risky")
+       ds)
+
+let () =
+  Alcotest.run "errcheck"
+    [
+      ( "positive",
+        [
+          Alcotest.test_case "discarded result" `Quick test_discarded_result_flagged;
+          Alcotest.test_case "bound, never tested" `Quick test_bound_never_tested_flagged;
+          Alcotest.test_case "annotated extern" `Quick test_annotated_extern_flagged;
+        ] );
+      ( "clean",
+        [
+          Alcotest.test_case "tested result" `Quick test_tested_result_clean;
+          Alcotest.test_case "propagated result" `Quick test_propagated_result_clean;
+          Alcotest.test_case "non-err function" `Quick test_non_err_function_clean;
+        ] );
+      ("engine", [ Alcotest.test_case "diag wording" `Quick test_engine_diag_wording ]);
+    ]

@@ -1,0 +1,178 @@
+(* The fuzz subsystem's own tests: the generator emits deterministic,
+   well-typed, analysis-silent programs; the injector plants exactly
+   one labelled fault; the differential oracle credits every fault
+   kind and stays quiet on clean cases; the shrinker converges to a
+   small repro while preserving the predicate. *)
+
+let seeds n base = List.init n (fun i -> Gen.Rng.mix base i)
+
+(* ---- rng ---- *)
+
+let test_rng_determinism () =
+  let a = Gen.Rng.create 7 and b = Gen.Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Gen.Rng.next64 a) (Gen.Rng.next64 b)
+  done;
+  let c = Gen.Rng.create 8 in
+  Alcotest.(check bool) "different seed, different stream" true
+    (Gen.Rng.next64 a <> Gen.Rng.next64 c)
+
+let test_rng_bounds () =
+  let r = Gen.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Gen.Rng.int r 7 in
+    Alcotest.(check bool) "0 <= v < 7" true (v >= 0 && v < 7);
+    let w = Gen.Rng.range r 2 6 in
+    Alcotest.(check bool) "2 <= w <= 6" true (w >= 2 && w <= 6)
+  done
+
+(* ---- generator ---- *)
+
+let test_render_deterministic () =
+  List.iter
+    (fun s ->
+      let a = Gen.Prog.render (Gen.Generate.clean s) in
+      let b = Gen.Prog.render (Gen.Generate.clean s) in
+      Alcotest.(check string) (Printf.sprintf "seed %d renders identically" s) a b)
+    (seeds 10 11)
+
+let test_generated_well_typed () =
+  List.iter
+    (fun s ->
+      let src = Gen.Prog.render (Gen.Generate.clean s) in
+      match Kc.Typecheck.check_sources [ ("gen.kc", src) ] with
+      | _ -> ()
+      | exception e ->
+          Alcotest.failf "seed %d does not typecheck: %s\n%s" s (Printexc.to_string e) src)
+    (seeds 30 23)
+
+let test_clean_programs_pass_oracle () =
+  List.iter
+    (fun s ->
+      let p = Gen.Generate.clean s in
+      let v = Gen.Oracle.check p in
+      match v.Gen.Oracle.violations with
+      | [] -> ()
+      | vs ->
+          Alcotest.failf "clean seed %d: %s" s
+            (String.concat "; " (List.map Gen.Oracle.violation_to_string vs)))
+    (seeds 12 37)
+
+(* ---- injector + oracle ---- *)
+
+let test_injector_labels () =
+  List.iter
+    (fun kind ->
+      let rng = Gen.Rng.create 5 in
+      let p = Gen.Inject.plant rng kind (Gen.Generate.clean 99) in
+      match p.Gen.Prog.faults with
+      | [ (k, fn) ] ->
+          Alcotest.(check string) "label kind" (Gen.Fault.to_string kind) (Gen.Fault.to_string k);
+          Alcotest.(check bool) "host is a generated function" true
+            (String.length fn > 1 && fn.[0] = 'f')
+      | fs -> Alcotest.failf "expected one label, got %d" (List.length fs))
+    Gen.Fault.all
+
+let test_every_fault_kind_detected () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun s ->
+          let rng = Gen.Rng.create (s + 1) in
+          let p = Gen.Inject.plant rng kind (Gen.Generate.clean s) in
+          let v = Gen.Oracle.check p in
+          (match v.Gen.Oracle.violations with
+          | [] -> ()
+          | vs ->
+              Alcotest.failf "%s seed %d: %s" (Gen.Fault.to_string kind) s
+                (String.concat "; " (List.map Gen.Oracle.violation_to_string vs)));
+          Alcotest.(check int)
+            (Printf.sprintf "%s seed %d credited" (Gen.Fault.to_string kind) s)
+            1
+            (List.length v.Gen.Oracle.detected))
+        (seeds 3 (100 + Hashtbl.hash (Gen.Fault.to_string kind))))
+    Gen.Fault.all
+
+(* ---- campaign driver ---- *)
+
+let test_campaign_clean () =
+  let s = Gen.Fuzz.run ~seed:7 ~count:24 () in
+  Alcotest.(check int) "no failures" 0 (List.length s.Gen.Fuzz.s_failures);
+  Alcotest.(check int) "clean quota" 6 s.Gen.Fuzz.s_clean;
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Gen.Fault.to_string k ^ " fully detected")
+        (List.assoc k s.Gen.Fuzz.s_injected)
+        (List.assoc k s.Gen.Fuzz.s_detected))
+    Gen.Fault.all
+
+let test_campaign_deterministic () =
+  let a = Gen.Fuzz.run ~seed:5 ~count:12 () in
+  let b = Gen.Fuzz.run ~seed:5 ~count:12 () in
+  Alcotest.(check (list (pair string int)))
+    "same injected census"
+    (List.map (fun (k, n) -> (Gen.Fault.to_string k, n)) a.Gen.Fuzz.s_injected)
+    (List.map (fun (k, n) -> (Gen.Fault.to_string k, n)) b.Gen.Fuzz.s_injected)
+
+(* ---- shrinker ---- *)
+
+let test_shrink_small_repro () =
+  (* Plant an atomic-block fault, then minimize while the oracle still
+     credits it: the repro must stay a valid counterexample-style case
+     and fit the issue's 30-line budget. *)
+  let rng = Gen.Rng.create 2 in
+  let p = Gen.Inject.plant rng Gen.Fault.Atomic_block (Gen.Generate.clean 1234) in
+  let detects q =
+    List.exists
+      (fun (k, _) -> k = Gen.Fault.Atomic_block)
+      (Gen.Oracle.check q).Gen.Oracle.detected
+  in
+  Alcotest.(check bool) "fault detected before shrinking" true (detects p);
+  let small = Gen.Shrink.minimize ~check:detects p in
+  Alcotest.(check bool) "fault still detected after shrinking" true (detects small);
+  let lines = Gen.Prog.line_count small in
+  Alcotest.(check bool)
+    (Printf.sprintf "repro is small (%d lines <= 30)" lines)
+    true (lines <= 30);
+  Alcotest.(check bool) "shrinking made progress" true
+    (lines < Gen.Prog.line_count p
+    || List.length small.Gen.Prog.funcs <= List.length p.Gen.Prog.funcs)
+
+let test_shrink_keeps_predicate_sound () =
+  (* A predicate nothing satisfies must return the input unchanged. *)
+  let p = Gen.Generate.clean 77 in
+  let q = Gen.Shrink.minimize ~check:(fun _ -> false) p in
+  Alcotest.(check string) "no-op on unsatisfiable predicate" (Gen.Prog.render p)
+    (Gen.Prog.render q)
+
+let () =
+  Alcotest.run "gen"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "render deterministic" `Quick test_render_deterministic;
+          Alcotest.test_case "well-typed" `Quick test_generated_well_typed;
+          Alcotest.test_case "clean passes oracle" `Slow test_clean_programs_pass_oracle;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "injector labels" `Quick test_injector_labels;
+          Alcotest.test_case "every kind detected" `Slow test_every_fault_kind_detected;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "small campaign clean" `Slow test_campaign_clean;
+          Alcotest.test_case "deterministic" `Slow test_campaign_deterministic;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "small repro" `Slow test_shrink_small_repro;
+          Alcotest.test_case "unsatisfiable predicate" `Quick test_shrink_keeps_predicate_sound;
+        ] );
+    ]

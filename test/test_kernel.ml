@@ -302,6 +302,30 @@ let test_guards_hold_at_runtime () =
     (fun (entry, iters) -> ignore (Ivy.Pipeline.run_entry r entry iters))
     [ ("wl_lat_fs", 5); ("wl_idle", 5); ("wl_lat_proc", 3); ("wl_lat_udp", 3) ]
 
+(* Table-1-style invariant, pinned directly against the corpus rather
+   than through the experiment driver: on the pre-fix corpus variant,
+   blockstop's warning set contains exactly the two seeded true bugs
+   plus warnings on the guarded functions, and applying the guard list
+   silences everything except the true bugs. *)
+let test_blockstop_table1_invariant () =
+  let prog = Kernel.Corpus.load ~fixed_frees:false () in
+  let unguarded = Blockstop.Breport.analyze prog in
+  let distinct = Blockstop.Breport.distinct_warnings unguarded in
+  List.iter
+    (fun bug ->
+      Alcotest.(check bool)
+        (Printf.sprintf "true bug %s->%s found without guards" (fst bug) (snd bug))
+        true (List.mem bug distinct))
+    Kernel.Corpus.blockstop_true_bugs;
+  Alcotest.(check bool) "the unguarded run also has false positives" true
+    (List.exists (fun w -> not (List.mem w Kernel.Corpus.blockstop_true_bugs)) distinct);
+  let prog = Kernel.Corpus.load ~fixed_frees:false () in
+  let guarded = Blockstop.Breport.analyze ~guard:Kernel.Corpus.blockstop_guards prog in
+  Alcotest.(check (list (pair string string)))
+    "guards leave exactly the seeded true bugs"
+    (List.sort compare Kernel.Corpus.blockstop_true_bugs)
+    (List.sort compare (Blockstop.Breport.distinct_warnings guarded))
+
 let () =
   Alcotest.run "kernel"
     [
@@ -340,5 +364,6 @@ let () =
         [
           Alcotest.test_case "seeded bugs trap" `Quick test_seeded_bugs_trap;
           Alcotest.test_case "guards hold" `Quick test_guards_hold_at_runtime;
+          Alcotest.test_case "table1 invariant" `Quick test_blockstop_table1_invariant;
         ] );
     ]

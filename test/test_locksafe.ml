@@ -1,0 +1,120 @@
+(* Dedicated locksafe suite (previously only exercised through
+   test_extensions.ml): lock-order inversion and the irq-spinlock
+   invariant, positive and clean, plus the engine-level diagnostic
+   contract (`ivy check` reports a deadlock as an Error). *)
+
+let parse src = Kc.Typecheck.check_sources [ ("t.kc", src) ]
+
+let preamble =
+  "void spin_lock(long *l);\n\
+   void spin_unlock(long *l);\n\
+   long spin_lock_irqsave(long *l);\n\
+   void spin_unlock_irqrestore(long *l, long flags);\n\
+   int request_irq(int irq, int (*handler)(int));\n"
+
+let p src = preamble ^ src
+
+(* ---- positive: bugs the analysis must report ---- *)
+
+let test_inversion_flagged () =
+  let r =
+    Locksafe.analyze
+      (parse
+         (p
+            "long la;\nlong lb;\n\
+             int one(void) { spin_lock(&la); spin_lock(&lb); spin_unlock(&lb); spin_unlock(&la); return 0; }\n\
+             int two(void) { spin_lock(&lb); spin_lock(&la); spin_unlock(&la); spin_unlock(&lb); return 0; }"))
+  in
+  Alcotest.(check (list (pair string string))) "AB/BA pair reported"
+    [ ("la", "lb") ] r.Locksafe.deadlock_cycles
+
+let test_same_function_inversion_flagged () =
+  (* both orders inside a single function body *)
+  let r =
+    Locksafe.analyze
+      (parse
+         (p
+            "long la;\nlong lb;\n\
+             int seq(void) {\n\
+             \  spin_lock(&la); spin_lock(&lb); spin_unlock(&lb); spin_unlock(&la);\n\
+             \  spin_lock(&lb); spin_lock(&la); spin_unlock(&la); spin_unlock(&lb);\n\
+             \  return 0; }"))
+  in
+  Alcotest.(check (list (pair string string))) "sequential inversion reported"
+    [ ("la", "lb") ] r.Locksafe.deadlock_cycles
+
+let test_irq_unsafe_flagged () =
+  let r =
+    Locksafe.analyze
+      (parse
+         (p
+            "long dl;\n\
+             int handler(int irq) { spin_lock(&dl); spin_unlock(&dl); return 0; }\n\
+             int setup(void) { request_irq(1, handler); return 0; }\n\
+             int proc(void) { spin_lock(&dl); spin_unlock(&dl); return 0; }"))
+  in
+  Alcotest.(check bool) "plain spin_lock of an irq lock reported" true
+    (List.exists (fun (l, _) -> l = "dl") r.Locksafe.irq_unsafe)
+
+(* ---- clean: correct locking draws no report ---- *)
+
+let test_consistent_order_clean () =
+  let r =
+    Locksafe.analyze
+      (parse
+         (p
+            "long la;\nlong lb;\n\
+             int one(void) { spin_lock(&la); spin_lock(&lb); spin_unlock(&lb); spin_unlock(&la); return 0; }\n\
+             int two(void) { spin_lock(&la); spin_lock(&lb); spin_unlock(&lb); spin_unlock(&la); return 0; }"))
+  in
+  Alcotest.(check int) "no deadlock pairs" 0 (List.length r.Locksafe.deadlock_cycles);
+  Alcotest.(check int) "no irq-unsafe acquires" 0 (List.length r.Locksafe.irq_unsafe)
+
+let test_irqsave_clean () =
+  let r =
+    Locksafe.analyze
+      (parse
+         (p
+            "long dl;\n\
+             int handler(int irq) { spin_lock(&dl); spin_unlock(&dl); return 0; }\n\
+             int setup(void) { request_irq(1, handler); return 0; }\n\
+             int proc(void) { long f = spin_lock_irqsave(&dl); spin_unlock_irqrestore(&dl, f); return 0; }"))
+  in
+  Alcotest.(check int) "irqsave acquire not reported" 0
+    (List.length (List.filter (fun (_, (a : Locksafe.acquire)) -> not a.Locksafe.a_in_irq) r.Locksafe.irq_unsafe))
+
+(* ---- engine contract: severity and wording of the diag ---- *)
+
+let test_engine_diag_is_error () =
+  let prog =
+    parse
+      (p
+         "long la;\nlong lb;\n\
+          int one(void) { spin_lock(&la); spin_lock(&lb); spin_unlock(&lb); spin_unlock(&la); return 0; }\n\
+          int two(void) { spin_lock(&lb); spin_lock(&la); spin_unlock(&la); spin_unlock(&lb); return 0; }")
+  in
+  let diags = Ivy.Checks.run_all ~only:[ "locksafe" ] (Engine.Context.create prog) in
+  let ds = List.assoc "locksafe" diags in
+  Alcotest.(check bool) "deadlock surfaces as an Error diag" true
+    (List.exists
+       (fun (d : Engine.Diag.t) ->
+         d.Engine.Diag.severity = Engine.Diag.Error
+         && d.Engine.Diag.analysis = "locksafe")
+       ds)
+
+let () =
+  Alcotest.run "locksafe"
+    [
+      ( "positive",
+        [
+          Alcotest.test_case "cross-function inversion" `Quick test_inversion_flagged;
+          Alcotest.test_case "same-function inversion" `Quick test_same_function_inversion_flagged;
+          Alcotest.test_case "irq-unsafe acquire" `Quick test_irq_unsafe_flagged;
+        ] );
+      ( "clean",
+        [
+          Alcotest.test_case "consistent order" `Quick test_consistent_order_clean;
+          Alcotest.test_case "irqsave" `Quick test_irqsave_clean;
+        ] );
+      ("engine", [ Alcotest.test_case "error severity" `Quick test_engine_diag_is_error ]);
+    ]

@@ -412,10 +412,26 @@ let prop_deputy_preserves =
       Vm.Interp.run t "main" [] = base)
 
 let () =
+  (* Reproducibility: the generator stream is seeded from QCHECK_SEED
+     when set (export QCHECK_SEED=<n> to replay a failure), and from a
+     fixed default otherwise so CI runs are deterministic.  The active
+     seed is always printed so any failing log carries its repro. *)
+  let seed =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n -> n
+        | None ->
+            Printf.eprintf "ignoring non-integer QCHECK_SEED=%S\n%!" s;
+            42)
+    | None -> 42
+  in
+  Printf.printf "qcheck seed: %d (set QCHECK_SEED to override)\n%!" seed;
+  let rand = Random.State.make [| seed |] in
   Alcotest.run "properties"
     [
       ( "qcheck",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (QCheck_alcotest.to_alcotest ~rand)
           [
             prop_interp_arithmetic;
             prop_precedence;

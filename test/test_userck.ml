@@ -1,0 +1,91 @@
+(* Dedicated userck suite: the two rules of the user/kernel pointer
+   discipline — no raw derefs of __user values, no laundering across
+   the address-space boundary — with their __trusted and copy-helper
+   escape hatches, plus the engine-level severity contract. *)
+
+let parse src = Kc.Typecheck.check_sources [ ("t.kc", src) ]
+
+let preamble =
+  "int copy_to_user(void * __user d, void *s, unsigned long n) __blocking;\n\
+   int copy_from_user(void *d, void * __user s, unsigned long n) __blocking;\n"
+
+let p src = preamble ^ src
+
+(* ---- positive: violations the analysis must report ---- *)
+
+let test_raw_deref_flagged () =
+  let r = Userck.analyze (parse (p "int bad(char * __user u) { return *u; }")) in
+  Alcotest.(check bool) "raw deref reported" true
+    (List.exists (fun v -> v.Userck.v_kind = Userck.Deref) r.Userck.violations)
+
+let test_user_to_kernel_flagged () =
+  let r =
+    Userck.analyze
+      (parse (p "char *launder(char * __user u) { char *k = (char *)u; return k; }"))
+  in
+  Alcotest.(check bool) "user-to-kernel flow reported" true
+    (List.exists (fun v -> v.Userck.v_kind = Userck.User_to_kernel) r.Userck.violations)
+
+let test_kernel_to_user_flagged () =
+  let r =
+    Userck.analyze
+      (parse (p "int leak(char *k) { return copy_from_user(0, (char * __user)k, 1); }"))
+  in
+  Alcotest.(check bool) "kernel-to-user flow reported" true
+    (List.exists (fun v -> v.Userck.v_kind = Userck.Kernel_to_user) r.Userck.violations)
+
+(* ---- clean: the blessed paths draw no report ---- *)
+
+let test_copy_helpers_clean () =
+  let r =
+    Userck.analyze
+      (parse
+         (p
+            "int good(char * __user u) { char k[8]; copy_from_user(k, u, 8); return k[0]; }\n\
+             int put(char * __user u, char *k) { return copy_to_user(u, k, 4); }"))
+  in
+  Alcotest.(check int) "copy helpers clean" 0 (List.length r.Userck.violations)
+
+let test_trusted_shim_clean () =
+  let r =
+    Userck.analyze
+      (parse
+         (p
+            "char gbuf[16];\n\
+             char * __user gup;\n\
+             int shim(void) { __trusted { gup = (char * __user)gbuf; } return 0; }"))
+  in
+  Alcotest.(check int) "trusted bless clean" 0 (List.length r.Userck.violations)
+
+(* ---- engine contract ---- *)
+
+let test_engine_diag_is_error () =
+  let prog = parse (p "int bad(char * __user u) { return *u; }") in
+  let diags = Ivy.Checks.run_all ~only:[ "userck" ] (Engine.Context.create prog) in
+  let ds = List.assoc "userck" diags in
+  Alcotest.(check bool) "deref surfaces as an Error naming the function" true
+    (List.exists
+       (fun (d : Engine.Diag.t) ->
+         d.Engine.Diag.severity = Engine.Diag.Error
+         && d.Engine.Diag.analysis = "userck"
+         &&
+         let m = d.Engine.Diag.message in
+         String.length m >= 7 && String.sub m 0 7 = "in bad:")
+       ds)
+
+let () =
+  Alcotest.run "userck"
+    [
+      ( "positive",
+        [
+          Alcotest.test_case "raw deref" `Quick test_raw_deref_flagged;
+          Alcotest.test_case "user-to-kernel" `Quick test_user_to_kernel_flagged;
+          Alcotest.test_case "kernel-to-user" `Quick test_kernel_to_user_flagged;
+        ] );
+      ( "clean",
+        [
+          Alcotest.test_case "copy helpers" `Quick test_copy_helpers_clean;
+          Alcotest.test_case "trusted shim" `Quick test_trusted_shim_clean;
+        ] );
+      ("engine", [ Alcotest.test_case "error severity" `Quick test_engine_diag_is_error ]);
+    ]
