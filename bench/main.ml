@@ -94,6 +94,75 @@ let bench_unified () =
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 1c: absint discharge on the deputized VM                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Deputized corpus with the Facts optimizer alone vs Facts + the
+   absint interval stage: same workload schedule on both machines, so
+   the dynamic check counters are directly comparable (and must drop
+   on the absint side — every discharged check is one the VM no longer
+   executes). *)
+let absint_workload (mode : Ivy.Pipeline.mode) : Ivy.Pipeline.run =
+  let r = Ivy.Pipeline.booted mode in
+  List.iter
+    (fun (row : Kernel.Workloads.row) ->
+      ignore (Ivy.Pipeline.run_entry r row.Kernel.Workloads.entry 3))
+    Kernel.Workloads.table1;
+  r
+
+let checks_executed (r : Ivy.Pipeline.run) : int =
+  r.Ivy.Pipeline.interp.Vm.Interp.m.Vm.Machine.cost.Vm.Cost.checks_executed
+
+let bench_absint () =
+  section "ABSINT: deputized VM, Facts only vs Facts+absint";
+  let facts = absint_workload Ivy.Pipeline.Deputy in
+  let both = absint_workload Ivy.Pipeline.Deputy_absint in
+  let cf = checks_executed facts and cb = checks_executed both in
+  (match both.Ivy.Pipeline.absint_stats with
+  | Some st -> print_string (Absint.Discharge.render_stats st)
+  | None -> ());
+  Printf.printf "dynamic checks executed (boot + table1 x3):\n";
+  Printf.printf "  facts only:     %10d\n" cf;
+  Printf.printf "  facts + absint: %10d\n" cb;
+  Printf.printf "  removed:        %10d (%.1f%%, fewer: %b)\n" (cf - cb)
+    (if cf = 0 then 0.0 else 100.0 *. float_of_int (cf - cb) /. float_of_int cf)
+    (cb < cf)
+
+(* --absint-gate: CI regression fence.  The checked-in floor is the
+   discharge rate the interval stage is known to reach on the corpus;
+   a change that drops below it silently weakened the analysis. *)
+let absint_floor_file = "bench/absint_floor.txt"
+
+let read_floor path =
+  let ic = open_in path in
+  let rec go () =
+    match input_line ic with
+    | line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go () else float_of_string line
+    | exception End_of_file ->
+        close_in ic;
+        failwith (path ^ ": no floor value found")
+  in
+  let v = go () in
+  close_in ic;
+  v
+
+let absint_gate () =
+  let floor = read_floor absint_floor_file in
+  let prog = Kernel.Workloads.load () in
+  ignore (Deputy.Dreport.deputize ~optimize:true prog);
+  let st = Absint.Discharge.run prog in
+  let rate = Absint.Discharge.rate st in
+  Printf.printf "absint gate: discharge rate %.1f%% (%d of %d residual checks), floor %.1f%%\n"
+    rate (Absint.Discharge.checks_proved st) (Absint.Discharge.checks_seen st) floor;
+  if rate < floor then begin
+    Printf.printf "FAIL: discharge rate regressed below the checked-in floor\n";
+    exit 1
+  end
+  else Printf.printf "OK\n"
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: bechamel micro-benchmarks of the implementation            *)
 (* ------------------------------------------------------------------ *)
 
@@ -113,6 +182,11 @@ let tests () =
       (Staged.stage (fun () ->
            let p = Kernel.Corpus.load () in
            ignore (Deputy.Dreport.deputize p)));
+    Test.make ~name:"absint:discharge"
+      (Staged.stage (fun () ->
+           let p = Kernel.Corpus.load () in
+           ignore (Deputy.Dreport.deputize p);
+           ignore (Absint.Discharge.run p)));
     Test.make ~name:"ccount:instrument"
       (Staged.stage (fun () ->
            let p = Kernel.Corpus.load () in
@@ -181,7 +255,11 @@ let benchmark () =
     (tests ())
 
 let () =
-  regenerate ();
-  bench_unified ();
-  section "Implementation micro-benchmarks (bechamel)";
-  benchmark ()
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--absint-gate" then absint_gate ()
+  else begin
+    regenerate ();
+    bench_unified ();
+    bench_absint ();
+    section "Implementation micro-benchmarks (bechamel)";
+    benchmark ()
+  end

@@ -54,6 +54,7 @@ let mode_arg =
     | "base" -> Ok Ivy.Pipeline.Base
     | "deputy" -> Ok Ivy.Pipeline.Deputy
     | "deputy-unopt" -> Ok Ivy.Pipeline.Deputy_unoptimized
+    | "deputy-absint" -> Ok Ivy.Pipeline.Deputy_absint
     | "ccount-up" -> Ok (Ivy.Pipeline.Ccount Vm.Cost.Up)
     | "ccount-smp" -> Ok (Ivy.Pipeline.Ccount Vm.Cost.Smp_p4)
     | "blockstop-guarded" -> Ok Ivy.Pipeline.Blockstop_guarded
@@ -67,8 +68,8 @@ let mode_t =
     value
     & opt mode_arg Ivy.Pipeline.Base
     & info [ "m"; "mode" ] ~docv:"MODE"
-        ~doc:"Instrumentation mode: base, deputy, deputy-unopt, ccount-up, ccount-smp, \
-              blockstop-guarded.")
+        ~doc:"Instrumentation mode: base, deputy, deputy-unopt, deputy-absint, ccount-up, \
+              ccount-smp, blockstop-guarded.")
 
 let unfixed_t =
   Arg.(value & flag & info [ "unfixed" ] ~doc:"Use the corpus variant before the free fixes.")
@@ -87,6 +88,9 @@ let boot_cmd =
           (Ivy.Pipeline.cycles r);
         (match r.Ivy.Pipeline.deputy_report with
         | Some dr -> Format.printf "%a@." Deputy.Dreport.pp dr
+        | None -> ());
+        (match r.Ivy.Pipeline.absint_stats with
+        | Some st -> print_string (Absint.Discharge.render_stats st)
         | None -> ());
         match r.Ivy.Pipeline.ccount_report with
         | Some cr ->
@@ -116,11 +120,21 @@ let run_cmd =
 (* ---- deputy ---- *)
 
 let deputy_cmd =
-  let run files =
+  let absint_t =
+    Arg.(
+      value & flag
+      & info [ "absint" ]
+          ~doc:"Also run the interval abstract-interpretation discharge stage on the result.")
+  in
+  let run files absint =
     handle_frontend_errors (fun () ->
         let prog = load_files files ~fixed_frees:true in
         let report = Deputy.Dreport.deputize prog in
         Format.printf "%a@." Deputy.Dreport.pp report;
+        if absint then begin
+          let stats = Absint.Discharge.run prog in
+          print_string (Absint.Discharge.render_stats stats)
+        end;
         List.iter
           (fun (msg, loc) -> Printf.printf "static error: %s at %s\n" msg (Kc.Loc.to_string loc))
           report.Deputy.Dreport.static_errors;
@@ -128,7 +142,7 @@ let deputy_cmd =
   in
   Cmd.v
     (Cmd.info "deputy" ~doc:"Type/memory-safety conversion census (paper §2.1).")
-    Term.(const run $ files_t)
+    Term.(const run $ files_t $ absint_t)
 
 (* ---- ccount ---- *)
 
@@ -314,15 +328,23 @@ let check_cmd =
               (String.concat ", " (List.map Engine.Analysis.name Ivy.Checks.all));
             exit 1
         in
-        if json then print_string (Ivy.Report_fmt.render_diags_json results)
-        else print_string (Ivy.Report_fmt.render_diags results);
-        if stats then print_string (Ivy.Report_fmt.render_engine_stats ctxt))
+        let absint_ran = List.mem_assoc "absint" results in
+        (if json then
+           let deputy = if absint_ran then Some (Engine.Context.deputized ctxt) else None in
+           print_string (Ivy.Report_fmt.render_diags_json ?deputy results)
+         else print_string (Ivy.Report_fmt.render_diags results));
+        if stats then begin
+          if absint_ran then
+            print_string
+              (Absint.Discharge.render_stats (Engine.Context.deputized ctxt).Engine.Context.dstats);
+          print_string (Ivy.Report_fmt.render_engine_stats ctxt)
+        end)
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Run every registered analysis (blockstop, locksafe, stackcheck, errcheck, userck) \
-          over one shared whole-program context.")
+         "Run every registered analysis (blockstop, locksafe, stackcheck, errcheck, userck, \
+          absint) over one shared whole-program context.")
     Term.(const run $ files_t $ only_t $ json_t $ stats_t)
 
 (* ---- fuzz: generator + fault injector + differential oracle ---- *)

@@ -1,0 +1,37 @@
+(* Product of interval and zeroness. gamma(v) = gamma(v.iv) intersect
+   gamma(v.nl): each component may prove a check on its own, and a
+   contradiction between them means the value is infeasible. *)
+
+type t = { iv : Interval.t; nl : Nullness.t }
+
+let bottom = { iv = Interval.bottom; nl = Nullness.bottom }
+let top = { iv = Interval.top; nl = Nullness.top }
+let make iv nl = { iv; nl }
+
+let of_const n = { iv = Interval.const n; nl = Nullness.of_const n }
+let nonnull = { iv = Interval.top; nl = Nullness.Nonnull }
+
+(* The two components can contradict each other without either being
+   bottom; all such states have an empty concretization. *)
+let is_bot v =
+  Interval.equal v.iv Interval.bottom
+  || Nullness.equal v.nl Nullness.bottom
+  || (Nullness.equal v.nl Nullness.Null && not (Interval.contains_zero v.iv))
+  || (Nullness.equal v.nl Nullness.Nonnull && Interval.equal v.iv (Interval.const 0L))
+
+let equal a b = Interval.equal a.iv b.iv && Nullness.equal a.nl b.nl
+let leq a b = Interval.leq a.iv b.iv && Nullness.leq a.nl b.nl
+let join a b = { iv = Interval.join a.iv b.iv; nl = Nullness.join a.nl b.nl }
+let meet a b = { iv = Interval.meet a.iv b.iv; nl = Nullness.meet a.nl b.nl }
+let widen old next = { iv = Interval.widen old.iv next.iv; nl = Nullness.widen old.nl next.nl }
+let narrow old next = { iv = Interval.narrow old.iv next.iv; nl = Nullness.narrow old.nl next.nl }
+
+(* Reduce the product: an interval excluding zero implies Nonnull, a
+   [0,0] interval implies Null. Never called on infeasible states. *)
+let reduce v =
+  if is_bot v then v
+  else if not (Interval.contains_zero v.iv) then { v with nl = Nullness.Nonnull }
+  else if Interval.equal v.iv (Interval.const 0L) then { v with nl = Nullness.Null }
+  else v
+
+let to_string v = Printf.sprintf "%s/%s" (Interval.to_string v.iv) (Nullness.to_string v.nl)

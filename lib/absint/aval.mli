@@ -1,0 +1,27 @@
+(** Abstract value: interval × zeroness product.
+    gamma(v) = gamma(v.iv) ∩ gamma(v.nl). *)
+
+type t = { iv : Interval.t; nl : Nullness.t }
+
+val bottom : t
+val top : t
+val make : Interval.t -> Nullness.t -> t
+val of_const : int64 -> t
+val nonnull : t
+
+val is_bot : t -> bool
+(** True when the concretization is empty, including contradictions
+    between the two components. *)
+
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+val join : t -> t -> t
+val meet : t -> t -> t
+val widen : t -> t -> t
+val narrow : t -> t -> t
+
+val reduce : t -> t
+(** Propagate information between the components (e.g. an interval
+    excluding zero implies [Nonnull]). *)
+
+val to_string : t -> string

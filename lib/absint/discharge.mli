@@ -1,0 +1,24 @@
+(** Second-stage check discharge: removes Deputy-inserted runtime
+    checks the interval fixpoint proves can never fire. Runs in place
+    over an already deputized (and Facts-optimized) program, so the
+    combined pipeline strictly subsumes the Facts pass. *)
+
+type fstat = {
+  fname : string;
+  seen : int;  (** residual checks entering this pass *)
+  proved : int;  (** ... removed by interval facts *)
+  iterations : int;
+  widen_points : int;
+}
+
+type stats = { fstats : fstat list }
+
+val checks_seen : stats -> int
+val checks_proved : stats -> int
+
+val rate : stats -> float
+(** Percentage of residual checks proved (0 when none were seen). *)
+
+val discharge_fundec : summaries:Transfer.summaries -> Kc.Ir.fundec -> fstat
+val run : ?summaries:Transfer.summaries -> Kc.Ir.program -> stats
+val render_stats : stats -> string

@@ -1,0 +1,45 @@
+(* Abstract environment: stable variable id -> abstract value, with an
+   explicit Unreachable bottom so infeasible branches stop propagating
+   facts (and their checks discharge trivially).
+
+   An absent binding means "unknown": reads fall back to the variable's
+   type range (Transfer.of_ty), so dropping a binding is always sound.
+   Join/widen/narrow therefore operate on the keys common to both
+   sides and drop the rest. *)
+
+module IntMap = Map.Make (Int)
+
+type t = Unreachable | Env of Aval.t IntMap.t
+
+let bottom = Unreachable
+let empty = Env IntMap.empty
+
+let equal a b =
+  match (a, b) with
+  | Unreachable, Unreachable -> true
+  | Env m1, Env m2 -> IntMap.equal Aval.equal m1 m2
+  | _ -> false
+
+let combine f a b =
+  match (a, b) with
+  | Unreachable, x | x, Unreachable -> x
+  | Env m1, Env m2 ->
+      Env (IntMap.merge (fun _ l r -> match (l, r) with Some x, Some y -> Some (f x y) | _ -> None) m1 m2)
+
+let join = combine Aval.join
+let widen = combine Aval.widen
+
+let narrow a b =
+  match (a, b) with
+  | Unreachable, _ | _, Unreachable -> Unreachable
+  | Env m1, Env m2 ->
+      Env (IntMap.merge (fun _ l r -> match (l, r) with Some x, Some y -> Some (Aval.narrow x y) | _ -> None) m1 m2)
+
+let find_opt vid = function Unreachable -> None | Env m -> IntMap.find_opt vid m
+
+let set vid v = function
+  | Unreachable -> Unreachable
+  | Env m -> Env (IntMap.add vid v m)
+
+let forget vid = function Unreachable -> Unreachable | Env m -> Env (IntMap.remove vid m)
+let is_unreachable = function Unreachable -> true | Env _ -> false

@@ -1,0 +1,22 @@
+(** Abstract environment: stable variable id -> {!Aval.t}, with an
+    explicit [Unreachable] bottom. Absent bindings mean "unknown"
+    (readers fall back to the variable's type range). *)
+
+module IntMap : Map.S with type key = int
+
+type t = Unreachable | Env of Aval.t IntMap.t
+
+val bottom : t
+(** [Unreachable]. *)
+
+val empty : t
+(** Reachable, no facts. *)
+
+val equal : t -> t -> bool
+val join : t -> t -> t
+val widen : t -> t -> t
+val narrow : t -> t -> t
+val find_opt : int -> t -> Aval.t option
+val set : int -> Aval.t -> t -> t
+val forget : int -> t -> t
+val is_unreachable : t -> bool

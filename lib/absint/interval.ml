@@ -1,0 +1,221 @@
+(* Intervals over extended 64-bit integers.
+
+   An interval abstracts the set of raw int64 representations a value
+   may take (the VM norms every operation result to its static type's
+   width, so a variable's representation always fits its type range —
+   see Transfer.clamp). Arithmetic on bounds saturates: when the exact
+   bound overflows int64 we drop to -oo / +oo, which both keeps the
+   transfer sound and forces the caller's type-range clamp to take the
+   conservative branch on any possible wrap. *)
+
+type bound = Ninf | Fin of int64 | Pinf
+type t = Bot | Iv of bound * bound (* invariant: lo <= hi *)
+
+let bottom = Bot
+let top = Iv (Ninf, Pinf)
+let const n = Iv (Fin n, Fin n)
+let of_bounds lo hi = if lo > hi then Bot else Iv (Fin lo, Fin hi)
+
+let bound_le a b =
+  match (a, b) with
+  | Ninf, _ | _, Pinf -> true
+  | Pinf, _ | _, Ninf -> false
+  | Fin x, Fin y -> x <= y
+
+let bound_min a b = if bound_le a b then a else b
+let bound_max a b = if bound_le a b then b else a
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot -> true
+  | Iv (l1, h1), Iv (l2, h2) -> l1 = l2 && h1 = h2
+  | _ -> false
+
+let leq a b =
+  match (a, b) with
+  | Bot, _ -> true
+  | _, Bot -> false
+  | Iv (l1, h1), Iv (l2, h2) -> bound_le l2 l1 && bound_le h1 h2
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Iv (l1, h1), Iv (l2, h2) -> Iv (bound_min l1 l2, bound_max h1 h2)
+
+let meet a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Iv (l1, h1), Iv (l2, h2) ->
+      let lo = bound_max l1 l2 and hi = bound_min h1 h2 in
+      if bound_le lo hi then Iv (lo, hi) else Bot
+
+(* Standard interval widening: any bound that grew jumps to infinity,
+   so ascending chains stabilize in at most two steps per side. *)
+let widen old next =
+  match (old, next) with
+  | Bot, x -> x
+  | x, Bot -> x
+  | Iv (l1, h1), Iv (l2, h2) ->
+      let lo = if bound_le l1 l2 then l1 else Ninf in
+      let hi = if bound_le h2 h1 then h1 else Pinf in
+      Iv (lo, hi)
+
+(* Standard narrowing: only refine the bounds widening blew to
+   infinity, so descending chains are finite too. *)
+let narrow old next =
+  match (old, next) with
+  | Bot, _ | _, Bot -> Bot
+  | Iv (l1, h1), Iv (l2, h2) ->
+      let lo = if l1 = Ninf then l2 else l1 in
+      let hi = if h1 = Pinf then h2 else h1 in
+      if bound_le lo hi then Iv (lo, hi) else Bot
+
+let mem n = function
+  | Bot -> false
+  | Iv (lo, hi) -> bound_le lo (Fin n) && bound_le (Fin n) hi
+
+let is_nonneg = function Bot -> true | Iv (lo, _) -> bound_le (Fin 0L) lo
+let contains_zero iv = mem 0L iv
+
+(* --- saturating bound arithmetic ---------------------------------- *)
+
+(* Degenerate pairs like (Pinf, Pinf) would mean "every value above
+   max_int" — unrepresentable here, and the VM norms such results
+   anyway. [mk] maps them to top so they never escape. *)
+let mk lo hi = match (lo, hi) with Pinf, _ | _, Ninf -> top | _ -> Iv (lo, hi)
+
+let sat_add a b =
+  match (a, b) with
+  | Ninf, Pinf | Pinf, Ninf -> Pinf (* degenerate; caller's [mk] handles it *)
+  | Ninf, _ | _, Ninf -> Ninf
+  | Pinf, _ | _, Pinf -> Pinf
+  | Fin x, Fin y ->
+      let s = Int64.add x y in
+      (* overflow iff operands share a sign the sum does not *)
+      if x >= 0L && y >= 0L && s < 0L then Pinf
+      else if x < 0L && y < 0L && s >= 0L then Ninf
+      else Fin s
+
+let sat_neg = function
+  | Ninf -> Pinf
+  | Pinf -> Ninf
+  | Fin x -> if x = Int64.min_int then Pinf else Fin (Int64.neg x)
+
+let sat_sub a b = match b with Ninf -> sat_add a Pinf | Pinf -> sat_add a Ninf | Fin _ -> sat_add a (sat_neg b)
+
+let sat_mul a b =
+  let sign = function Ninf -> -1 | Pinf -> 1 | Fin x -> compare x 0L in
+  match (a, b) with
+  | Fin x, Fin y ->
+      if x = 0L || y = 0L then Fin 0L
+      else if x = Int64.min_int || y = Int64.min_int then
+        (* min_int * anything but 1 overflows; the division check below
+           would miss min_int * -1 (it wraps to itself). *)
+        if x = 1L || y = 1L then Fin Int64.min_int
+        else if sign a * sign b > 0 then Pinf
+        else Ninf
+      else
+        let p = Int64.mul x y in
+        if Int64.div p y <> x then if sign a * sign b > 0 then Pinf else Ninf else Fin p
+  | _ ->
+      let s = sign a * sign b in
+      if s > 0 then Pinf
+      else if s < 0 then Ninf
+      else Fin 0L
+
+let add a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Iv (l1, h1), Iv (l2, h2) -> mk (sat_add l1 l2) (sat_add h1 h2)
+
+let sub a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Iv (l1, h1), Iv (l2, h2) -> mk (sat_sub l1 h2) (sat_sub h1 l2)
+
+let neg = function
+  | Bot -> Bot
+  | Iv (lo, hi) -> mk (sat_neg hi) (sat_neg lo)
+
+let mul a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Iv (l1, h1), Iv (l2, h2) ->
+      let products = [ sat_mul l1 l2; sat_mul l1 h2; sat_mul h1 l2; sat_mul h1 h2 ] in
+      let lo = List.fold_left bound_min Pinf products in
+      let hi = List.fold_left bound_max Ninf products in
+      mk lo hi
+
+(* Division/modulo by a positive constant only: that covers the index
+   arithmetic Deputy checks care about without the full sign case
+   analysis. The VM traps on a zero divisor before any result exists,
+   so requiring k > 0 is not a soundness hole, just imprecision. *)
+let div_pos_const a k =
+  if k <= 0L then top
+  else
+    match a with
+    | Bot -> Bot
+    | Iv (lo, hi) ->
+        let d = function
+          | Ninf -> Ninf
+          | Pinf -> Pinf
+          | Fin x -> Fin (Int64.div x k) (* rounds toward zero on both signs *)
+        in
+        Iv (d lo, d hi)
+
+let rem_pos_const a k =
+  if k <= 0L then top
+  else
+    match a with
+    | Bot -> Bot
+    | Iv _ when is_nonneg a -> Iv (Fin 0L, Fin (Int64.sub k 1L))
+    | Iv _ -> Iv (Fin (Int64.sub 1L k), Fin (Int64.sub k 1L))
+
+(* If either operand is nonnegative, x & y keeps only bits of that
+   operand, so the result is in [0, that operand's max] (sign bit
+   clear, subset of its bits) — regardless of the other side's sign.
+   With both nonnegative, both caps apply. *)
+let band a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Iv (_, h1), Iv (_, h2) ->
+      if is_nonneg a && is_nonneg b then Iv (Fin 0L, bound_min h1 h2)
+      else if is_nonneg a then Iv (Fin 0L, h1)
+      else if is_nonneg b then Iv (Fin 0L, h2)
+      else top
+
+(* next_pow2_mask m: smallest 2^k - 1 >= m. *)
+let next_pow2_mask m =
+  let rec go mask = if mask >= m && mask >= 0L then mask else go (Int64.add (Int64.mul mask 2L) 1L) in
+  go 1L
+
+let bor a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Iv (_, Fin h1), Iv (_, Fin h2) when is_nonneg a && is_nonneg b ->
+      Iv (Fin 0L, Fin (next_pow2_mask (if h1 > h2 then h1 else h2)))
+  | _ -> top
+
+let bxor = bor (* same upper-bound argument for nonneg operands *)
+
+let shl_const a k =
+  if k < 0L || k > 62L then top else mul a (const (Int64.shift_left 1L (Int64.to_int k)))
+
+let shr_const a k =
+  if k < 0L || k > 63L then top
+  else
+    match a with
+    | Bot -> Bot
+    | Iv (lo, hi) ->
+        let s = function
+          | Ninf -> Ninf
+          | Pinf -> Pinf
+          | Fin x -> Fin (Int64.shift_right x (Int64.to_int k))
+        in
+        Iv (s lo, s hi)
+
+let to_string = function
+  | Bot -> "_|_"
+  | Iv (lo, hi) ->
+      let b = function Ninf -> "-oo" | Pinf -> "+oo" | Fin x -> Int64.to_string x in
+      Printf.sprintf "[%s,%s]" (b lo) (b hi)

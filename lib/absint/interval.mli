@@ -1,0 +1,51 @@
+(** Intervals over extended 64-bit integers: the numeric half of the
+    absint product domain. Bounds saturate to [-oo]/[+oo] on int64
+    overflow, so every operation is a sound over-approximation of exact
+    (pre-norm) integer arithmetic; {!Transfer.clamp} then accounts for
+    the VM's truncation to the static type's width. *)
+
+type bound = Ninf | Fin of int64 | Pinf
+type t = Bot | Iv of bound * bound  (** invariant: [lo <= hi], no degenerate pairs *)
+
+val bound_le : bound -> bound -> bool
+(** Signed order on extended bounds. *)
+
+val sat_add : bound -> bound -> bound
+val sat_sub : bound -> bound -> bound
+
+val bottom : t
+val top : t
+val const : int64 -> t
+val of_bounds : int64 -> int64 -> t
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+val join : t -> t -> t
+val meet : t -> t -> t
+
+val widen : t -> t -> t
+(** [widen old next]: bounds that grew since [old] jump to infinity. *)
+
+val narrow : t -> t -> t
+(** [narrow old next]: refine only the infinite bounds of [old]. *)
+
+val mem : int64 -> t -> bool
+val is_nonneg : t -> bool
+val contains_zero : t -> bool
+
+(** Abstract arithmetic (sound for exact integer semantics). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val div_pos_const : t -> int64 -> t
+(** Division by a positive constant; anything else returns [top]. *)
+
+val rem_pos_const : t -> int64 -> t
+val band : t -> t -> t
+val bor : t -> t -> t
+val bxor : t -> t -> t
+val shl_const : t -> int64 -> t
+val shr_const : t -> int64 -> t
+val to_string : t -> string

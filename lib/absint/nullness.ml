@@ -1,0 +1,37 @@
+(* Zeroness of a raw value: for pointers this is nullness proper; for
+   integers it doubles as a truthiness domain, which is what branch
+   conditions refine. *)
+
+type t = Bot | Null | Nonnull | Top
+
+let bottom = Bot
+let top = Top
+
+let equal (a : t) (b : t) = a = b
+
+let leq a b =
+  match (a, b) with Bot, _ -> true | _, Top -> true | x, y -> x = y
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | x, y when x = y -> x
+  | _ -> Top
+
+let meet a b =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | x, y when x = y -> x
+  | _ -> Bot
+
+(* Finite lattice: join is its own widening. *)
+let widen = join
+let narrow _old next = next
+
+let of_const n = if Int64.equal n 0L then Null else Nonnull
+
+let to_string = function
+  | Bot -> "_|_"
+  | Null -> "null"
+  | Nonnull -> "nonnull"
+  | Top -> "T"

@@ -1,0 +1,15 @@
+(** Zeroness of a raw value — nullness for pointers, truthiness for
+    integers. A flat four-point lattice. *)
+
+type t = Bot | Null | Nonnull | Top
+
+val bottom : t
+val top : t
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+val join : t -> t -> t
+val meet : t -> t -> t
+val widen : t -> t -> t
+val narrow : t -> t -> t
+val of_const : int64 -> t
+val to_string : t -> string

@@ -1,0 +1,83 @@
+(* Interprocedural function summaries.
+
+   The direct-call graph over defined functions is condensed with
+   Tarjan's SCC algorithm, which emits components callees-first.
+   Singleton, non-recursive components are solved once with the
+   summaries of everything below them already available; recursive
+   components fall back to the return type's range (sound, and it
+   keeps summary computation a single pass — no global fixpoint). *)
+
+module I = Kc.Ir
+
+let direct_callees (fd : I.fundec) : string list =
+  let acc = ref [] in
+  I.iter_instrs
+    (fun i -> match i with I.Icall (_, I.Direct f, _) -> acc := f :: !acc | _ -> ())
+    fd.I.fbody;
+  List.sort_uniq compare !acc
+
+(* Tarjan over function names; [sccs] come out in reverse topological
+   order of the condensation, i.e. callees before callers. *)
+let sccs_of (funcs : I.fundec list) : I.fundec list list =
+  let by_name = Hashtbl.create 64 in
+  List.iter (fun fd -> Hashtbl.replace by_name fd.I.fname fd) funcs;
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let next = ref 0 in
+  let out = ref [] in
+  let rec strongconnect name =
+    Hashtbl.replace index name !next;
+    Hashtbl.replace lowlink name !next;
+    incr next;
+    stack := name :: !stack;
+    Hashtbl.replace on_stack name ();
+    let fd = Hashtbl.find by_name name in
+    List.iter
+      (fun callee ->
+        if Hashtbl.mem by_name callee then
+          if not (Hashtbl.mem index callee) then begin
+            strongconnect callee;
+            Hashtbl.replace lowlink name
+              (min (Hashtbl.find lowlink name) (Hashtbl.find lowlink callee))
+          end
+          else if Hashtbl.mem on_stack callee then
+            Hashtbl.replace lowlink name
+              (min (Hashtbl.find lowlink name) (Hashtbl.find index callee)))
+      (direct_callees fd);
+    if Hashtbl.find lowlink name = Hashtbl.find index name then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | top :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack top;
+            let acc = Hashtbl.find by_name top :: acc in
+            if top = name then acc else pop acc
+      in
+      out := pop [] :: !out
+    end
+  in
+  List.iter (fun fd -> if not (Hashtbl.mem index fd.I.fname) then strongconnect fd.I.fname) funcs;
+  List.rev !out
+
+let is_self_recursive (fd : I.fundec) = List.mem fd.I.fname (direct_callees fd)
+
+let compute ?(cfg_of = fun fd -> Dataflow.Cfg.build fd) (prog : I.program) : Transfer.summaries =
+  List.fold_left
+    (fun summaries scc ->
+      match scc with
+      | [ fd ] when not (is_self_recursive fd) ->
+          let r = Solver.analyze_cfg ~summaries (cfg_of fd) in
+          let ret = Solver.return_aval fd r in
+          let ret = if Aval.is_bot ret then Transfer.of_ty fd.I.fret else ret in
+          Transfer.SM.add fd.I.fname ret summaries
+      | _ ->
+          List.fold_left
+            (fun summaries fd -> Transfer.SM.add fd.I.fname (Transfer.of_ty fd.I.fret) summaries)
+            summaries scc)
+    Transfer.no_summaries
+    (* Externs have no body to summarize; leaving them out also keeps
+       the allocator special-case in Transfer.instr in charge. *)
+    (sccs_of (List.filter (fun fd -> not fd.I.fextern) prog.I.funcs))

@@ -1,0 +1,10 @@
+(** Interprocedural summaries: one abstract return value per defined
+    function, computed callees-first over the SCC condensation of the
+    direct-call graph. Recursive components degrade to the return
+    type's range. *)
+
+val direct_callees : Kc.Ir.fundec -> string list
+
+val compute : ?cfg_of:(Kc.Ir.fundec -> Dataflow.Cfg.t) -> Kc.Ir.program -> Transfer.summaries
+(** [cfg_of] lets a caller (the engine context) share memoized CFGs;
+    defaults to {!Dataflow.Cfg.build}. *)

@@ -1,0 +1,391 @@
+(* Abstract transfer functions over the KC IR, mirroring the VM's
+   concrete semantics (lib/vm/interp.ml) operation for operation:
+
+   - every operation result is normed to its static type's width; the
+     abstract counterpart is [clamp], which keeps a computed interval
+     only when it provably fits the type range and otherwise falls
+     back to the whole range (never [meet]: meeting would be unsound
+     under wrap-around);
+   - binops pick signed/unsigned semantics from the *left* operand's
+     type. Intervals bound raw (post-norm) int64 representations, so
+     signed reasoning about an unsigned comparison is only sound when
+     no representation can be negative — which, post-norm, can only
+     happen at width 8. [cmp_refinable] encodes that guard;
+   - Deputy checks (Ck_le/Ck_lt) trap on *raw signed 64-bit* compares
+     regardless of source types, so proving or assuming a check needs
+     no sign guard at all.
+
+   Facts are tracked for "stable" variables only (Facts.stable: locals
+   and formals whose address is never taken), which is what makes
+   calls and stores through pointers harmless to the environment. *)
+
+module I = Kc.Ir
+module A = Kc.Ast
+
+module SM = Map.Make (String)
+
+(* Interprocedural function summaries: name -> abstract return value. *)
+type summaries = Aval.t SM.t
+
+let no_summaries : summaries = SM.empty
+
+(* Allocators yielding non-null chunks, kept in sync with the list the
+   Facts-based optimizer trusts (Deputy.Optimize). *)
+let allocators = [ "kmalloc"; "kzalloc"; "kmem_cache_alloc"; "vmalloc"; "alloc_pages" ]
+
+let is_signed = function I.Tint (_, A.Signed) -> true | _ -> false
+
+let ty_range : I.ty -> Interval.t = function
+  | I.Tint (k, s) ->
+      let w = Kc.Layout.int_size k in
+      if w >= 8 then Interval.top
+      else if s = A.Signed then
+        let half = Int64.shift_left 1L ((8 * w) - 1) in
+        Interval.of_bounds (Int64.neg half) (Int64.sub half 1L)
+      else Interval.of_bounds 0L (Int64.sub (Int64.shift_left 1L (8 * w)) 1L)
+  | _ -> Interval.top
+
+let of_ty ty = Aval.make (ty_range ty) Nullness.top
+
+(* Abstract counterpart of the VM's [norm]: if the computed interval
+   fits the type's representable range the operation cannot wrap and
+   the interval is exact; otherwise some input may wrap, and the only
+   sound answer is the whole range (meet would cut off the wrapped
+   values). Zero norms to zero at every width, so [Null] survives. *)
+let clamp ty iv = if Interval.leq iv (ty_range ty) then iv else ty_range ty
+
+let norm_aval ty (v : Aval.t) : Aval.t =
+  if Interval.leq v.Aval.iv (ty_range ty) then Aval.reduce v
+  else
+    Aval.reduce
+      (Aval.make (ty_range ty)
+         (if Nullness.equal v.Aval.nl Nullness.Null then Nullness.Null else Nullness.top))
+
+(* Truthiness of an abstract value ("is it nonzero?"). *)
+let truthiness (v : Aval.t) : bool option =
+  if Aval.is_bot v then None
+  else if Nullness.equal v.Aval.nl Nullness.Null || Interval.equal v.Aval.iv (Interval.const 0L)
+  then Some false
+  else if Nullness.equal v.Aval.nl Nullness.Nonnull || not (Interval.contains_zero v.Aval.iv)
+  then Some true
+  else None
+
+(* Signed ordering between interval bounds decides comparisons. *)
+let cmp_decide op (a : Interval.t) (b : Interval.t) : bool option =
+  match (a, b) with
+  | Interval.Bot, _ | _, Interval.Bot -> None
+  | Interval.Iv (alo, ahi), Interval.Iv (blo, bhi) -> (
+      let le x y = Interval.bound_le x y in
+      let lt x y = le x y && not (le y x) in
+      match op with
+      | A.Lt -> if lt ahi blo then Some true else if le bhi alo then Some false else None
+      | A.Le -> if le ahi blo then Some true else if lt bhi alo then Some false else None
+      | A.Gt -> if lt bhi alo then Some true else if le ahi blo then Some false else None
+      | A.Ge -> if le bhi alo then Some true else if lt ahi blo then Some false else None
+      | _ -> None)
+
+let bool_interval = Interval.of_bounds 0L 1L
+let abool = function
+  | Some true -> Aval.of_const 1L
+  | Some false -> Aval.of_const 0L
+  | None -> Aval.make bool_interval Nullness.top
+
+(* Is refining this source-level comparison with signed interval
+   reasoning sound? Yes when the VM compares signed (left operand's
+   type), or when neither side can have a negative representation. *)
+let cmp_refinable (ea : I.exp) (va : Aval.t) (vb : Aval.t) =
+  is_signed ea.I.ety || (Interval.is_nonneg va.Aval.iv && Interval.is_nonneg vb.Aval.iv)
+
+let stable_var (e : I.exp) : I.varinfo option = Deputy.Facts.as_stable_var e
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval (env : Env.t) (e : I.exp) : Aval.t =
+  match e.I.e with
+  | I.Econst n -> Aval.of_const n
+  | I.Estr _ | I.Efun _ -> Aval.nonnull
+  | I.Eaddrof _ | I.Estartof _ -> Aval.nonnull
+  | I.Elval (I.Lvar v, []) when Deputy.Facts.stable v -> (
+      match Env.find_opt v.I.vid env with Some a -> a | None -> of_ty v.I.vty)
+  | I.Elval _ -> of_ty e.I.ety
+  | I.Ecast (ty, e1) -> norm_aval ty (eval env e1)
+  | I.Eunop (op, e1) -> eval_unop env e.I.ety op e1
+  | I.Ebinop (op, a, b) -> eval_binop env e.I.ety op a b
+  | I.Econd (c, t, f) -> (
+      match truthiness (eval env c) with
+      | Some true -> eval env t
+      | Some false -> eval env f
+      | None -> norm_aval e.I.ety (Aval.join (eval env t) (eval env f)))
+  | I.Eself_field _ -> of_ty e.I.ety
+
+and eval_unop env rty op e1 =
+  let v = eval env e1 in
+  match op with
+  | A.Neg ->
+      (* -x = 0 iff x = 0 (two's complement: -min_int = min_int <> 0) *)
+      norm_aval rty (Aval.make (Interval.neg v.Aval.iv) v.Aval.nl)
+  | A.Lognot -> abool (match truthiness v with Some b -> Some (not b) | None -> None)
+  | A.Bitnot ->
+      (* ~x = -1 - x *)
+      norm_aval rty (Aval.make (Interval.sub (Interval.const (-1L)) v.Aval.iv) Nullness.top)
+
+and eval_binop env rty op (ea : I.exp) (eb : I.exp) =
+  if I.is_pointer ea.I.ety then
+    (* Pointer arithmetic scales by the element size (which needs the
+       program's layout); pointer compares follow the integer path. *)
+    match op with
+    | A.Add | A.Sub -> of_ty rty
+    | _ -> eval_int_binop env rty op ea eb
+  else eval_int_binop env rty op ea eb
+
+and eval_int_binop env rty op ea eb =
+  let va = eval env ea and vb = eval env eb in
+  let ia = va.Aval.iv and ib = vb.Aval.iv in
+  let signed = is_signed ea.I.ety in
+  let nonneg_ok = signed || Interval.is_nonneg ia in
+  let arith iv = norm_aval rty (Aval.make iv Nullness.top) in
+  match op with
+  | A.Add -> arith (Interval.add ia ib)
+  | A.Sub -> arith (Interval.sub ia ib)
+  | A.Mul -> arith (Interval.mul ia ib)
+  | A.Div -> (
+      match Deputy.Facts.as_const eb with
+      | Some k when k > 0L && nonneg_ok -> arith (Interval.div_pos_const ia k)
+      | _ -> of_ty rty)
+  | A.Mod -> (
+      match Deputy.Facts.as_const eb with
+      | Some k when k > 0L && nonneg_ok -> arith (Interval.rem_pos_const ia k)
+      | _ -> of_ty rty)
+  | A.Shl -> (
+      match Deputy.Facts.as_const eb with
+      | Some k -> arith (Interval.shl_const ia (Int64.logand k 63L))
+      | None -> of_ty rty)
+  | A.Shr -> (
+      match Deputy.Facts.as_const eb with
+      | Some k when nonneg_ok -> arith (Interval.shr_const ia (Int64.logand k 63L))
+      | _ -> of_ty rty)
+  | A.Bitand -> arith (Interval.band ia ib) (* sign-independent; band guards itself *)
+  | A.Bitor ->
+      if Interval.is_nonneg ia && Interval.is_nonneg ib then arith (Interval.bor ia ib)
+      else of_ty rty
+  | A.Bitxor ->
+      if Interval.is_nonneg ia && Interval.is_nonneg ib then arith (Interval.bxor ia ib)
+      else of_ty rty
+  | A.Lt | A.Le | A.Gt | A.Ge ->
+      if cmp_refinable ea va vb then abool (cmp_decide op ia ib) else abool None
+  | A.Eq ->
+      (* raw 64-bit equality, sign-independent *)
+      if Aval.is_bot (Aval.meet va vb) then abool (Some false)
+      else (
+        match (ia, ib) with
+        | Interval.Iv (Interval.Fin x, Interval.Fin x'), Interval.Iv (Interval.Fin y, Interval.Fin y')
+          when x = x' && y = y' ->
+            abool (Some (x = y))
+        | _ -> abool None)
+  | A.Ne ->
+      if Aval.is_bot (Aval.meet va vb) then abool (Some true)
+      else (
+        match (ia, ib) with
+        | Interval.Iv (Interval.Fin x, Interval.Fin x'), Interval.Iv (Interval.Fin y, Interval.Fin y')
+          when x = x' && y = y' ->
+            abool (Some (x <> y))
+        | _ -> abool None)
+  | A.Logand -> (
+      match (truthiness va, truthiness vb) with
+      | Some false, _ | _, Some false -> abool (Some false)
+      | Some true, Some true -> abool (Some true)
+      | _ -> abool None)
+  | A.Logor -> (
+      match (truthiness va, truthiness vb) with
+      | Some true, _ | _, Some true -> abool (Some true)
+      | Some false, Some false -> abool (Some false)
+      | _ -> abool None)
+
+(* ------------------------------------------------------------------ *)
+(* Branch refinement                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Remove zero from an interval when it sits at an endpoint. *)
+let without_zero = function
+  | Interval.Bot -> Interval.Bot
+  | Interval.Iv (Interval.Fin 0L, Interval.Fin 0L) -> Interval.Bot
+  | Interval.Iv (Interval.Fin 0L, hi) -> Interval.Iv (Interval.Fin 1L, hi)
+  | Interval.Iv (lo, Interval.Fin 0L) -> Interval.Iv (lo, Interval.Fin (-1L))
+  | iv -> iv
+
+let set_checked (v : I.varinfo) (a : Aval.t) env =
+  if Aval.is_bot a then Env.bottom else Env.set v.I.vid (Aval.reduce a) env
+
+(* Refine stable variables under a *raw signed* comparison [a op b]
+   known to hold ([op] is Le or Lt). This is exactly the predicate a
+   passed Deputy check establishes, so no sign guard is needed. *)
+let refine_signed_cmp op (ea : I.exp) (eb : I.exp) env =
+  match env with
+  | Env.Unreachable -> env
+  | _ ->
+      let va = eval env ea and vb = eval env eb in
+      let strict = match op with A.Lt -> true | _ -> false in
+      let env =
+        match stable_var ea with
+        | Some v -> (
+            match vb.Aval.iv with
+            | Interval.Bot -> env
+            | Interval.Iv (_, bhi) ->
+                let hi = if strict then Interval.sat_sub bhi (Interval.Fin 1L) else bhi in
+                let cut = Interval.meet va.Aval.iv (Interval.Iv (Interval.Ninf, hi)) in
+                set_checked v { va with Aval.iv = cut } env)
+        | None -> env
+      in
+      if Env.is_unreachable env then env
+      else
+        let va = eval env ea in
+        match stable_var eb with
+        | Some v -> (
+            match va.Aval.iv with
+            | Interval.Bot -> env
+            | Interval.Iv (alo, _) ->
+                let lo = if strict then Interval.sat_add alo (Interval.Fin 1L) else alo in
+                let vb = eval env eb in
+                let cut = Interval.meet vb.Aval.iv (Interval.Iv (lo, Interval.Pinf)) in
+                set_checked v { vb with Aval.iv = cut } env)
+        | None -> env
+
+(* Refine under a source-level condition [e] being truthy/falsy. *)
+let rec assume env (e : I.exp) (branch : bool) : Env.t =
+  match env with
+  | Env.Unreachable -> env
+  | _ -> (
+      match e.I.e with
+      | I.Eunop (A.Lognot, e1) -> assume env e1 (not branch)
+      | I.Ecast (_, e1) when Deputy.Annot.strip_widening e != e -> assume env e1 branch
+      | I.Econd (a, b, c) when Deputy.Facts.as_const c = Some 0L ->
+          (* a && b *)
+          if branch then assume (assume env a true) b true else env
+      | I.Econd (a, b, c) when Deputy.Facts.as_const b = Some 1L ->
+          (* a || c *)
+          if branch then env else assume (assume env a false) c false
+      | I.Ebinop (op, a, b) -> assume_cmp env op a b branch
+      | I.Elval _ -> (
+          match stable_var e with
+          | Some v ->
+              let cur = eval env e in
+              if branch then
+                set_checked v
+                  (Aval.meet cur (Aval.make (without_zero cur.Aval.iv) Nullness.Nonnull))
+                  env
+              else set_checked v (Aval.meet cur (Aval.of_const 0L)) env
+          | None -> env)
+      | _ -> env)
+
+and assume_cmp env op a b branch =
+  let negate = function
+    | A.Lt -> Some A.Ge
+    | A.Le -> Some A.Gt
+    | A.Gt -> Some A.Le
+    | A.Ge -> Some A.Lt
+    | A.Eq -> Some A.Ne
+    | A.Ne -> Some A.Eq
+    | _ -> None
+  in
+  let op = if branch then Some op else negate op in
+  match op with
+  | None -> env
+  | Some op -> (
+      let va = eval env a and vb = eval env b in
+      match op with
+      | A.Eq ->
+          (* raw equality: meet the two abstract values into both sides *)
+          let m = Aval.reduce (Aval.meet va vb) in
+          if Aval.is_bot m then Env.bottom
+          else
+            let env = match stable_var a with Some v -> Env.set v.I.vid m env | None -> env in
+            let env = match stable_var b with Some v -> Env.set v.I.vid m env | None -> env in
+            env
+      | A.Ne ->
+          let refine sv other_iv env =
+            match sv with
+            | Some v when Interval.equal other_iv (Interval.const 0L) ->
+                let cur = eval env { I.e = I.Elval (I.Lvar v, []); I.ety = v.I.vty } in
+                set_checked v
+                  (Aval.meet cur (Aval.make (without_zero cur.Aval.iv) Nullness.Nonnull))
+                  env
+            | _ -> env
+          in
+          let env = refine (stable_var a) vb.Aval.iv env in
+          if Env.is_unreachable env then env else refine (stable_var b) va.Aval.iv env
+      | (A.Lt | A.Le | A.Gt | A.Ge) when cmp_refinable a va vb -> (
+          (* reduce to Le/Lt with operands ordered small-to-large *)
+          match op with
+          | A.Lt -> refine_signed_cmp A.Lt a b env
+          | A.Le -> refine_signed_cmp A.Le a b env
+          | A.Gt -> refine_signed_cmp A.Lt b a env
+          | A.Ge -> refine_signed_cmp A.Le b a env
+          | _ -> env)
+      | _ -> env)
+
+(* ------------------------------------------------------------------ *)
+(* Checks                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Does the abstract state prove the check can never fire? On an
+   unreachable state every check is trivially dead. *)
+let provable (env : Env.t) (ck : I.check) : bool =
+  match env with
+  | Env.Unreachable -> true
+  | _ -> (
+      match ck with
+      | I.Ck_nonnull e -> truthiness (eval env e) = Some true
+      | I.Ck_le (a, b) ->
+          Deputy.Annot.exp_equal a b
+          || (match ((eval env a).Aval.iv, (eval env b).Aval.iv) with
+             | Interval.Iv (_, ahi), Interval.Iv (blo, _) -> Interval.bound_le ahi blo
+             | _ -> false)
+      | I.Ck_lt (a, b) -> (
+          match ((eval env a).Aval.iv, (eval env b).Aval.iv) with
+          | Interval.Iv (_, ahi), Interval.Iv (blo, _) ->
+              Interval.bound_le ahi blo && not (Interval.bound_le blo ahi)
+          | _ -> false)
+      | I.Ck_nt_next _ | I.Ck_not_atomic -> false)
+
+(* A check that executed without trapping establishes its predicate. *)
+let assume_check (env : Env.t) (ck : I.check) : Env.t =
+  match env with
+  | Env.Unreachable -> env
+  | _ -> (
+      match ck with
+      | I.Ck_nonnull e -> assume env e true
+      | I.Ck_le (a, b) -> refine_signed_cmp A.Le a b env
+      | I.Ck_lt (a, b) -> refine_signed_cmp A.Lt a b env
+      | I.Ck_nt_next _ | I.Ck_not_atomic -> env)
+
+(* ------------------------------------------------------------------ *)
+(* Instructions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let degrade ty a = if Aval.is_bot a then of_ty ty else a
+
+let instr (summaries : summaries) (env : Env.t) (i : I.instr) : Env.t =
+  match env with
+  | Env.Unreachable -> env
+  | _ -> (
+      match i with
+      | I.Iset ((I.Lvar v, []), e) when Deputy.Facts.stable v ->
+          Env.set v.I.vid (degrade v.I.vty (norm_aval v.I.vty (eval env e))) env
+      | I.Iset (_, _) ->
+          (* Stores through memory or to unstable lvalues cannot touch
+             stable variables (their address is never taken). *)
+          env
+      | I.Icall (Some (I.Lvar v, []), I.Direct f, _) when Deputy.Facts.stable v ->
+          let ret =
+            match SM.find_opt f summaries with
+            | Some a -> degrade v.I.vty (norm_aval v.I.vty a)
+            | None -> if List.mem f allocators then Aval.nonnull else of_ty v.I.vty
+          in
+          Env.set v.I.vid ret env
+      | I.Icall (Some (I.Lvar v, []), _, _) when Deputy.Facts.stable v ->
+          Env.set v.I.vid (of_ty v.I.vty) env
+      | I.Icall (_, _, _) -> env
+      | I.Icheck (ck, _) -> assume_check env ck
+      | I.Irc_inc _ | I.Irc_dec _ | I.Irc_update _ -> env)

@@ -1,0 +1,35 @@
+(** Abstract transfer functions over the KC IR, mirroring the VM's
+    concrete semantics: results are normed to their static type's
+    width ({!clamp}), binop signedness follows the left operand, and
+    Deputy checks compare raw signed 64-bit values. *)
+
+module SM : Map.S with type key = string
+
+type summaries = Aval.t SM.t
+(** Interprocedural summaries: function name -> abstract return value. *)
+
+val no_summaries : summaries
+val allocators : string list
+val ty_range : Kc.Ir.ty -> Interval.t
+val of_ty : Kc.Ir.ty -> Aval.t
+
+val clamp : Kc.Ir.ty -> Interval.t -> Interval.t
+(** Keep an interval that provably fits the type's range, else fall
+    back to the whole range (sound under the VM's wrap-around norm). *)
+
+val norm_aval : Kc.Ir.ty -> Aval.t -> Aval.t
+val truthiness : Aval.t -> bool option
+val eval : Env.t -> Kc.Ir.exp -> Aval.t
+
+val assume : Env.t -> Kc.Ir.exp -> bool -> Env.t
+(** Refine the environment under a branch condition being true/false.
+    May return [Env.bottom] when the branch is infeasible. *)
+
+val provable : Env.t -> Kc.Ir.check -> bool
+(** Can this Deputy check never fire in any concrete state described
+    by the environment? *)
+
+val assume_check : Env.t -> Kc.Ir.check -> Env.t
+(** A check that executed without trapping establishes its predicate. *)
+
+val instr : summaries -> Env.t -> Kc.Ir.instr -> Env.t

@@ -21,6 +21,39 @@ module Make (L : LATTICE) : sig
     ?dir:direction -> Cfg.t -> init:L.t -> transfer:(Cfg.node -> L.t -> L.t) -> result
 end
 
+(** A lattice of possibly infinite height, equipped with widening (to
+    force the ascending phase to stabilize) and narrowing (to recover
+    precision in bounded descending sweeps). *)
+module type WIDEN_LATTICE = sig
+  include LATTICE
+
+  val widen : t -> t -> t
+  (** [widen old next]: an upper bound of both arguments such that any
+      chain [x, widen x y1, widen (widen x y1) y2, ...] is finite. *)
+
+  val narrow : t -> t -> t
+  (** [narrow old next] with [next <= old]: any value between [next]
+      and [old]. *)
+end
+
+(** Widening-aware forward solver: widens at the nodes flagged in
+    [widen_at] (back-edge targets cover every cycle), refines the state
+    per outgoing edge via [edge node succ_idx out] (branch conditions),
+    then runs [narrow_passes] descending sweeps in reverse postorder.
+    [iterations] counts node evaluations across both phases. *)
+module Make_widening (L : WIDEN_LATTICE) : sig
+  type result = { before : L.t array; after : L.t array; iterations : int }
+
+  val solve :
+    ?narrow_passes:int ->
+    Cfg.t ->
+    widen_at:bool array ->
+    init:L.t ->
+    transfer:(Cfg.node -> L.t -> L.t) ->
+    edge:(Cfg.node -> int -> L.t -> L.t) ->
+    result
+end
+
 (** Ready-made integer-set lattice (variable ids, node ids, ...). *)
 module Int_set : sig
   include Set.S with type elt = int and type t = Set.Make(Int).t

@@ -14,6 +14,14 @@ module AT = Blockstop.Atomic
 
 type counters = { mutable c_builds : int; mutable c_hits : int; mutable c_seconds : float }
 
+(* The deputized view of the program: a shallow copy instrumented,
+   Facts-optimized and absint-discharged, with both passes' stats. *)
+type deputized = {
+  dprog : Kc.Ir.program;
+  dreport : Deputy.Dreport.report;
+  dstats : Absint.Discharge.stats;
+}
+
 type t = {
   prog : Kc.Ir.program;
   pointsto_tbl : (P.mode, P.t) Hashtbl.t;
@@ -21,6 +29,8 @@ type t = {
   blocking_tbl : (P.mode, BL.t) Hashtbl.t;
   cfg_tbl : (string, Dataflow.Cfg.t) Hashtbl.t;
   mutable handlers : AT.SS.t option;
+  mutable summaries_c : Absint.Transfer.summaries option;
+  mutable deputized_c : deputized option;
   counters_tbl : (string, counters) Hashtbl.t;
 }
 
@@ -32,6 +42,8 @@ let create (prog : Kc.Ir.program) : t =
     blocking_tbl = Hashtbl.create 4;
     cfg_tbl = Hashtbl.create 64;
     handlers = None;
+    summaries_c = None;
+    deputized_c = None;
     counters_tbl = Hashtbl.create 8;
   }
 
@@ -109,6 +121,42 @@ let cfg (t : t) (fname : string) : Dataflow.Cfg.t option =
           Hashtbl.replace t.cfg_tbl fname c;
           Some c
       | _ -> None)
+
+(* Interprocedural interval summaries over the base (uninstrumented)
+   program, sharing the memoized CFGs: instrumentation only adds
+   checks and temporaries, so return-value summaries computed here
+   stay valid for the deputized view. *)
+let absint_summaries (t : t) : Absint.Transfer.summaries =
+  match t.summaries_c with
+  | Some s ->
+      hit t "absint-summaries";
+      s
+  | None ->
+      let cfg_of (fd : Kc.Ir.fundec) =
+        match cfg t fd.Kc.Ir.fname with Some c -> c | None -> Dataflow.Cfg.build fd
+      in
+      let s = timed t "absint-summaries" (fun () -> Absint.Summary.compute ~cfg_of t.prog) in
+      t.summaries_c <- Some s;
+      s
+
+(* The deputized view: instrument + Facts-optimize + absint-discharge
+   a shallow copy, leaving the context's base program untouched. *)
+let deputized (t : t) : deputized =
+  match t.deputized_c with
+  | Some d ->
+      hit t "deputized(absint)";
+      d
+  | None ->
+      let summaries = absint_summaries t in
+      let d =
+        timed t "deputized(absint)" (fun () ->
+            let dprog = Kc.Ir.copy_program t.prog in
+            let dreport = Deputy.Dreport.deputize dprog in
+            let dstats = Absint.Discharge.run ~summaries dprog in
+            { dprog; dreport; dstats })
+      in
+      t.deputized_c <- Some d;
+      d
 
 let irq_handlers (t : t) : AT.SS.t =
   match t.handlers with

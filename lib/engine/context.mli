@@ -28,6 +28,21 @@ val blocking : ?mode:Blockstop.Pointsto.mode -> t -> Blockstop.Blocking.t
     cached per function name. *)
 val cfg : t -> string -> Dataflow.Cfg.t option
 
+(** Interprocedural interval summaries ({!Absint.Summary}) over the
+    base program, sharing the memoized CFGs (cached). *)
+val absint_summaries : t -> Absint.Transfer.summaries
+
+(** The deputized view of the program: a shallow copy that has been
+    instrumented, Facts-optimized and absint-discharged. The context's
+    base program is untouched. *)
+type deputized = {
+  dprog : Kc.Ir.program;
+  dreport : Deputy.Dreport.report;  (** instrument + Facts-optimize counters *)
+  dstats : Absint.Discharge.stats;  (** absint second-stage discharge *)
+}
+
+val deputized : t -> deputized
+
 (** Functions registered as interrupt handlers (cached). *)
 val irq_handlers : t -> Blockstop.Atomic.SS.t
 

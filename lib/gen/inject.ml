@@ -1,8 +1,10 @@
 let block_of rng (kind : Fault.kind) : Prog.block =
   match kind with
-  | Fault.Oob_write ->
-      if Rng.bool rng then Prog.F_oob_const { idx = Rng.range rng 4 7 }
-      else Prog.F_oob_dyn { off = Rng.range rng 4 9 }
+  | Fault.Oob_write -> (
+      match Rng.int rng 3 with
+      | 0 -> Prog.F_oob_const { idx = Rng.range rng 4 7 }
+      | 1 -> Prog.F_oob_dyn { off = Rng.range rng 4 9 }
+      | _ -> Prog.F_oob_loop { bound = Rng.range rng 4 7 })
   | Fault.Dangling_free -> Prog.F_dangling
   | Fault.Atomic_block -> Prog.F_atomic_block
   | Fault.Lock_inversion ->

@@ -9,6 +9,7 @@ type outcome = Completed of int64 | Trapped of Vm.Trap.kind * string
 type run_results = {
   base : outcome;
   deputy : outcome;
+  deputy_absint : outcome;
   ccount : outcome;
   bad_frees : int;
 }
@@ -19,6 +20,7 @@ type violation =
   | False_alarm of string
   | Spurious_trap of string
   | Result_mismatch of string
+  | Discharge_unsound of string
 
 type verdict = {
   diags : (string * Diag.t list) list;
@@ -36,6 +38,7 @@ let violation_to_string = function
   | False_alarm m -> "false-alarm: " ^ m
   | Spurious_trap m -> "spurious-trap: " ^ m
   | Result_mismatch m -> "result-mismatch: " ^ m
+  | Discharge_unsound m -> "discharge-unsound: " ^ m
 
 let outcome_to_string = function
   | Completed v -> Printf.sprintf "completed (%Ld)" v
@@ -65,7 +68,7 @@ let noisy_diags diags =
     (fun (_, ds) -> List.filter (fun (d : Diag.t) -> d.Diag.severity <> Diag.Info) ds)
     diags
 
-(* ---- the three dynamic runs --------------------------------------- *)
+(* ---- the four dynamic runs ---------------------------------------- *)
 
 let parse ~name src = Kc.Typecheck.check_sources [ (name, src) ]
 
@@ -81,13 +84,19 @@ let dynamic ~name src : run_results =
     ignore (Deputy.Dreport.deputize p);
     run_main (Vm.Builtins.boot p)
   in
+  let deputy_absint =
+    let p = parse ~name src in
+    ignore (Deputy.Dreport.deputize p);
+    ignore (Absint.Discharge.run p);
+    run_main (Vm.Builtins.boot p)
+  in
   let ccount, bad_frees =
     let p = parse ~name src in
     let interp, _report = Ccount.Creport.ccount_boot p in
     let o = run_main interp in
     (o, (Vm.Machine.free_census interp.Vm.Interp.m).Vm.Machine.bad)
   in
-  { base; deputy; ccount; bad_frees }
+  { base; deputy; deputy_absint; ccount; bad_frees }
 
 (* ---- detection rules (soundness) ---------------------------------- *)
 
@@ -139,6 +148,17 @@ let check_runs ~labels (runs : run_results) : violation list =
   | Trapped (Vm.Trap.Blocking_in_atomic, _) when has Fault.Atomic_block -> ()
   | Trapped (Vm.Trap.Check_failed, _) when has Fault.Oob_write -> ()
   | o -> spurious "deputy:" o);
+  (* deputy+absint: the discharge pass may only remove checks that can
+     never fire, so this run must behave exactly like the deputy run —
+     same result, or the same trap with the same message.  Any drift is
+     a discharge-soundness bug, reported regardless of labels. *)
+  if runs.deputy_absint <> runs.deputy then
+    vs :=
+      Discharge_unsound
+        (Printf.sprintf "deputy=%s deputy+absint=%s"
+           (outcome_to_string runs.deputy)
+           (outcome_to_string runs.deputy_absint))
+      :: !vs;
   (* ccount: bad frees leak (never trap) under the soundness-preserving
      config, so the allowances mirror base. *)
   (match runs.ccount with

@@ -2,12 +2,14 @@
 
     A generated program is judged on two axes at once:
 
-    - {b static}: one shared {!Engine.Context} runs all five analyses
-      ([Ivy.Checks.run_all]), and a separate parse is deputized to
-      collect Deputy's definite static errors;
-    - {b dynamic}: three fresh parses execute on the VM — uninstrumented
-      (Base), with Deputy runtime checks, and with CCount reference
-      counting — recording each run's outcome and CCount's free census.
+    - {b static}: one shared {!Engine.Context} runs every registered
+      analysis ([Ivy.Checks.run_all]), and a separate parse is deputized
+      to collect Deputy's definite static errors;
+    - {b dynamic}: four fresh parses execute on the VM — uninstrumented
+      (Base), with Deputy runtime checks, with Deputy checks further
+      thinned by the {!Absint.Discharge} interval stage, and with CCount
+      reference counting — recording each run's outcome and CCount's
+      free census.
 
     The verdict cross-checks the two sides against the program's
     ground-truth labels:
@@ -18,7 +20,11 @@
       all three runs without traps, with equal results and a clean free
       census;
     - {e consistency}: the instrumented runs may not disagree with the
-      uninstrumented one except in the fault's own failure mode. *)
+      uninstrumented one except in the fault's own failure mode;
+    - {e discharge soundness}: the absint-thinned Deputy run must match
+      the full Deputy run outcome exactly (same value, or same trap with
+      the same message) — a removed check that would have fired shows up
+      here as a [Discharge_unsound] violation. *)
 
 type outcome =
   | Completed of int64  (** main returned *)
@@ -27,6 +33,7 @@ type outcome =
 type run_results = {
   base : outcome;
   deputy : outcome;
+  deputy_absint : outcome;  (** Deputy checks thinned by {!Absint.Discharge} *)
   ccount : outcome;
   bad_frees : int;  (** CCount free-census [bad] count *)
 }
@@ -37,6 +44,8 @@ type violation =
   | False_alarm of string  (** clean program drew a Warning/Error diag or static error *)
   | Spurious_trap of string  (** a run trapped in a way the labels don't explain *)
   | Result_mismatch of string  (** instrumented and base runs disagree *)
+  | Discharge_unsound of string
+      (** the absint-thinned run diverged from the full Deputy run *)
 
 type verdict = {
   diags : (string * Engine.Diag.t list) list;  (** per-analysis diagnostics *)

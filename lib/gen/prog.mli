@@ -22,6 +22,11 @@ type block =
   | User_copy  (** copy_from_user from the blessed user window *)
   | F_oob_const of { idx : int }  (** fault: constant index past a 4-long array *)
   | F_oob_dyn of { off : int }  (** fault: data-dependent index, provably >= 4 at runtime *)
+  | F_oob_loop of { bound : int }
+      (** fault: loop-carried index [i = 0; i <= bound; i++] into a
+          4-long array with [bound >= 4] — the widening-sensitive shape:
+          an unsound interval analysis that under-approximates the loop
+          invariant would wrongly discharge the bound check *)
   | F_dangling  (** fault: kfree while gslot_f still holds the reference *)
   | F_atomic_block  (** fault: msleep under local_irq_disable *)
   | F_lock_inversion of { lo : int; hi : int }  (** fault: lo->hi then hi->lo *)

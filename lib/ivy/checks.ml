@@ -1,4 +1,4 @@
-(* The registry of engine analyses: each of the five whole-program
+(* The registry of engine analyses: each of the six whole-program
    checkers wrapped as an [Engine.Analysis.S], obtaining every
    expensive artifact through the shared [Engine.Context] (so one
    [ivy check] run builds the call graph and points-to once per mode,
@@ -177,9 +177,59 @@ let userck : Engine.Analysis.t =
         r.Userck.violations
   end)
 
+(* ---- absint: interval fixpoint + static check discharge ---- *)
+
+let absint : Engine.Analysis.t =
+  (module struct
+    let name = "absint"
+    let doc = "interval abstract interpretation discharging Deputy checks (paper §2.2)"
+
+    (* Reports are informational: what the deputized view looks like
+       once the interval facts have removed the provably redundant
+       checks. A campaign summary plus one line per function where the
+       second stage proved something. *)
+    let run ctxt =
+      let d = Context.deputized ctxt in
+      let stats = d.Context.dstats in
+      let inserted = d.Context.dreport.Deputy.Dreport.inserted in
+      if inserted = 0 then []
+      else
+        let facts = d.Context.dreport.Deputy.Dreport.discharged in
+        let proved = Absint.Discharge.checks_proved stats in
+        let floc f =
+          match Kc.Ir.find_fun (Context.program ctxt) f with
+          | Some fd -> fd.Kc.Ir.floc
+          | None -> Kc.Loc.dummy
+        in
+        let summary =
+          Diag.make ~analysis:name ~severity:Diag.Info ~loc:Kc.Loc.dummy
+            (Printf.sprintf
+               "discharged %d of %d inserted checks (facts %d + absint %d); %d dynamic checks \
+                remain"
+               (facts + proved) inserted facts proved
+               (inserted - facts - proved))
+        in
+        let per_fun =
+          List.filter_map
+            (fun (s : Absint.Discharge.fstat) ->
+              if s.Absint.Discharge.proved = 0 then None
+              else
+                Some
+                  (Diag.make ~analysis:name ~severity:Diag.Info ~loc:(floc s.Absint.Discharge.fname)
+                     (Printf.sprintf
+                        "%s: proved %d of %d residual checks (%d fixpoint iterations, %d widening \
+                         points)"
+                        s.Absint.Discharge.fname s.Absint.Discharge.proved s.Absint.Discharge.seen
+                        s.Absint.Discharge.iterations s.Absint.Discharge.widen_points)))
+            stats.Absint.Discharge.fstats
+        in
+        summary :: per_fun
+  end)
+
 (* ---- the registry ---- *)
 
-let all : Engine.Analysis.t list = [ blockstop; locksafe; stackcheck; errcheck; userck ]
+(* absint is registered last: consumers lock the JSON key order. *)
+let all : Engine.Analysis.t list = [ blockstop; locksafe; stackcheck; errcheck; userck; absint ]
 let find (name : string) : Engine.Analysis.t option =
   List.find_opt (fun a -> Engine.Analysis.name a = name) all
 

@@ -1,15 +1,20 @@
-(** The engine's analysis registry: the five whole-program checkers
-    ([blockstop], [locksafe], [stackcheck], [errcheck], [userck])
-    wrapped as {!Engine.Analysis.S} implementations that share one
-    {!Engine.Context.t} — the call graph and points-to facts are built
-    once per mode for the whole batch — and report unified
-    {!Engine.Diag.t} diagnostics. *)
+(** The engine's analysis registry: the six whole-program checkers
+    ([blockstop], [locksafe], [stackcheck], [errcheck], [userck],
+    [absint]) wrapped as {!Engine.Analysis.S} implementations that
+    share one {!Engine.Context.t} — the call graph, points-to facts
+    and interval summaries are built once for the whole batch — and
+    report unified {!Engine.Diag.t} diagnostics. *)
 
 val blockstop : Engine.Analysis.t
 val locksafe : Engine.Analysis.t
 val stackcheck : Engine.Analysis.t
 val errcheck : Engine.Analysis.t
 val userck : Engine.Analysis.t
+
+(** Interval abstract interpretation + static discharge of Deputy
+    checks; reports are informational (discharge rate, per-function
+    fixpoint iterations and widening points). *)
+val absint : Engine.Analysis.t
 
 (** Registration order (also the default run order). *)
 val all : Engine.Analysis.t list

@@ -9,6 +9,7 @@ type mode =
   | Base (* no instrumentation *)
   | Deputy (* type/memory safety checks (hybrid, optimized) *)
   | Deputy_unoptimized (* ablation: no static discharge *)
+  | Deputy_absint (* Facts optimizer + absint interval discharge *)
   | Ccount of Vm.Cost.profile (* refcounted frees *)
   | Blockstop_guarded (* BlockStop runtime checks compiled in *)
 
@@ -17,6 +18,7 @@ type run = {
   prog : Kc.Ir.program;
   interp : Vm.Interp.t;
   deputy_report : Deputy.Dreport.report option;
+  absint_stats : Absint.Discharge.stats option;
   ccount_report : Ccount.Creport.report option;
 }
 
@@ -24,6 +26,7 @@ let mode_to_string = function
   | Base -> "base"
   | Deputy -> "deputy"
   | Deputy_unoptimized -> "deputy-unoptimized"
+  | Deputy_absint -> "deputy-absint"
   | Ccount Vm.Cost.Up -> "ccount-up"
   | Ccount Vm.Cost.Smp_p4 -> "ccount-smp"
   | Blockstop_guarded -> "blockstop-guarded"
@@ -39,26 +42,60 @@ let prepare ?(workloads = true) ?(fixed_frees = true) (mode : mode) : run =
   | Base ->
       let prog = load () in
       let interp = Vm.Builtins.boot prog in
-      { mode; prog; interp; deputy_report = None; ccount_report = None }
+      { mode; prog; interp; deputy_report = None; absint_stats = None; ccount_report = None }
   | Deputy ->
       let prog = load () in
       let report = Deputy.Dreport.deputize ~optimize:true prog in
       let interp = Vm.Builtins.boot prog in
-      { mode; prog; interp; deputy_report = Some report; ccount_report = None }
+      {
+        mode;
+        prog;
+        interp;
+        deputy_report = Some report;
+        absint_stats = None;
+        ccount_report = None;
+      }
   | Deputy_unoptimized ->
       let prog = load () in
       let report = Deputy.Dreport.deputize ~optimize:false prog in
       let interp = Vm.Builtins.boot prog in
-      { mode; prog; interp; deputy_report = Some report; ccount_report = None }
+      {
+        mode;
+        prog;
+        interp;
+        deputy_report = Some report;
+        absint_stats = None;
+        ccount_report = None;
+      }
+  | Deputy_absint ->
+      let prog = load () in
+      let report = Deputy.Dreport.deputize ~optimize:true prog in
+      let stats = Absint.Discharge.run prog in
+      let interp = Vm.Builtins.boot prog in
+      {
+        mode;
+        prog;
+        interp;
+        deputy_report = Some report;
+        absint_stats = Some stats;
+        ccount_report = None;
+      }
   | Ccount profile ->
       let prog = load () in
       let interp, report = Ccount.Creport.ccount_boot ~profile prog in
-      { mode; prog; interp; deputy_report = None; ccount_report = Some report }
+      {
+        mode;
+        prog;
+        interp;
+        deputy_report = None;
+        absint_stats = None;
+        ccount_report = Some report;
+      }
   | Blockstop_guarded ->
       let prog = load () in
       ignore (Blockstop.Bcheck.guard_functions prog Kernel.Corpus.blockstop_guards);
       let interp = Vm.Builtins.boot prog in
-      { mode; prog; interp; deputy_report = None; ccount_report = None }
+      { mode; prog; interp; deputy_report = None; absint_stats = None; ccount_report = None }
 
 (* Boot the kernel. *)
 let boot (r : run) : unit = ignore (Vm.Interp.run r.interp Kernel.Corpus.boot_entry [])

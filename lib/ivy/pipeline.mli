@@ -16,6 +16,9 @@ type mode =
   | Base  (** no instrumentation *)
   | Deputy  (** type/memory-safety checks, statically optimized *)
   | Deputy_unoptimized  (** ablation: every generated check stays at run time *)
+  | Deputy_absint
+      (** Deputy plus the {!Absint.Discharge} second stage: interval
+          facts remove further provably-redundant checks *)
   | Ccount of Vm.Cost.profile  (** refcounted free checking, UP or SMP cost profile *)
   | Blockstop_guarded  (** the BlockStop runtime-check guards compiled in *)
 
@@ -24,6 +27,7 @@ type run = {
   prog : Kc.Ir.program;  (** the (possibly instrumented) program *)
   interp : Vm.Interp.t;  (** the booted interpreter *)
   deputy_report : Deputy.Dreport.report option;  (** present in Deputy modes *)
+  absint_stats : Absint.Discharge.stats option;  (** present in Deputy_absint mode *)
   ccount_report : Ccount.Creport.report option;  (** present in Ccount modes *)
 }
 

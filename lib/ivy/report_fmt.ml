@@ -235,8 +235,10 @@ let render_diags (results : (string * Engine.Diag.t list) list) : string =
           ^ ")"));
   Buffer.contents buf
 
-(* JSON shape: {"analyses": {...per-analysis arrays...}, "diagnostics": [...]} *)
-let render_diags_json (results : (string * Engine.Diag.t list) list) : string =
+(* JSON shape: {"analyses": {...per-analysis arrays...}, "diagnostics":
+   [...]} with an optional trailing "deputy" object carrying the check
+   discharge counters (facts pass and absint pass separately). *)
+let render_diags_json ?deputy (results : (string * Engine.Diag.t list) list) : string =
   let per =
     String.concat ","
       (List.map
@@ -244,8 +246,21 @@ let render_diags_json (results : (string * Engine.Diag.t list) list) : string =
            fprintf "\"%s\":%s" name (Engine.Diag.list_to_json ds))
          results)
   in
-  fprintf "{\"analyses\":{%s},\"diagnostics\":%s}\n" per
+  let deputy_json =
+    match deputy with
+    | None -> ""
+    | Some (d : Engine.Context.deputized) ->
+        let inserted = d.Engine.Context.dreport.Deputy.Dreport.inserted in
+        let facts = d.Engine.Context.dreport.Deputy.Dreport.discharged in
+        let proved = Absint.Discharge.checks_proved d.Engine.Context.dstats in
+        fprintf
+          ",\"deputy\":{\"checks_inserted\":%d,\"facts_discharged\":%d,\"absint_discharged\":%d,\"residual\":%d}"
+          inserted facts proved
+          (inserted - facts - proved)
+  in
+  fprintf "{\"analyses\":{%s},\"diagnostics\":%s%s}\n" per
     (Engine.Diag.list_to_json (List.concat_map snd results))
+    deputy_json
 
 let render_engine_stats (ctxt : Engine.Context.t) : string =
   let buf = Buffer.create 256 in

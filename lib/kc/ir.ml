@@ -163,6 +163,25 @@ let field_find prog tag fname =
 
 let find_fun prog name = Hashtbl.find_opt prog.fun_by_name name
 
+(* A view of [p] whose fundecs can be re-instrumented (fbody
+   reassigned) without disturbing the original. The stmt trees, types
+   and varinfos are shared: the instrumentation passes replace bodies
+   wholesale rather than mutating statements in place. *)
+let copy_program p =
+  let memo = Hashtbl.create 64 in
+  let copy_fd (fd : fundec) =
+    match Hashtbl.find_opt memo fd.fid with
+    | Some fd' -> fd'
+    | None ->
+        let fd' = { fd with fname = fd.fname } in
+        Hashtbl.add memo fd.fid fd';
+        fd'
+  in
+  let funcs = List.map copy_fd p.funcs in
+  let fun_by_name = Hashtbl.create (Hashtbl.length p.fun_by_name) in
+  Hashtbl.iter (fun name fd -> Hashtbl.replace fun_by_name name (copy_fd fd)) p.fun_by_name;
+  { p with funcs; fun_by_name }
+
 let is_pointer = function Tptr _ -> true | _ -> false
 let is_integral = function Tint _ -> true | _ -> false
 let is_arith = is_integral

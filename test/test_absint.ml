@@ -1,0 +1,280 @@
+(* lib/absint: interval algebra units, qcheck lattice laws, and
+   end-to-end discharge tests (including the cases the Facts pass
+   cannot prove, and a soundness case where the check must stay). *)
+
+module Iv = Absint.Interval
+
+let parse src = Kc.Typecheck.check_sources [ ("t.kc", src) ]
+
+let iv = Alcotest.testable (fun fmt i -> Format.pp_print_string fmt (Iv.to_string i)) Iv.equal
+
+(* ------------------------------------------------------------------ *)
+(* Interval algebra                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_interval_lattice () =
+  let a = Iv.of_bounds 0L 10L and b = Iv.of_bounds 5L 20L in
+  Alcotest.check iv "join" (Iv.of_bounds 0L 20L) (Iv.join a b);
+  Alcotest.check iv "meet" (Iv.of_bounds 5L 10L) (Iv.meet a b);
+  Alcotest.check iv "meet disjoint" Iv.bottom (Iv.meet (Iv.of_bounds 0L 1L) (Iv.of_bounds 5L 6L));
+  Alcotest.check iv "join bot" a (Iv.join a Iv.bottom);
+  Alcotest.(check bool) "leq" true (Iv.leq (Iv.meet a b) a);
+  Alcotest.(check bool) "mem" true (Iv.mem 7L a);
+  Alcotest.(check bool) "not mem" false (Iv.mem 11L a)
+
+let test_interval_widen_narrow () =
+  let a = Iv.of_bounds 0L 1L and b = Iv.of_bounds 0L 2L in
+  (* upper bound grew: widen blows it to +oo *)
+  Alcotest.check iv "widen up" (Iv.Iv (Iv.Fin 0L, Iv.Pinf)) (Iv.widen a b);
+  (* stable bounds survive widening *)
+  Alcotest.check iv "widen stable" a (Iv.widen a a);
+  let lo = Iv.Iv (Iv.Ninf, Iv.Fin 5L) in
+  Alcotest.check iv "widen down" (Iv.Iv (Iv.Ninf, Iv.Fin 5L)) (Iv.widen lo (Iv.of_bounds (-9L) 5L));
+  (* narrow refines only the infinite bounds *)
+  let w = Iv.Iv (Iv.Fin 0L, Iv.Pinf) in
+  Alcotest.check iv "narrow" (Iv.of_bounds 0L 4L) (Iv.narrow w (Iv.of_bounds 0L 4L));
+  Alcotest.check iv "narrow keeps finite" (Iv.of_bounds 0L 9L)
+    (Iv.narrow (Iv.of_bounds 0L 9L) (Iv.of_bounds 0L 4L))
+
+let test_interval_arith () =
+  Alcotest.check iv "add" (Iv.of_bounds 3L 7L) (Iv.add (Iv.of_bounds 1L 2L) (Iv.of_bounds 2L 5L));
+  Alcotest.check iv "sub" (Iv.of_bounds (-4L) 0L)
+    (Iv.sub (Iv.of_bounds 1L 2L) (Iv.of_bounds 2L 5L));
+  Alcotest.check iv "neg" (Iv.of_bounds (-2L) (-1L)) (Iv.neg (Iv.of_bounds 1L 2L));
+  Alcotest.check iv "mul signs" (Iv.of_bounds (-10L) 10L)
+    (Iv.mul (Iv.of_bounds (-2L) 2L) (Iv.of_bounds 0L 5L));
+  (* overflow saturates instead of wrapping *)
+  Alcotest.check iv "add overflow" (Iv.Iv (Iv.Fin 0L, Iv.Pinf))
+    (Iv.add (Iv.of_bounds 0L Int64.max_int) (Iv.of_bounds 0L 1L));
+  Alcotest.check iv "mul min_int"
+    (Iv.Iv (Iv.Ninf, Iv.Pinf))
+    (Iv.mul (Iv.of_bounds Int64.min_int Int64.min_int) (Iv.of_bounds (-1L) (-1L)));
+  Alcotest.check iv "div" (Iv.of_bounds (-3L) 5L) (Iv.div_pos_const (Iv.of_bounds (-7L) 10L) 2L);
+  Alcotest.check iv "rem nonneg" (Iv.of_bounds 0L 6L) (Iv.rem_pos_const (Iv.of_bounds 0L 100L) 7L);
+  (* n & 7 is in [0,7] even when n may be negative *)
+  Alcotest.check iv "band mask" (Iv.of_bounds 0L 7L)
+    (Iv.band (Iv.of_bounds Int64.min_int Int64.max_int) (Iv.of_bounds 7L 7L));
+  Alcotest.check iv "shl" (Iv.of_bounds 4L 8L) (Iv.shl_const (Iv.of_bounds 1L 2L) 2L);
+  Alcotest.check iv "shr" (Iv.of_bounds 1L 2L) (Iv.shr_const (Iv.of_bounds 4L 8L) 2L)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck lattice laws                                                *)
+(* ------------------------------------------------------------------ *)
+
+let gen_bound =
+  QCheck2.Gen.(
+    frequency
+      [
+        (8, map (fun n -> Iv.Fin (Int64.of_int n)) (int_range (-50) 50));
+        (1, return Iv.Ninf);
+        (1, return Iv.Pinf);
+      ])
+
+let gen_interval =
+  QCheck2.Gen.(
+    frequency
+      [
+        ( 9,
+          map2
+            (fun a b ->
+              match (a, b) with
+              | Iv.Pinf, _ | _, Iv.Ninf -> Iv.top
+              | lo, hi -> if Iv.bound_le lo hi then Iv.Iv (lo, hi) else Iv.Iv (hi, lo))
+            gen_bound gen_bound );
+        (1, return Iv.bottom);
+      ])
+
+let gen_point = QCheck2.Gen.(map Int64.of_int (int_range (-50) 50))
+
+let prop_join_sound =
+  QCheck2.Test.make ~name:"interval join is an upper bound (gamma-sound)" ~count:500
+    QCheck2.Gen.(triple gen_interval gen_interval gen_point)
+    (fun (a, b, x) ->
+      let j = Iv.join a b in
+      ((not (Iv.mem x a)) || Iv.mem x j) && ((not (Iv.mem x b)) || Iv.mem x j))
+
+let prop_meet_sound =
+  QCheck2.Test.make ~name:"interval meet keeps common points" ~count:500
+    QCheck2.Gen.(triple gen_interval gen_interval gen_point)
+    (fun (a, b, x) -> (not (Iv.mem x a && Iv.mem x b)) || Iv.mem x (Iv.meet a b))
+
+let prop_widen_upper =
+  QCheck2.Test.make ~name:"widen over-approximates both arguments" ~count:500
+    QCheck2.Gen.(pair gen_interval gen_interval)
+    (fun (a, b) ->
+      let w = Iv.widen a b in
+      Iv.leq a w && Iv.leq b w)
+
+let prop_widen_stabilizes =
+  QCheck2.Test.make ~name:"widening chains stabilize" ~count:500
+    QCheck2.Gen.(pair gen_interval (QCheck2.Gen.list_size (QCheck2.Gen.return 8) gen_interval))
+    (fun (a0, steps) ->
+      (* iterate x <- widen x y over arbitrary y: each widen either
+         leaves x fixed or pushes a bound to infinity, so at most two
+         strict growths happen *)
+      let x = ref a0 and grow = ref 0 in
+      List.iter
+        (fun y ->
+          let x' = Iv.widen !x (Iv.join !x y) in
+          if not (Iv.equal x' !x) then incr grow;
+          x := x')
+        steps;
+      (* bot -> finite adoption, lo -> -oo, hi -> +oo *)
+      !grow <= 3)
+
+let prop_narrow_between =
+  QCheck2.Test.make ~name:"narrow lands between next and old" ~count:500
+    QCheck2.Gen.(pair gen_interval gen_interval)
+    (fun (a, b) ->
+      let old = Iv.join a b in
+      (* next <= old by construction *)
+      let next = a in
+      let n = Iv.narrow old next in
+      Iv.leq next n && Iv.leq n old)
+
+let prop_arith_sound =
+  QCheck2.Test.make ~name:"abstract add/sub/mul contain concrete results" ~count:500
+    QCheck2.Gen.(
+      quad gen_interval gen_interval gen_point gen_point)
+    (fun (a, b, x, y) ->
+      (not (Iv.mem x a && Iv.mem y b))
+      || Iv.mem (Int64.add x y) (Iv.add a b)
+         && Iv.mem (Int64.sub x y) (Iv.sub a b)
+         && Iv.mem (Int64.mul x y) (Iv.mul a b)
+         && Iv.mem (Int64.logand x y) (Iv.band a b))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end discharge                                               *)
+(* ------------------------------------------------------------------ *)
+
+let deputize_discharge src =
+  let prog = parse src in
+  let report = Deputy.Dreport.deputize prog in
+  let stats = Absint.Discharge.run prog in
+  (prog, report, stats)
+
+(* Masked index: Facts cannot bound [n & 7], intervals can. *)
+let test_discharge_mask () =
+  let src =
+    "long f(int n) { long a[8]; int k = n & 7; a[k] = 5; return a[k]; }\n\
+     int main(void) { return f(42); }\n"
+  in
+  let prog, _report, stats = deputize_discharge src in
+  Alcotest.(check bool) "facts left residual checks" true (Absint.Discharge.checks_seen stats > 0);
+  Alcotest.(check int) "absint proves all residual checks in f"
+    (Absint.Discharge.checks_seen stats)
+    (Absint.Discharge.checks_proved stats);
+  (* semantics preserved *)
+  let t = Vm.Builtins.boot prog in
+  Alcotest.(check int64) "still computes" 5L (Vm.Interp.run t "main" [])
+
+(* Loop-carried index: needs widening at the loop head, then the
+   branch refinement i < 4 inside the body. *)
+let test_discharge_loop () =
+  let src =
+    "int f(void) { long a[4]; int i = 0; long s = 0;\n\
+    \  while (i < 4) { a[i] = i; s = s + a[i]; i = i + 1; }\n\
+    \  return s; }\n\
+     int main(void) { return f(); }\n"
+  in
+  let prog, _report, stats = deputize_discharge src in
+  Alcotest.(check int) "loop body checks all proved"
+    (Absint.Discharge.checks_seen stats)
+    (Absint.Discharge.checks_proved stats);
+  let t = Vm.Builtins.boot prog in
+  Alcotest.(check int64) "sum preserved" 6L (Vm.Interp.run t "main" [])
+
+(* Soundness: a genuine out-of-bounds loop keeps its upper check and
+   the VM still traps. *)
+let test_discharge_keeps_real_oob () =
+  let src =
+    "int main(void) { long a[4]; int i = 0;\n\
+    \  while (i <= 4) { a[i] = i; i = i + 1; }\n\
+    \  return 0; }\n"
+  in
+  let prog, _report, _stats = deputize_discharge src in
+  let t = Vm.Builtins.boot prog in
+  match Vm.Interp.run t "main" [] with
+  | _ -> Alcotest.fail "out-of-bounds write was not caught"
+  | exception Vm.Trap.Trap (Vm.Trap.Check_failed, _) -> ()
+
+(* Interprocedural summary: the callee's constant return bounds the
+   caller's index. *)
+let test_discharge_summary () =
+  let src =
+    "int cap(void) { return 3; }\n\
+     long g(int n) { long a[4]; int k = cap(); a[k] = n; return a[k]; }\n\
+     int main(void) { return g(7); }\n"
+  in
+  let prog, _report, stats = deputize_discharge src in
+  Alcotest.(check int) "summary proves the call-site index"
+    (Absint.Discharge.checks_seen stats)
+    (Absint.Discharge.checks_proved stats);
+  let t = Vm.Builtins.boot prog in
+  Alcotest.(check int64) "result preserved" 7L (Vm.Interp.run t "main" [])
+
+(* On the synthetic kernel corpus, Facts+absint discharges strictly
+   more than Facts alone (which left these residual checks behind). *)
+let test_corpus_strictly_more () =
+  let prog = Kernel.Corpus.load () in
+  ignore (Deputy.Dreport.deputize prog);
+  let stats = Absint.Discharge.run prog in
+  Alcotest.(check bool) "absint proves residual corpus checks" true
+    (Absint.Discharge.checks_proved stats > 0);
+  Alcotest.(check bool) "but not by emptying the program" true
+    (Absint.Discharge.checks_proved stats < Absint.Discharge.checks_seen stats)
+
+(* The deputized VM executes strictly fewer dynamic checks with the
+   absint stage on (instrumentation counters). *)
+let test_fewer_dynamic_checks () =
+  let checks_run discharge =
+    let prog = Kernel.Workloads.load () in
+    ignore (Deputy.Dreport.deputize prog);
+    if discharge then ignore (Absint.Discharge.run prog);
+    let t = Vm.Builtins.boot prog in
+    ignore (Vm.Interp.run t Kernel.Corpus.boot_entry []);
+    ignore (Vm.Interp.run t (Kernel.Workloads.find_row "bw_mem_cp").Kernel.Workloads.entry [ 3L ]);
+    t.Vm.Interp.m.Vm.Machine.cost.Vm.Cost.checks_executed
+  in
+  let facts_only = checks_run false and with_absint = checks_run true in
+  Alcotest.(check bool)
+    (Printf.sprintf "boot executes fewer checks (%d < %d)" with_absint facts_only)
+    true
+    (with_absint < facts_only)
+
+let () =
+  let seed =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> ( match int_of_string_opt (String.trim s) with Some n -> n | None -> 42)
+    | None -> 42
+  in
+  Printf.printf "qcheck seed: %d (set QCHECK_SEED to override)\n%!" seed;
+  let rand = Random.State.make [| seed |] in
+  Alcotest.run "absint"
+    [
+      ( "interval",
+        [
+          Alcotest.test_case "lattice ops" `Quick test_interval_lattice;
+          Alcotest.test_case "widen/narrow" `Quick test_interval_widen_narrow;
+          Alcotest.test_case "arithmetic" `Quick test_interval_arith;
+        ] );
+      ( "qcheck",
+        List.map (QCheck_alcotest.to_alcotest ~rand)
+          [
+            prop_join_sound;
+            prop_meet_sound;
+            prop_widen_upper;
+            prop_widen_stabilizes;
+            prop_narrow_between;
+            prop_arith_sound;
+          ] );
+      ( "discharge",
+        [
+          Alcotest.test_case "masked index" `Quick test_discharge_mask;
+          Alcotest.test_case "loop-carried index" `Quick test_discharge_loop;
+          Alcotest.test_case "keeps real OOB" `Quick test_discharge_keeps_real_oob;
+          Alcotest.test_case "interprocedural summary" `Quick test_discharge_summary;
+          Alcotest.test_case "corpus: strictly more than Facts" `Quick test_corpus_strictly_more;
+          Alcotest.test_case "corpus: fewer dynamic checks" `Quick test_fewer_dynamic_checks;
+        ] );
+    ]
