@@ -114,9 +114,11 @@ let rec eval (env : Env.t) (e : I.exp) : Aval.t =
   | I.Eunop (op, e1) -> eval_unop env e.I.ety op e1
   | I.Ebinop (op, a, b) -> eval_binop env e.I.ety op a b
   | I.Econd (c, t, f) -> (
+      (* norm the decided branch too: its static type may differ from
+         the Econd's, and the VM norms the selected value to e.ety *)
       match truthiness (eval env c) with
-      | Some true -> eval env t
-      | Some false -> eval env f
+      | Some true -> norm_aval e.I.ety (eval env t)
+      | Some false -> norm_aval e.I.ety (eval env f)
       | None -> norm_aval e.I.ety (Aval.join (eval env t) (eval env f)))
   | I.Eself_field _ -> of_ty e.I.ety
 

@@ -134,14 +134,27 @@ module Make_widening (L : WIDEN_LATTICE) = struct
       end
     done;
     (* Descending sweeps: recompute without widening, narrowing at the
-       widening points so loop heads recover finite bounds. *)
+       widening points so loop heads recover finite bounds.  [narrow
+       old next] is only sound when [next <= old] — guaranteed for
+       monotone transfer functions, but a non-monotone transfer (or
+       edge refinement) could recompute an input *above* the ascending
+       post-fixpoint, and narrowing would then silently exclude
+       reachable states.  Detect that with the derived order test
+       (x <= y iff join x y = y) and fall back to join, which stays
+       sound at the cost of precision (termination is unaffected:
+       [narrow_passes] bounds the sweeps). *)
     let rpo = Cfg.reverse_postorder cfg in
     for _ = 1 to narrow_passes do
       List.iter
         (fun i ->
           incr iterations;
           let in_ = input i in
-          let in_ = if widen_at.(i) then L.narrow before.(i) in_ else in_ in
+          let in_ =
+            if widen_at.(i) then
+              if L.equal (L.join in_ before.(i)) before.(i) then L.narrow before.(i) in_
+              else L.join before.(i) in_
+            else in_
+          in
           before.(i) <- in_;
           after.(i) <- transfer (Cfg.node cfg i) in_)
         rpo

@@ -81,16 +81,29 @@ let only_mentions_formals (formals : I.varinfo list) (e : I.exp) : bool =
       | _ -> true)
     true e
 
-(* Strip value-preserving integer widening casts so that fact matching
-   sees through `(long) i`. *)
+(* Strip integer widening casts that preserve the raw (post-norm)
+   int64 representation, so that fact matching sees through `(long) i`.
+   Representation-preserving widenings are:
+
+   - same-signedness (sign- resp. zero-extension is the identity on
+     the normed int64 value);
+   - unsigned source to anything wider (the value is non-negative and
+     fits, so any extension is the identity);
+   - signed source to unsigned only at target width 64, where norm is
+     the identity on int64.
+
+   A signed source widened to a *sub-64* unsigned target is NOT
+   preserved: norm zero-extends, so a negative value changes its raw
+   representation (e.g. (unsigned short)(-1 : signed char) = 65535),
+   and facts about the cast must not be attributed to the source. *)
 let rec strip_widening (e : I.exp) : I.exp =
   match e.I.e with
   | I.Ecast (I.Tint (k2, s2), inner) -> (
       match inner.I.ety with
       | I.Tint (k1, s1)
         when Kc.Layout.int_size k2 > Kc.Layout.int_size k1
-             && (s1 = s2 || s1 = Kc.Ast.Signed || Kc.Layout.int_size k2 > Kc.Layout.int_size k1)
-        ->
+             && (s1 = s2 || s1 = Kc.Ast.Unsigned
+                 || (s2 = Kc.Ast.Unsigned && Kc.Layout.int_size k2 = 8)) ->
           strip_widening inner
       | _ -> e)
   | _ -> e

@@ -27,6 +27,14 @@ type block =
           4-long array with [bound >= 4] — the widening-sensitive shape:
           an unsound interval analysis that under-approximates the loop
           invariant would wrongly discharge the bound check *)
+  | F_oob_cast of { delta : int }
+      (** fault: a negative [signed char] index guarded by a
+          mixed-width signed->unsigned cast comparison
+          [(unsigned short)sc < 65535] that is always true at runtime —
+          the cast-stripping-sensitive shape: an optimizer that
+          attributes bounds proven about the (zero-extended) cast value
+          to the pre-cast variable would wrongly discharge the
+          lower-bound check on the negative index *)
   | F_dangling  (** fault: kfree while gslot_f still holds the reference *)
   | F_atomic_block  (** fault: msleep under local_irq_disable *)
   | F_lock_inversion of { lo : int; hi : int }  (** fault: lo->hi then hi->lo *)

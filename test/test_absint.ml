@@ -198,6 +198,25 @@ let test_discharge_keeps_real_oob () =
   | _ -> Alcotest.fail "out-of-bounds write was not caught"
   | exception Vm.Trap.Trap (Vm.Trap.Check_failed, _) -> ()
 
+(* Soundness: bounds proven about a sub-64 signed->unsigned cast must
+   not be attributed to the pre-cast variable.  The guard is always
+   true at runtime ((unsigned short)sc zero-extends the negative sc to
+   a large u16), yet sc itself stays negative, so the lower-bound
+   check must survive both the Facts and the absint discharge and the
+   deputized VM must trap. *)
+let test_discharge_keeps_cast_oob () =
+  let src =
+    "long f(int n) { long a[4]; signed char sc = n - 9;\n\
+    \  if ((unsigned short)sc < 65535) { a[sc] = 1; }\n\
+    \  return 0; }\n\
+     int main(void) { return f(3); }\n"
+  in
+  let prog, _report, _stats = deputize_discharge src in
+  let t = Vm.Builtins.boot prog in
+  match Vm.Interp.run t "main" [] with
+  | v -> Alcotest.failf "negative index slipped through (returned %Ld)" v
+  | exception Vm.Trap.Trap (Vm.Trap.Check_failed, _) -> ()
+
 (* Interprocedural summary: the callee's constant return bounds the
    caller's index. *)
 let test_discharge_summary () =
@@ -273,6 +292,8 @@ let () =
           Alcotest.test_case "masked index" `Quick test_discharge_mask;
           Alcotest.test_case "loop-carried index" `Quick test_discharge_loop;
           Alcotest.test_case "keeps real OOB" `Quick test_discharge_keeps_real_oob;
+          Alcotest.test_case "keeps OOB behind unsigned cast guard" `Quick
+            test_discharge_keeps_cast_oob;
           Alcotest.test_case "interprocedural summary" `Quick test_discharge_summary;
           Alcotest.test_case "corpus: strictly more than Facts" `Quick test_corpus_strictly_more;
           Alcotest.test_case "corpus: fewer dynamic checks" `Quick test_fewer_dynamic_checks;

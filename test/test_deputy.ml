@@ -81,6 +81,15 @@ let bug_cases =
           int main(void) { int * __count(2) b = kmalloc(8, 0); return take(b, 2); }");
     deputy_traps "opt pointer deref without test"
       (p "int get(int * __opt p) { return *p; }\nint main(void) { return get(0); }");
+    (* The guard zero-extends the negative sc to a large u16, so it is
+       always true at runtime; the optimizer must not attribute the
+       bound proven about the cast to sc itself (which stays negative)
+       and the lower-bound check must still trap. *)
+    deputy_traps "negative index behind signed->unsigned cast guard"
+      "long f(int n) { long a[4]; signed char sc = n - 9;\n\
+      \  if ((unsigned short)sc < 65535) { a[sc] = 1; }\n\
+      \  return 0; }\n\
+       int main(void) { return f(3); }";
     deputy_traps "nullterm advance past terminator"
       (p
          "int bad_scan(char * __nullterm s) { int n = 0; while (n < 100) { s = s + 1; n++; } return n; }\n\
@@ -189,6 +198,31 @@ let test_annotation_census () =
   (* count+opt on the field, nullterm + count on params, plus the
      preamble's own annotations. *)
   Alcotest.(check bool) "annotations counted" true (r.Deputy.Dreport.annotations >= 4)
+
+(* strip_widening must only see through raw-representation-preserving
+   widenings: same signedness, an unsigned source, or signed->unsigned
+   at full 64-bit width (where norm is the identity).  A signed source
+   widened to a *sub-64* unsigned target zero-extends negatives and
+   must be kept. *)
+let test_strip_widening_representation () =
+  let module I = Kc.Ir in
+  let module A = Kc.Ast in
+  let exp_of ty = I.mk_exp (I.Econst 1L) ty in
+  let cast k s inner = I.mk_exp (I.Ecast (I.Tint (k, s), inner)) (I.Tint (k, s)) in
+  let strips e = Deputy.Annot.strip_widening e != e in
+  let check name expect e = Alcotest.(check bool) name expect (strips e) in
+  check "i32 -> i64 stripped" true (cast A.Ilong A.Signed (exp_of I.int_type));
+  check "u16 -> u32 stripped" true
+    (cast A.Iint A.Unsigned (exp_of (I.Tint (A.Ishort, A.Unsigned))));
+  check "u16 -> i32 stripped" true
+    (cast A.Iint A.Signed (exp_of (I.Tint (A.Ishort, A.Unsigned))));
+  check "i32 -> u64 stripped (norm is identity at width 64)" true
+    (cast A.Ilong A.Unsigned (exp_of I.int_type));
+  check "i16 -> u32 kept (zero-extension changes negatives)" false
+    (cast A.Iint A.Unsigned (exp_of (I.Tint (A.Ishort, A.Signed))));
+  check "i8 -> u16 kept" false
+    (cast A.Ishort A.Unsigned (exp_of (I.Tint (A.Ichar, A.Signed))));
+  check "i64 -> i32 kept (narrowing)" false (cast A.Iint A.Signed (exp_of I.long_type))
 
 (* ------------------------------------------------------------------ *)
 (* Semantics preservation (erasure)                                    *)
@@ -409,6 +443,8 @@ let () =
           Alcotest.test_case "dedup" `Quick test_dedup_same_check;
           Alcotest.test_case "static error" `Quick test_static_error_reported;
           Alcotest.test_case "annotation census" `Quick test_annotation_census;
+          Alcotest.test_case "strip_widening representation" `Quick
+            test_strip_widening_representation;
         ] );
       ( "preservation",
         [

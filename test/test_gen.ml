@@ -93,6 +93,43 @@ let test_every_fault_kind_detected () =
         (seeds 3 (100 + Hashtbl.hash (Gen.Fault.to_string kind))))
     Gen.Fault.all
 
+(* The mixed-width cast shape specifically: its guard is always true
+   at runtime, so the negative index must be caught by the residual
+   lower-bound check in the deputy run, and the deputy+absint run must
+   behave identically (any drift is a discharge-soundness bug in the
+   cast-stripping logic). *)
+let test_oob_cast_shape_detected () =
+  List.iter
+    (fun delta ->
+      let p = Gen.Generate.clean (5000 + delta) in
+      let host = List.hd p.Gen.Prog.funcs in
+      let funcs =
+        List.map
+          (fun (f : Gen.Prog.func) ->
+            if f.Gen.Prog.fid = host.Gen.Prog.fid then
+              { f with Gen.Prog.blocks = f.Gen.Prog.blocks @ [ Gen.Prog.F_oob_cast { delta } ] }
+            else f)
+          p.Gen.Prog.funcs
+      in
+      let p =
+        {
+          p with
+          Gen.Prog.funcs;
+          Gen.Prog.faults = [ (Gen.Fault.Oob_write, Gen.Prog.fname host.Gen.Prog.fid) ];
+        }
+      in
+      let v = Gen.Oracle.check p in
+      (match v.Gen.Oracle.violations with
+      | [] -> ()
+      | vs ->
+          Alcotest.failf "delta %d: %s" delta
+            (String.concat "; " (List.map Gen.Oracle.violation_to_string vs)));
+      Alcotest.(check int)
+        (Printf.sprintf "delta %d credited" delta)
+        1
+        (List.length v.Gen.Oracle.detected))
+    [ 8; 9; 10; 11; 12 ]
+
 (* ---- campaign driver ---- *)
 
 let test_campaign_clean () =
@@ -164,6 +201,7 @@ let () =
         [
           Alcotest.test_case "injector labels" `Quick test_injector_labels;
           Alcotest.test_case "every kind detected" `Slow test_every_fault_kind_detected;
+          Alcotest.test_case "oob-cast shape detected" `Slow test_oob_cast_shape_detected;
         ] );
       ( "campaign",
         [
