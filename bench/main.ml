@@ -128,6 +128,36 @@ let bench_absint () =
     (if cf = 0 then 0.0 else 100.0 *. float_of_int (cf - cb) /. float_of_int cf)
     (cb < cf)
 
+(* ------------------------------------------------------------------ *)
+(* Part 1d: serial vs parallel fuzz campaign                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The same campaign evaluated on one domain and on a Par pool: wall
+   clock may differ (that is the point), the rendered summary must not.
+   Runnable standalone as `bench/main.exe --fuzz-par [count]`. *)
+let bench_parfuzz ?(count = 60) () =
+  section "PARFUZZ: fuzz campaign, 1 domain vs a Par pool";
+  let seed = 1 in
+  let jobs = Par.default_jobs () in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let serial, t_serial = timed (fun () -> Gen.Fuzz.run ~jobs:1 ~seed ~count ()) in
+  let par, t_par = timed (fun () -> Gen.Fuzz.run ~jobs ~seed ~count ()) in
+  let render s = Gen.Fuzz.render_summary ~elapsed:false s in
+  let identical = String.equal (render serial) (render par) in
+  Printf.printf "campaign: seed %d, %d cases (format v%d)\n" seed count Gen.Fuzz.format_version;
+  Printf.printf "jobs=1:            %8.2f s\n" t_serial;
+  Printf.printf "jobs=%-2d:           %8.2f s\n" jobs t_par;
+  Printf.printf "speedup:           %8.2fx\n" (t_serial /. t_par);
+  Printf.printf "summaries identical: %b\n" identical;
+  if not identical then begin
+    Printf.printf "FAIL: parallel campaign diverged from the serial one\n";
+    exit 1
+  end
+
 (* --absint-gate: CI regression fence.  The checked-in floor is the
    discharge rate the interval stage is known to reach on the corpus;
    a change that drops below it silently weakened the analysis. *)
@@ -256,10 +286,14 @@ let benchmark () =
 
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "--absint-gate" then absint_gate ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "--fuzz-par" then
+    let count = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 60 in
+    bench_parfuzz ~count ()
   else begin
     regenerate ();
     bench_unified ();
     bench_absint ();
+    bench_parfuzz ();
     section "Implementation micro-benchmarks (bechamel)";
     benchmark ()
   end

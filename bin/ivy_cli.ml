@@ -76,6 +76,15 @@ let unfixed_t =
 
 let files_t = Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"KC source files.")
 
+let jobs_t =
+  Arg.(
+    value
+    & opt int (Par.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains (default: the host's recommended domain count). Output is \
+           byte-identical for every value of $(docv).")
+
 (* ---- boot ---- *)
 
 let boot_cmd =
@@ -312,40 +321,103 @@ let check_cmd =
       value & flag
       & info [ "stats" ] ~doc:"Show engine artifact builds, cache hits and build times.")
   in
-  let run files only json stats =
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  in
+  let run files only jobs json stats =
     handle_frontend_errors (fun () ->
-        let prog = load_files files ~fixed_frees:true in
-        let ctxt = Engine.Context.create prog in
         let only =
           match only with
           | None -> []
           | Some s -> List.filter (fun n -> n <> "") (String.split_on_char ',' s)
         in
-        let results =
-          try Ivy.Checks.run_all ~only ctxt
-          with Ivy.Checks.Unknown_analysis n ->
-            Printf.eprintf "unknown analysis %s (use %s)\n" n
-              (String.concat ", " (List.map Engine.Analysis.name Ivy.Checks.all));
-            exit 1
-        in
-        let absint_ran = List.mem_assoc "absint" results in
-        (if json then
-           let deputy = if absint_ran then Some (Engine.Context.deputized ctxt) else None in
-           print_string (Ivy.Report_fmt.render_diags_json ?deputy results)
-         else print_string (Ivy.Report_fmt.render_diags results));
-        if stats then begin
-          if absint_ran then
-            print_string
-              (Absint.Discharge.render_stats (Engine.Context.deputized ctxt).Engine.Context.dstats);
-          print_string (Ivy.Report_fmt.render_engine_stats ctxt)
-        end)
+        (* Validate names before any work so a typo fails the same way
+           in every sharding mode. *)
+        List.iter
+          (fun n ->
+            if Ivy.Checks.find n = None then begin
+              Printf.eprintf "unknown analysis %s (use %s)\n" n
+                (String.concat ", " (List.map Engine.Analysis.name Ivy.Checks.all));
+              exit 1
+            end)
+          only;
+        match files with
+        | ([] | [ _ ]) as files ->
+            (* One program, one context; --jobs parallelizes inside the
+               context (per-SCC-level absint summary solving). *)
+            let prog = load_files files ~fixed_frees:true in
+            let ctxt = Engine.Context.create ~jobs prog in
+            let results = Ivy.Checks.run_all ~only ctxt in
+            let absint_ran = List.mem_assoc "absint" results in
+            (if json then
+               let deputy = if absint_ran then Some (Engine.Context.deputized ctxt) else None in
+               print_string (Ivy.Report_fmt.render_diags_json ?deputy results)
+             else print_string (Ivy.Report_fmt.render_diags results));
+            if stats then begin
+              if absint_ran then
+                print_string
+                  (Absint.Discharge.render_stats
+                     (Engine.Context.deputized ctxt).Engine.Context.dstats);
+              print_string (Ivy.Report_fmt.render_engine_stats ctxt)
+            end
+        | files ->
+            (* Several inputs shard per file: each worker owns one
+               program and one context (contexts memoize in plain
+               Hashtbls, so they are never shared across domains); the
+               merge prints reports in argument order and folds the
+               per-worker counters for --stats. *)
+            let check_one path =
+              let prog = load_files [ path ] ~fixed_frees:true in
+              let ctxt = Engine.Context.create prog in
+              let results = Ivy.Checks.run_all ~only ctxt in
+              let absint_ran = List.mem_assoc "absint" results in
+              let body =
+                if json then
+                  let deputy =
+                    if absint_ran then Some (Engine.Context.deputized ctxt) else None
+                  in
+                  Ivy.Report_fmt.render_diags_json ?deputy results
+                else Ivy.Report_fmt.render_diags results
+              in
+              (path, body, Engine.Context.stats ctxt)
+            in
+            let per_file = Par.map ~jobs check_one files in
+            if json then begin
+              print_string "[";
+              List.iteri
+                (fun i (path, body, _) ->
+                  if i > 0 then print_string ",";
+                  Printf.printf "{\"file\":\"%s\",\"report\":%s}" (json_escape path)
+                    (String.trim body))
+                per_file;
+              print_string "]\n"
+            end
+            else
+              List.iter
+                (fun (path, body, _) -> Printf.printf "== %s\n%s" path body)
+                per_file;
+            if stats then
+              print_string
+                (Ivy.Report_fmt.render_stat_list
+                   (Engine.Context.merge_counters
+                      (List.map (fun (_, _, s) -> s) per_file))))
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Run every registered analysis (blockstop, locksafe, stackcheck, errcheck, userck, \
-          absint) over one shared whole-program context.")
-    Term.(const run $ files_t $ only_t $ json_t $ stats_t)
+          absint) over one shared whole-program context. With several FILE arguments, each \
+          file is analyzed as its own program, sharded across --jobs worker domains; reports \
+          come back in argument order.")
+    Term.(const run $ files_t $ only_t $ jobs_t $ json_t $ stats_t)
 
 (* ---- fuzz: generator + fault injector + differential oracle ---- *)
 
@@ -375,7 +447,7 @@ let fuzz_cmd =
           ~doc:"Print the generated KC source of case $(docv) and exit (debugging aid).")
   in
   let quiet_t = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress progress lines.") in
-  let run seed count shrink out dump quiet =
+  let run seed count shrink out dump quiet jobs =
     match dump with
     | Some i ->
         let p = Gen.Fuzz.case_program ~seed i in
@@ -385,7 +457,7 @@ let fuzz_cmd =
         print_string (Gen.Prog.render p)
     | None ->
         let log = if quiet then ignore else fun s -> Printf.eprintf "%s\n%!" s in
-        let s = Gen.Fuzz.run ~shrink ~out ~log ~seed ~count () in
+        let s = Gen.Fuzz.run ~shrink ~out ~log ~jobs ~seed ~count () in
         print_string (Gen.Fuzz.render_summary s);
         if s.Gen.Fuzz.s_failures <> [] then exit 1
   in
@@ -393,8 +465,9 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:
          "Generate random annotated kernels, inject known faults, and cross-check every \
-          static verdict against VM execution (differential soundness testing).")
-    Term.(const run $ seed_t $ count_t $ shrink_t $ out_t $ dump_t $ quiet_t)
+          static verdict against VM execution (differential soundness testing). Cases shard \
+          across --jobs worker domains; the summary is byte-identical for every value.")
+    Term.(const run $ seed_t $ count_t $ shrink_t $ out_t $ dump_t $ quiet_t $ jobs_t)
 
 (* ---- corpus ---- *)
 

@@ -64,20 +64,77 @@ let sccs_of (funcs : I.fundec list) : I.fundec list list =
 
 let is_self_recursive (fd : I.fundec) = List.mem fd.I.fname (direct_callees fd)
 
-let compute ?(cfg_of = fun fd -> Dataflow.Cfg.build fd) (prog : I.program) : Transfer.summaries =
+(* Group the topologically ordered SCCs into bottom-up levels:
+   level(scc) = 1 + max level of its callee SCCs. Every component in a
+   level depends only on strictly lower levels, so the components of
+   one level are independent of each other — the unit of parallelism.
+   Levels come back lowest first, each preserving SCC emission order. *)
+let levels_of (sccs : I.fundec list list) : I.fundec list list list =
+  let scc_of_fun = Hashtbl.create 64 in
+  List.iteri
+    (fun idx scc -> List.iter (fun fd -> Hashtbl.replace scc_of_fun fd.I.fname idx) scc)
+    sccs;
+  let level_of_scc = Hashtbl.create 64 in
+  let by_level = Hashtbl.create 16 in
+  List.iteri
+    (fun idx scc ->
+      let lvl =
+        List.fold_left
+          (fun acc fd ->
+            List.fold_left
+              (fun acc callee ->
+                match Hashtbl.find_opt scc_of_fun callee with
+                | Some cidx when cidx <> idx -> max acc (1 + Hashtbl.find level_of_scc cidx)
+                | _ -> acc)
+              acc (direct_callees fd))
+          0 scc
+      in
+      Hashtbl.replace level_of_scc idx lvl;
+      let prev = Option.value (Hashtbl.find_opt by_level lvl) ~default:[] in
+      Hashtbl.replace by_level lvl (scc :: prev))
+    sccs;
+  let max_level = Hashtbl.fold (fun _ l acc -> max l acc) level_of_scc (-1) in
+  List.init (max_level + 1) (fun l ->
+      List.rev (Option.value (Hashtbl.find_opt by_level l) ~default:[]))
+
+let solve_one ~summaries ~cfg_of (fd : I.fundec) : Aval.t =
+  let r = Solver.analyze_cfg ~summaries (cfg_of fd) in
+  let ret = Solver.return_aval fd r in
+  if Aval.is_bot ret then Transfer.of_ty fd.I.fret else ret
+
+let compute ?(cfg_of = fun fd -> Dataflow.Cfg.build fd) ?(jobs = 1) (prog : I.program) :
+    Transfer.summaries =
+  (* Externs have no body to summarize; leaving them out also keeps
+     the allocator special-case in Transfer.instr in charge. *)
+  let sccs = sccs_of (List.filter (fun fd -> not fd.I.fextern) prog.I.funcs) in
   List.fold_left
-    (fun summaries scc ->
-      match scc with
-      | [ fd ] when not (is_self_recursive fd) ->
-          let r = Solver.analyze_cfg ~summaries (cfg_of fd) in
-          let ret = Solver.return_aval fd r in
-          let ret = if Aval.is_bot ret then Transfer.of_ty fd.I.fret else ret in
-          Transfer.SM.add fd.I.fname ret summaries
-      | _ ->
+    (fun summaries level ->
+      (* A function in this level only reads summaries of strictly
+         lower levels, so the pool members never observe each other;
+         [cfg_of] must therefore be pure or pre-populated (the engine
+         context prefetches its CFG cache before going parallel). The
+         fold below re-merges in SCC order, identical to the serial
+         one-SCC-at-a-time result. *)
+      let solvable, recursive =
+        List.partition
+          (fun scc -> match scc with [ fd ] -> not (is_self_recursive fd) | _ -> false)
+          level
+      in
+      let solved =
+        Par.map ~jobs
+          (fun scc ->
+            match scc with
+            | [ fd ] -> (fd.I.fname, solve_one ~summaries ~cfg_of fd)
+            | _ -> assert false)
+          solvable
+      in
+      let summaries =
+        List.fold_left (fun acc (name, ret) -> Transfer.SM.add name ret acc) summaries solved
+      in
+      List.fold_left
+        (fun summaries scc ->
           List.fold_left
             (fun summaries fd -> Transfer.SM.add fd.I.fname (Transfer.of_ty fd.I.fret) summaries)
             summaries scc)
-    Transfer.no_summaries
-    (* Externs have no body to summarize; leaving them out also keeps
-       the allocator special-case in Transfer.instr in charge. *)
-    (sccs_of (List.filter (fun fd -> not fd.I.fextern) prog.I.funcs))
+        summaries recursive)
+    Transfer.no_summaries (levels_of sccs)

@@ -5,6 +5,25 @@
 
 val direct_callees : Kc.Ir.fundec -> string list
 
-val compute : ?cfg_of:(Kc.Ir.fundec -> Dataflow.Cfg.t) -> Kc.Ir.program -> Transfer.summaries
+val sccs_of : Kc.Ir.fundec list -> Kc.Ir.fundec list list
+(** Tarjan condensation of the direct-call graph, callees first.
+    Exposed for tests. *)
+
+val levels_of : Kc.Ir.fundec list list -> Kc.Ir.fundec list list list
+(** Group topologically ordered SCCs ({i callees first}) into
+    bottom-up dependency levels: every component of a level calls only
+    into strictly lower levels, so one level's components can be
+    solved in parallel. Exposed for tests. *)
+
+val compute :
+  ?cfg_of:(Kc.Ir.fundec -> Dataflow.Cfg.t) ->
+  ?jobs:int ->
+  Kc.Ir.program ->
+  Transfer.summaries
 (** [cfg_of] lets a caller (the engine context) share memoized CFGs;
-    defaults to {!Dataflow.Cfg.build}. *)
+    defaults to {!Dataflow.Cfg.build}. [jobs] (default 1) solves the
+    components of one SCC level on a {!Par} pool — components within a
+    level are mutually independent, and levels stay bottom-up, so the
+    summaries are identical to the serial computation. With [jobs > 1]
+    the caller must pass a [cfg_of] that is safe to call from several
+    domains (pure, or fully pre-populated). *)

@@ -24,6 +24,7 @@ type deputized = {
 
 type t = {
   prog : Kc.Ir.program;
+  jobs : int;
   pointsto_tbl : (P.mode, P.t) Hashtbl.t;
   callgraph_tbl : (P.mode, CG.t) Hashtbl.t;
   blocking_tbl : (P.mode, BL.t) Hashtbl.t;
@@ -34,9 +35,10 @@ type t = {
   counters_tbl : (string, counters) Hashtbl.t;
 }
 
-let create (prog : Kc.Ir.program) : t =
+let create ?(jobs = 1) (prog : Kc.Ir.program) : t =
   {
     prog;
+    jobs;
     pointsto_tbl = Hashtbl.create 4;
     callgraph_tbl = Hashtbl.create 4;
     blocking_tbl = Hashtbl.create 4;
@@ -132,10 +134,25 @@ let absint_summaries (t : t) : Absint.Transfer.summaries =
       hit t "absint-summaries";
       s
   | None ->
+      (* The CFG memo table and its counters are plain Hashtbls owned by
+         this context's domain; before the summary stage fans out over a
+         Par pool, populate the table serially so the workers' [cfg_of]
+         only ever reads it. *)
+      if t.jobs > 1 then
+        List.iter
+          (fun (fd : Kc.Ir.fundec) -> ignore (cfg t fd.Kc.Ir.fname))
+          (List.filter (fun (fd : Kc.Ir.fundec) -> not fd.Kc.Ir.fextern) t.prog.Kc.Ir.funcs);
       let cfg_of (fd : Kc.Ir.fundec) =
-        match cfg t fd.Kc.Ir.fname with Some c -> c | None -> Dataflow.Cfg.build fd
+        if t.jobs > 1 then
+          match Hashtbl.find_opt t.cfg_tbl fd.Kc.Ir.fname with
+          | Some c -> c
+          | None -> Dataflow.Cfg.build fd
+        else match cfg t fd.Kc.Ir.fname with Some c -> c | None -> Dataflow.Cfg.build fd
       in
-      let s = timed t "absint-summaries" (fun () -> Absint.Summary.compute ~cfg_of t.prog) in
+      let s =
+        timed t "absint-summaries" (fun () ->
+            Absint.Summary.compute ~cfg_of ~jobs:t.jobs t.prog)
+      in
       t.summaries_c <- Some s;
       s
 
@@ -175,6 +192,27 @@ let stats (t : t) : stat list =
     (fun artifact c acc ->
       { artifact; builds = c.c_builds; hits = c.c_hits; seconds = c.c_seconds } :: acc)
     t.counters_tbl []
+  |> List.sort (fun a b -> String.compare a.artifact b.artifact)
+
+(* Contexts are never shared across domains — each Par worker creates
+   its own and ships back its [stats] — so aggregation is a plain fold
+   here on the merging side: sum per artifact, emit sorted by name.
+   Build/hit counts are deterministic; seconds are wall-clock. *)
+let merge_counters (per_worker : stat list list) : stat list =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun stats ->
+      List.iter
+        (fun s ->
+          let b, h, sec =
+            Option.value (Hashtbl.find_opt tbl s.artifact) ~default:(0, 0, 0.0)
+          in
+          Hashtbl.replace tbl s.artifact (b + s.builds, h + s.hits, sec +. s.seconds))
+        stats)
+    per_worker;
+  Hashtbl.fold
+    (fun artifact (builds, hits, seconds) acc -> { artifact; builds; hits; seconds } :: acc)
+    tbl []
   |> List.sort (fun a b -> String.compare a.artifact b.artifact)
 
 let pp_stats fmt (t : t) =

@@ -11,7 +11,14 @@
 
 type t
 
-val create : Kc.Ir.program -> t
+val create : ?jobs:int -> Kc.Ir.program -> t
+(** [jobs] (default 1) sizes the {!Par} pool used by stages that can
+    fan out internally (today: {!absint_summaries} solves one SCC
+    level's functions in parallel). The context itself must never be
+    shared across domains — its memo tables are plain [Hashtbl]s; a
+    parallel driver creates one context per worker and aggregates
+    observability with {!merge_counters}. *)
+
 val program : t -> Kc.Ir.program
 
 (** Points-to facts for [mode] (default {!Blockstop.Pointsto.Type_based}),
@@ -56,5 +63,10 @@ type stat = {
 
 (** Stats sorted by artifact name. *)
 val stats : t -> stat list
+
+(** Fold the per-worker stat lists of a parallel run (one context per
+    worker) into one list: per-artifact sums, sorted by artifact name —
+    deterministic regardless of worker scheduling. *)
+val merge_counters : stat list list -> stat list
 
 val pp_stats : Format.formatter -> t -> unit

@@ -5,7 +5,13 @@
     from the taxonomy.  Each case goes through the differential
     {!Oracle}; on a violation, the case is optionally shrunk and a
     standalone [.kc] repro (with the verdict in a comment header) is
-    written to [out]. *)
+    written to [out].
+
+    Case [i] is a pure function of [(seed, i)], so the campaign shards
+    perfectly across domains: [~jobs] evaluates cases on a {!Par} pool
+    and merges the per-case results in index order, making the summary,
+    the failure list, the repro filenames and the log lines identical
+    to the serial run. *)
 
 type case = {
   c_idx : int;
@@ -25,6 +31,14 @@ type summary = {
   s_elapsed : float;  (** wall-clock seconds *)
 }
 
+val format_version : int
+(** Campaign seed-derivation format, printed in every summary. v2 split
+    the fault-injector stream off the per-case seed ([Rng.mix cseed 1])
+    — the v1 [cseed + 1] derivation aliased the injector of one case
+    with the generator stream of another, correlating cases that must
+    be independent. A given (version, seed, count) triple names the
+    same campaign forever; old seeds are not reinterpreted silently. *)
+
 val case_program : seed:int -> int -> Prog.t
 (** [case_program ~seed i] builds case [i] of a campaign (exposed for
     tests and repro): clean when [i mod 4 = 0], one fault otherwise. *)
@@ -33,10 +47,15 @@ val run :
   ?shrink:bool ->
   ?out:string ->
   ?log:(string -> unit) ->
+  ?jobs:int ->
   seed:int ->
   count:int ->
   unit ->
   summary
+(** [jobs] (default 1) sizes the {!Par} domain pool; the result is
+    independent of it. *)
 
-val render_summary : summary -> string
-(** Human-readable campaign report. *)
+val render_summary : ?elapsed:bool -> summary -> string
+(** Human-readable campaign report. [~elapsed:false] omits the
+    wall-clock figure, making the rendering a pure function of the
+    campaign — what the determinism tests byte-compare. *)

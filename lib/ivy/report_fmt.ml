@@ -262,7 +262,7 @@ let render_diags_json ?deputy (results : (string * Engine.Diag.t list) list) : s
     (Engine.Diag.list_to_json (List.concat_map snd results))
     deputy_json
 
-let render_engine_stats (ctxt : Engine.Context.t) : string =
+let render_stat_list (stats : Engine.Context.stat list) : string =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "engine artifacts (builds / cache hits / build seconds):\n";
   List.iter
@@ -270,8 +270,11 @@ let render_engine_stats (ctxt : Engine.Context.t) : string =
       Buffer.add_string buf
         (fprintf "  %-24s built %d  hits %d  %.4fs\n" s.Engine.Context.artifact
            s.Engine.Context.builds s.Engine.Context.hits s.Engine.Context.seconds))
-    (Engine.Context.stats ctxt);
+    stats;
   Buffer.contents buf
+
+let render_engine_stats (ctxt : Engine.Context.t) : string =
+  render_stat_list (Engine.Context.stats ctxt)
 
 let render_e5 (e : Experiment.e5) : string =
   let r = e.Experiment.report in

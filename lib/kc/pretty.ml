@@ -279,10 +279,19 @@ let print_fundecl ctx (fd : Ir.fundec) =
 
 (* Print a whole program. With [erase] the output contains no
    annotation or instrumentation artifacts. *)
+(* Hashtbl iteration order depends on insertion history and the OCaml
+   version; emit in name order so the same program always prints the
+   same bytes. Safe for re-parsing: the typechecker pre-registers every
+   tag before elaborating any field, so struct references never need a
+   particular definition order. *)
+let sorted_bindings (tbl : (string, 'a) Hashtbl.t) : (string * 'a) list =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let print_program ?(erase = false) (prog : Ir.program) : string =
   let ctx = { buf = Buffer.create 4096; erase; indent = 0 } in
-  Hashtbl.iter
-    (fun _ (c : Ir.compinfo) ->
+  List.iter
+    (fun (_, (c : Ir.compinfo)) ->
       buf_add ctx.buf (Printf.sprintf "%s %s {" (if c.Ir.cstruct then "struct" else "union") c.Ir.cname);
       ctx.indent <- ctx.indent + 1;
       List.iter
@@ -294,17 +303,10 @@ let print_program ?(erase = false) (prog : Ir.program) : string =
       nl ctx;
       buf_add ctx.buf "};";
       nl ctx)
-    prog.Ir.comps;
+    (sorted_bindings prog.Ir.comps);
   (* Declarations of every function (externs included) before any
      global initializer can reference them. *)
-  let declared = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun name fd ->
-      if not (Hashtbl.mem declared name) then begin
-        Hashtbl.add declared name ();
-        print_fundecl ctx fd
-      end)
-    prog.Ir.fun_by_name;
+  List.iter (fun (_, fd) -> print_fundecl ctx fd) (sorted_bindings prog.Ir.fun_by_name);
   List.iter
     (fun ((v : Ir.varinfo), init) ->
       match init with

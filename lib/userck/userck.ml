@@ -162,12 +162,14 @@ and check_stmt ctx (s : I.stmt) =
 let analyze (prog : I.program) : report =
   let violations = ref [] and derefs = ref 0 and flows = ref 0 in
   let user_params = ref 0 in
-  Hashtbl.iter
-    (fun _ (fd : I.fundec) ->
-      List.iter
-        (fun (v : I.varinfo) -> if is_user_ty v.I.vty then incr user_params)
-        fd.I.sformals)
-    prog.I.fun_by_name;
+  (* Name order, not Hashtbl order: report code must stay byte-stable
+     across insertion histories and OCaml versions. *)
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) prog.I.fun_by_name []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (_, (fd : I.fundec)) ->
+         List.iter
+           (fun (v : I.varinfo) -> if is_user_ty v.I.vty then incr user_params)
+           fd.I.sformals);
   List.iter
     (fun (fd : I.fundec) ->
       let ctx =
