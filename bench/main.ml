@@ -12,6 +12,41 @@
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '#')
 
+let best_of n f =
+  let best = ref infinity in
+  for _ = 1 to n do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+(* --json: machine-readable results. Every headline scenario records
+   (name, wall-clock seconds, speedup); the collected list is printed
+   as JSON and written to BENCH_pr5.json at the repo root when the
+   flag is given. Format documented in DESIGN.md §13. *)
+let json_results : (string * float * float) list ref = ref []
+
+let record ~scenario ~wall ~speedup =
+  json_results := (scenario, wall, speedup) :: !json_results
+
+let render_json () =
+  let rows =
+    List.rev_map
+      (fun (s, w, x) ->
+        Printf.sprintf "    {\"scenario\": %S, \"wall_clock_s\": %.6f, \"speedup\": %.3f}" s w x)
+      !json_results
+  in
+  Printf.sprintf "{\n  \"bench\": \"ivy\",\n  \"format\": 1,\n  \"results\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" rows)
+
+let emit_json () =
+  let s = render_json () in
+  print_string s;
+  let oc = open_out "BENCH_pr5.json" in
+  output_string oc s;
+  close_out oc
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate the evaluation                                  *)
 (* ------------------------------------------------------------------ *)
@@ -54,15 +89,6 @@ let regenerate () =
 let bench_unified () =
   section "ENGINE: one-pass check vs six independent runs";
   let prog = Kernel.Workloads.load () in
-  let best_of n f =
-    let best = ref infinity in
-    for _ = 1 to n do
-      let t0 = Unix.gettimeofday () in
-      f ();
-      best := Float.min !best (Unix.gettimeofday () -. t0)
-    done;
-    !best
-  in
   let iters = 5 in
   let independent =
     best_of iters (fun () ->
@@ -89,6 +115,7 @@ let bench_unified () =
   Printf.printf "one shared context:     %8.2f ms\n" (shared *. 1e3);
   Printf.printf "speedup:                %8.2fx (shared wins: %b)\n"
     (independent /. shared) (shared < independent);
+  record ~scenario:"engine-unified" ~wall:shared ~speedup:(independent /. shared);
   match !shared_ctxt with
   | Some ctxt -> Format.printf "%a" Engine.Context.pp_stats ctxt
   | None -> ()
@@ -153,6 +180,7 @@ let bench_parfuzz ?(count = 60) () =
   Printf.printf "jobs=%-2d:           %8.2f s\n" jobs t_par;
   Printf.printf "speedup:           %8.2fx\n" (t_serial /. t_par);
   Printf.printf "summaries identical: %b\n" identical;
+  record ~scenario:"parfuzz" ~wall:t_par ~speedup:(t_serial /. t_par);
   if not identical then begin
     Printf.printf "FAIL: parallel campaign diverged from the serial one\n";
     exit 1
@@ -180,7 +208,7 @@ let read_floor path =
 
 let absint_gate () =
   let floor = read_floor absint_floor_file in
-  let prog = Kernel.Workloads.load () in
+  let prog = Kernel.Workloads.load ~fresh:true () in
   ignore (Deputy.Dreport.deputize ~optimize:true prog);
   let st = Absint.Discharge.run prog in
   let rate = Absint.Discharge.rate st in
@@ -188,6 +216,125 @@ let absint_gate () =
     rate (Absint.Discharge.checks_proved st) (Absint.Discharge.checks_seen st) floor;
   if rate < floor then begin
     Printf.printf "FAIL: discharge rate regressed below the checked-in floor\n";
+    exit 1
+  end
+  else Printf.printf "OK\n"
+
+(* ------------------------------------------------------------------ *)
+(* Part 1e: tree-walk vs pre-compiled VM engine                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The two engines are observationally equivalent (the differential
+   suite proves it instruction-by-instruction); here we measure the
+   wall-clock gap on the two execution-heavy shapes — the E2-style
+   deputized workload schedule and the oracle-style boot-and-run of
+   fuzz cases — and assert the cycle counters agree as a cheap live
+   equivalence check. Programs are parsed and instrumented outside the
+   timed region: this benchmark is about execution, and the compiled
+   engine's per-program code cache makes its one-time compile cost
+   vanish across the repeated boots (each warmup run pays it). *)
+
+let vm_cycles (t : Vm.Interp.t) = t.Vm.Interp.m.Vm.Machine.cost.Vm.Cost.cycles
+
+(* One E2-shaped run: boot the deputized corpus, run the boot script
+   and the Table 1 schedule. Returns the machine's cycle count. *)
+let vm_e2_once ~engine prog : int =
+  let t = Vm.Builtins.boot ~engine prog in
+  ignore (Vm.Interp.run t Kernel.Corpus.boot_entry []);
+  List.iter
+    (fun (row : Kernel.Workloads.row) ->
+      ignore (Vm.Interp.run t row.Kernel.Workloads.entry [ 3L ]))
+    Kernel.Workloads.table1;
+  vm_cycles t
+
+(* One oracle-shaped run: boot every pre-instrumented fuzz-case
+   variant and run main, traps included. Returns summed cycles. *)
+let vm_oracle_once ~engine (progs : Kc.Ir.program list) : int =
+  List.fold_left
+    (fun acc p ->
+      let t = Vm.Builtins.boot ~engine p in
+      (try ignore (Vm.Interp.run t "main" []) with Vm.Trap.Trap _ -> ());
+      acc + vm_cycles t)
+    0 progs
+
+let vm_oracle_progs ~cases () : Kc.Ir.program list =
+  List.concat_map
+    (fun i ->
+      let src = Gen.Prog.render (Gen.Fuzz.case_program ~seed:5 i) in
+      let parse () = Kc.Typecheck.check_sources [ ("bench.kc", src) ] in
+      let dep = parse () in
+      ignore (Deputy.Dreport.deputize dep);
+      [ parse (); dep ])
+    (List.init cases (fun i -> i))
+
+let bench_vm_compile ?(best = 3) ?(cases = 8) () =
+  section "VM: tree-walk vs pre-compiled engine";
+  let prog = Kernel.Workloads.load ~fresh:true () in
+  ignore (Deputy.Dreport.deputize ~optimize:true prog);
+  (* Warmup: first compiled boot pays the compile, off the clock; and
+     the cycle counters of the two engines must agree exactly. *)
+  let c_tree = vm_e2_once ~engine:Vm.Interp.Tree prog in
+  let c_comp = vm_e2_once ~engine:Vm.Interp.Compiled prog in
+  if c_tree <> c_comp then begin
+    Printf.printf "FAIL: engine cycle divergence on E2 (tree %d, compiled %d)\n" c_tree c_comp;
+    exit 1
+  end;
+  let t_tree = best_of best (fun () -> ignore (vm_e2_once ~engine:Vm.Interp.Tree prog)) in
+  let t_comp = best_of best (fun () -> ignore (vm_e2_once ~engine:Vm.Interp.Compiled prog)) in
+  let e2_speedup = t_tree /. t_comp in
+  Printf.printf "E2 schedule (boot + table1 x3), %d cycles:\n" c_tree;
+  Printf.printf "  tree-walk: %8.2f ms\n" (t_tree *. 1e3);
+  Printf.printf "  compiled:  %8.2f ms\n" (t_comp *. 1e3);
+  Printf.printf "  speedup:   %8.2fx\n" e2_speedup;
+  record ~scenario:"vm-e2" ~wall:t_comp ~speedup:e2_speedup;
+  let progs = vm_oracle_progs ~cases () in
+  (* Equivalence check on the true oracle shape: fresh boots, one run
+     of main each, cycle counters must agree. *)
+  let oc_tree = vm_oracle_once ~engine:Vm.Interp.Tree progs in
+  let oc_comp = vm_oracle_once ~engine:Vm.Interp.Compiled progs in
+  if oc_tree <> oc_comp then begin
+    Printf.printf "FAIL: engine cycle divergence on oracle runs (tree %d, compiled %d)\n" oc_tree
+      oc_comp;
+    exit 1
+  end;
+  (* Timing: the boots (engine-independent machine setup) stay off the
+     clock; main is re-run to amplify execution over timer noise. The
+     engines do identical work — same interpreters, same rep count,
+     and by equivalence the same executed paths. *)
+  let reps = 50 in
+  let time_oracle engine =
+    let interps = List.map (fun p -> Vm.Builtins.boot ~engine p) progs in
+    best_of best (fun () ->
+        List.iter
+          (fun t ->
+            for _ = 1 to reps do
+              try ignore (Vm.Interp.run t "main" []) with Vm.Trap.Trap _ -> ()
+            done)
+          interps)
+  in
+  let ot_tree = time_oracle Vm.Interp.Tree in
+  let ot_comp = time_oracle Vm.Interp.Compiled in
+  let oracle_speedup = ot_tree /. ot_comp in
+  Printf.printf "oracle runs (%d fuzz-case variants x%d, boots off-clock), %d cycles:\n"
+    (List.length progs) reps oc_tree;
+  Printf.printf "  tree-walk: %8.2f ms\n" (ot_tree *. 1e3);
+  Printf.printf "  compiled:  %8.2f ms\n" (ot_comp *. 1e3);
+  Printf.printf "  speedup:   %8.2fx\n" oracle_speedup;
+  record ~scenario:"vm-oracle" ~wall:ot_comp ~speedup:oracle_speedup;
+  e2_speedup
+
+(* --vm-gate: CI regression fence, mirroring --absint-gate. The
+   checked-in floor is a conservative lower bound on the compiled
+   engine's E2 speedup; dropping below it means the compiled engine
+   lost its reason to exist (or stopped being used by default). *)
+let vm_floor_file = "bench/vm_floor.txt"
+
+let vm_gate () =
+  let floor = read_floor vm_floor_file in
+  let speedup = bench_vm_compile ~best:3 ~cases:4 () in
+  Printf.printf "vm gate: compiled-engine E2 speedup %.2fx, floor %.2fx\n" speedup floor;
+  if speedup < floor then begin
+    Printf.printf "FAIL: compiled-engine speedup regressed below the checked-in floor\n";
     exit 1
   end
   else Printf.printf "OK\n"
@@ -285,15 +432,22 @@ let benchmark () =
     (tests ())
 
 let () =
-  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--absint-gate" then absint_gate ()
-  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "--fuzz-par" then
-    let count = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 60 in
-    bench_parfuzz ~count ()
-  else begin
-    regenerate ();
-    bench_unified ();
-    bench_absint ();
-    bench_parfuzz ();
-    section "Implementation micro-benchmarks (bechamel)";
-    benchmark ()
-  end
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--json") args in
+  (match args with
+  | "--absint-gate" :: _ -> absint_gate ()
+  | "--vm-gate" :: _ -> vm_gate ()
+  | "--vm-compile" :: _ -> ignore (bench_vm_compile ())
+  | "--fuzz-par" :: rest ->
+      let count = match rest with c :: _ -> int_of_string c | [] -> 60 in
+      bench_parfuzz ~count ()
+  | _ ->
+      regenerate ();
+      bench_unified ();
+      bench_absint ();
+      bench_vm_compile () |> ignore;
+      bench_parfuzz ();
+      section "Implementation micro-benchmarks (bechamel)";
+      benchmark ());
+  if json then emit_json ()

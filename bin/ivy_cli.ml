@@ -18,7 +18,7 @@ open Cmdliner
 
 let load_files files ~fixed_frees =
   match files with
-  | [] -> Kernel.Workloads.load ~fixed_frees ()
+  | [] -> Kernel.Workloads.load ~fixed_frees ~fresh:true ()
   | fs ->
       let sources =
         List.map

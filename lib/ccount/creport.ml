@@ -22,11 +22,11 @@ let config ?(profile = Vm.Cost.Up) ?(overflow_check = false) () : Vm.Machine.con
   }
 
 (* Instrument [prog] in place and boot a CCount-enabled interpreter. *)
-let ccount_boot ?(profile = Vm.Cost.Up) ?(overflow_check = false) (prog : I.program) :
+let ccount_boot ?(profile = Vm.Cost.Up) ?(overflow_check = false) ?engine (prog : I.program) :
     Vm.Interp.t * report =
   let stats, info = Rc_instrument.instrument_program prog in
   let m = Vm.Machine.create ~config:(config ~profile ~overflow_check ()) () in
-  let t = Vm.Interp.create prog m in
+  let t = Vm.Interp.create ?engine prog m in
   Vm.Builtins.install t;
   Typeinfo.register_with info m;
   (t, { instr = stats; types_described = List.length (Typeinfo.tags_with_pointers info) })

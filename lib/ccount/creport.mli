@@ -12,7 +12,11 @@ val config : ?profile:Vm.Cost.profile -> ?overflow_check:bool -> unit -> Vm.Mach
 (** Instrument [prog] in place, register its RTTI, and boot a
     CCount-enabled interpreter. *)
 val ccount_boot :
-  ?profile:Vm.Cost.profile -> ?overflow_check:bool -> Kc.Ir.program -> Vm.Interp.t * report
+  ?profile:Vm.Cost.profile ->
+  ?overflow_check:bool ->
+  ?engine:Vm.Interp.engine ->
+  Kc.Ir.program ->
+  Vm.Interp.t * report
 
 val pp_census : Format.formatter -> Vm.Machine.free_census -> unit
 val pp : Format.formatter -> report -> unit

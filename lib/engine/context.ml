@@ -32,6 +32,7 @@ type t = {
   mutable handlers : AT.SS.t option;
   mutable summaries_c : Absint.Transfer.summaries option;
   mutable deputized_c : deputized option;
+  mutable vm_compiled_c : Vm.Compile.t option;
   counters_tbl : (string, counters) Hashtbl.t;
 }
 
@@ -46,6 +47,7 @@ let create ?(jobs = 1) (prog : Kc.Ir.program) : t =
     handlers = None;
     summaries_c = None;
     deputized_c = None;
+    vm_compiled_c = None;
     counters_tbl = Hashtbl.create 8;
   }
 
@@ -174,6 +176,20 @@ let deputized (t : t) : deputized =
       in
       t.deputized_c <- Some d;
       d
+
+(* The VM's compiled form of the base program. Vm.Compile keeps its
+   own per-program memo (so fuzz-case programs outside any context
+   still share code); this artifact pins the result on the context and
+   folds its construction into the stats lines. *)
+let vm_compiled (t : t) : Vm.Compile.t =
+  match t.vm_compiled_c with
+  | Some c ->
+      hit t "vm-compiled";
+      c
+  | None ->
+      let c = timed t "vm-compiled" (fun () -> Vm.Compile.of_program t.prog) in
+      t.vm_compiled_c <- Some c;
+      c
 
 let irq_handlers (t : t) : AT.SS.t =
   match t.handlers with

@@ -50,6 +50,12 @@ type deputized = {
 
 val deputized : t -> deputized
 
+(** The VM's pre-compiled executable form of the base program
+    ({!Vm.Compile}), cached on the context (and globally memoized per
+    program by the VM itself). Booting an interpreter on this
+    context's program reuses it. *)
+val vm_compiled : t -> Vm.Compile.t
+
 (** Functions registered as interrupt handlers (cached). *)
 val irq_handlers : t -> Blockstop.Atomic.SS.t
 

@@ -77,8 +77,16 @@ let run_main (interp : Vm.Interp.t) : outcome =
   | v -> Completed v
   | exception Vm.Trap.Trap (k, m) -> Trapped (k, m)
 
-let dynamic ~name src : run_results =
-  let base = run_main (Vm.Builtins.boot (parse ~name src)) in
+(* [base_prog], when given, is reused for the uninstrumented run
+   instead of a fresh parse: execution never mutates the program, so
+   the caller's already-parsed (and possibly already VM-compiled)
+   program gives the same outcome without re-frontending. The three
+   instrumented runs always get their own parse. *)
+let dynamic ?base_prog ~name src : run_results =
+  let base =
+    let p = match base_prog with Some p -> p | None -> parse ~name src in
+    run_main (Vm.Builtins.boot p)
+  in
   let deputy =
     let p = parse ~name src in
     ignore (Deputy.Dreport.deputize p);
@@ -195,13 +203,17 @@ let check_source ~name src (labels : (Fault.kind * string) list) : verdict =
       }
   | prog ->
       let ctxt = Engine.Context.create prog in
+      (* Pre-compile the program once on the context: the base dynamic
+         run below reuses the compiled code through the VM's program
+         cache. *)
+      ignore (Engine.Context.vm_compiled ctxt);
       let diags = Ivy.Checks.run_all ctxt in
       let dep_static =
         (* deputize mutates, so give it its own parse *)
         (Deputy.Dreport.deputize (parse ~name src)).Deputy.Dreport.static_errors
       in
       let static_errors = List.length dep_static in
-      let runs = dynamic ~name src in
+      let runs = dynamic ~base_prog:prog ~name src in
       let detected =
         List.filter (detects ~diags ~static_errors ~runs) labels
       in

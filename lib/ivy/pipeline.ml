@@ -35,7 +35,7 @@ let mode_to_string = function
    the benchmark unit; [fixed_frees] picks the corpus variant. *)
 let prepare ?(workloads = true) ?(fixed_frees = true) (mode : mode) : run =
   let load () =
-    if workloads then Kernel.Workloads.load ~fixed_frees ()
+    if workloads then Kernel.Workloads.load ~fixed_frees ~fresh:true ()
     else Kernel.Corpus.load ~fixed_frees ()
   in
   match mode with

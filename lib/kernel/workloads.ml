@@ -585,5 +585,25 @@ let find_row id =
 let sources ?(fixed_frees = true) () : (string * string) list =
   Corpus.sources ~fixed_frees () @ [ ("bench/workloads.kc", source) ]
 
-let load ?(fixed_frees = true) () : Kc.Ir.program =
-  Kc.Typecheck.check_sources (sources ~fixed_frees ())
+(* The checked program is memoized per [fixed_frees]: analyses and
+   read-only interpreter boots share one parse (and, downstream, one
+   VM compilation). Callers that instrument the program in place must
+   pass [~fresh:true] to get a private copy; the memo itself is never
+   handed out mutated. *)
+let load_memo : (bool, Kc.Ir.program) Hashtbl.t = Hashtbl.create 2
+let load_lock = Mutex.create ()
+
+let load ?(fixed_frees = true) ?(fresh = false) () : Kc.Ir.program =
+  if fresh then Kc.Typecheck.check_sources (sources ~fixed_frees ())
+  else begin
+    Mutex.lock load_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock load_lock)
+      (fun () ->
+        match Hashtbl.find_opt load_memo fixed_frees with
+        | Some p -> p
+        | None ->
+            let p = Kc.Typecheck.check_sources (sources ~fixed_frees ()) in
+            Hashtbl.replace load_memo fixed_frees p;
+            p)
+  end

@@ -26,4 +26,8 @@ val find_row : string -> row
 (** Corpus + workload unit, ready to check. *)
 val sources : ?fixed_frees:bool -> unit -> (string * string) list
 
-val load : ?fixed_frees:bool -> unit -> Kc.Ir.program
+(** The checked corpus+workloads program, memoized per [fixed_frees]
+    (thread-safe). The shared instance must be treated as read-only;
+    pass [~fresh:true] for a private program that may be instrumented
+    in place. *)
+val load : ?fixed_frees:bool -> ?fresh:bool -> unit -> Kc.Ir.program

@@ -374,8 +374,8 @@ let install (t : Interp.t) =
   reg "cpu_relax" b_nop
 
 (* Convenience: build a ready-to-run interpreter for a program. *)
-let boot ?(config = Machine.default_config) (prog : Kc.Ir.program) : Interp.t =
+let boot ?(config = Machine.default_config) ?engine (prog : Kc.Ir.program) : Interp.t =
   let m = Machine.create ~config () in
-  let t = Interp.create prog m in
+  let t = Interp.create ?engine prog m in
   install t;
   t

@@ -9,4 +9,4 @@
 val install : Interp.t -> unit
 
 (** Convenience: machine + interpreter + builtins for a program. *)
-val boot : ?config:Machine.config -> Kc.Ir.program -> Interp.t
+val boot : ?config:Machine.config -> ?engine:Interp.engine -> Kc.Ir.program -> Interp.t

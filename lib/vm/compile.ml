@@ -1,0 +1,1088 @@
+(* The pre-compiled execution engine.
+
+   One-shot compiler from IR functions to a flat, pre-resolved
+   executable form:
+
+   - each function becomes an array of basic blocks; a block is an
+     array of instruction closures plus a terminator closure returning
+     the next block id (-1 = return), so the hot loop is an
+     int-indexed dispatch with no IR pattern matching;
+   - variable ids are resolved at compile time to dense register
+     indices (an [int64 array] per activation) or fixed stack-frame
+     offsets — the per-access vid Hashtbl of the tree-walker is gone;
+   - operand expressions compile to closures with constant folding of
+     address arithmetic (global addresses and field offsets are baked
+     in); builtins and callee fundecs resolve to direct references;
+   - structured control flow (loops, switch, delayed scopes) is
+     lowered to block edges, with the delayed-scope exits emitted on
+     every edge that leaves the scope.
+
+   The contract is strict observational equivalence with {!Treewalk}:
+   identical traps (kind and message), identical results, identical
+   cycle counts and fuel burns, identical rodata interning order and
+   stack addresses. Every cost-model charge and fuel burn below is
+   placed exactly where the tree-walker places it; the differential
+   suite (test/test_vm_compile.ml) holds the two engines to that.
+
+   Compiled programs are cached per [I.program] (physical identity,
+   weak — dead fuzz-case programs are collectable) and per function
+   revalidated against [fbody] identity, so instrumentation passes
+   that rewrite bodies (deputize, discharge, rc_instrument, bcheck)
+   transparently invalidate stale code. *)
+
+module I = Kc.Ir
+
+(* Per-activation execution environment. [m]/[cost]/[mem] are copies
+   of the state's machine fields, hoisted out of the per-op field
+   chains of the interpreter. *)
+type env = {
+  st : Vmstate.t;
+  m : Machine.t;
+  cost : Cost.t;
+  mem : Mem.t;
+  regs : int64 array;
+  base : int; (* stack frame base address *)
+  mutable retv : int64;
+}
+
+type bblock = {
+  bid : int;
+  mutable instrs : (env -> unit) array;
+  mutable term : env -> int; (* next block id; -1 = return *)
+}
+
+type cfun = {
+  cf_body : I.block; (* identity stamp: recompile when fbody is swapped *)
+  cf_nregs : int;
+  cf_frame_bytes : int;
+  cf_blocks : bblock array;
+  cf_binders : (env -> int64 -> unit) array; (* formal binding, in order *)
+  cf_ret_norm : int64 -> int64;
+}
+
+type t = {
+  prog : I.program;
+  by_fid : (int, int) Hashtbl.t; (* fid -> index; immutable after create *)
+  cfuns : cfun option array; (* lazily compiled, revalidated by body identity *)
+  globals : (int, int) Hashtbl.t; (* baked global layout; immutable *)
+  mutable compiles : int; (* function compilations (observability) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-opcode execution profiling (IVY_VM_PROFILE=1).                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The flag is consulted at compile time: when off (the default), the
+   compiled closures carry no counting code at all. Counters are plain
+   ints — under a parallel fuzz campaign increments may race and drop;
+   the table is observability, not semantics. *)
+
+let profiling_on = ref (Sys.getenv_opt "IVY_VM_PROFILE" = Some "1")
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace counters name r;
+      r
+
+let set_profiling b = profiling_on := b
+let profiling () = !profiling_on
+let reset_profile () = Hashtbl.reset counters
+
+let profile_table () =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters []
+  |> List.filter (fun (_, n) -> n > 0)
+  |> List.sort (fun (na, a) (nb, b) -> if a <> b then compare b a else compare na nb)
+
+let render_profile () =
+  let rows = profile_table () in
+  if rows = [] then ""
+  else begin
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "vm profile (opcode, executed):\n";
+    List.iter (fun (name, n) -> Buffer.add_string buf (Printf.sprintf "  %-18s %12d\n" name n)) rows;
+    Buffer.contents buf
+  end
+
+let () =
+  if !profiling_on then
+    at_exit (fun () ->
+        let s = render_profile () in
+        if s <> "" then (output_string stderr s; flush stderr))
+
+let prof name (f : env -> unit) : env -> unit =
+  if !profiling_on then begin
+    let c = counter name in
+    fun env ->
+      incr c;
+      f env
+  end
+  else f
+
+let prof_term name (f : env -> int) : env -> int =
+  if !profiling_on then begin
+    let c = counter name in
+    fun env ->
+      incr c;
+      f env
+  end
+  else f
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time helpers.                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Width/sign normalization as a closure; [None] = identity. *)
+let normf_opt (ty : I.ty) : (int64 -> int64) option =
+  match ty with
+  | I.Tint (k, s) ->
+      let w = Kc.Layout.int_size k in
+      if w = 8 then None
+      else
+        let shift = 64 - (8 * w) in
+        if s = Kc.Ast.Signed then
+          Some (fun v -> Int64.shift_right (Int64.shift_left v shift) shift)
+        else Some (fun v -> Int64.shift_right_logical (Int64.shift_left v shift) shift)
+  | _ -> None
+
+let identity (v : int64) = v
+let normf ty = match normf_opt ty with Some f -> f | None -> identity
+
+type cslot = Sreg of int | Sstk of int (* frame offset *)
+
+(* Addresses fold constants: a global base plus field offsets compiles
+   to a single immediate. *)
+type caddr = Aconst of int | Adyn of (env -> int)
+
+let force = function Aconst n -> fun _ -> n | Adyn f -> f
+
+let add_const a k =
+  if k = 0 then a
+  else match a with Aconst n -> Aconst (n + k) | Adyn f -> Adyn (fun env -> f env + k)
+
+(* A resolved lvalue: a register slot (with its type, for write
+   normalization) or an address computation with the value type. *)
+type cplace = CPreg of int * I.ty | CPmem of caddr * I.ty
+
+type fctx = {
+  cc : t;
+  slots : (int, cslot) Hashtbl.t;
+  mutable blocks : bblock list; (* reversed *)
+  mutable nblocks : int;
+  mutable cur : bblock;
+  mutable acc : (env -> unit) list; (* reversed instrs of [cur] *)
+}
+
+let unset_term : env -> int = fun _ -> assert false
+
+let new_block ctx =
+  let b = { bid = ctx.nblocks; instrs = [||]; term = unset_term } in
+  ctx.nblocks <- ctx.nblocks + 1;
+  ctx.blocks <- b :: ctx.blocks;
+  b
+
+let emit ctx i = ctx.acc <- i :: ctx.acc
+
+let seal ctx term =
+  ctx.cur.instrs <- Array.of_list (List.rev ctx.acc);
+  ctx.cur.term <- term;
+  ctx.acc <- []
+
+let start ctx b =
+  ctx.cur <- b;
+  ctx.acc <- []
+
+let goto (b : bblock) : env -> int =
+  let id = b.bid in
+  fun _ -> id
+
+(* Lexical lowering context: break/continue targets carry the
+   delayed-scope depth at the construct's entry so jumps crossing
+   scope boundaries emit the pending exits; [scopes] holds the exit
+   closures, innermost first — the order the tree-walker unwinds. *)
+type lenv = {
+  brk : (int * int) option; (* (target bid, scope depth at entry) *)
+  cont : (int * int) option;
+  scopes : (env -> unit) list;
+}
+
+let emit_exits ctx (lenv : lenv) (upto_depth : int) =
+  let n = List.length lenv.scopes - upto_depth in
+  let rec go i = function
+    | f :: rest when i < n ->
+        emit ctx f;
+        go (i + 1) rest
+    | _ -> ()
+  in
+  go 0 lenv.scopes
+
+(* ------------------------------------------------------------------ *)
+(* Expressions.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec cexp ctx (e : I.exp) : env -> int64 =
+  let prog = ctx.cc.prog in
+  match e.I.e with
+  | I.Econst n -> fun _ -> n
+  | I.Estr s -> fun env -> Int64.of_int (Vmstate.intern_string env.st s)
+  | I.Efun name -> (
+      match I.find_fun prog name with
+      | Some fd ->
+          let v = Vmstate.fptr_encode fd.I.fid in
+          fun _ -> v
+      | None -> fun _ -> Trap.trap Trap.Unknown_function "reference to unknown function %s" name)
+  | I.Elval lv -> cread ctx lv
+  | I.Eunop (op, e1) -> (
+      let c1 = cexp ctx e1 in
+      match op with
+      | Kc.Ast.Neg ->
+          let nf = normf e.I.ety in
+          fun env ->
+            let v = c1 env in
+            Cost.op_alu env.cost;
+            nf (Int64.neg v)
+      | Kc.Ast.Bitnot ->
+          let nf = normf e.I.ety in
+          fun env ->
+            let v = c1 env in
+            Cost.op_alu env.cost;
+            nf (Int64.lognot v)
+      | Kc.Ast.Lognot ->
+          fun env ->
+            let v = c1 env in
+            Cost.op_alu env.cost;
+            if v = 0L then 1L else 0L)
+  | I.Ebinop (op, a, b) -> cbinop ctx e.I.ety op a b
+  | I.Econd (c, a, b) ->
+      let cc = cexp ctx c in
+      let ca = cexp ctx a in
+      let cb = cexp ctx b in
+      fun env ->
+        let cv = cc env in
+        Cost.op_branch env.cost;
+        if cv <> 0L then ca env else cb env
+  | I.Ecast (ty, e1) -> (
+      let c1 = cexp ctx e1 in
+      match normf_opt ty with None -> c1 | Some nf -> fun env -> nf (c1 env))
+  | I.Eaddrof lv | I.Estartof lv -> (
+      match cplace ctx lv with
+      | CPmem (a, _) ->
+          let fa = force a in
+          fun env -> Int64.of_int (fa env)
+      | CPreg _ -> fun _ -> Trap.trap Trap.Panic "address of register slot")
+  | I.Eself_field _ ->
+      fun _ -> Trap.trap Trap.Panic "Eself_field reached the interpreter (uninstantiated annotation)"
+
+and cbinop ctx (rty : I.ty) op (ea : I.exp) (eb : I.exp) : env -> int64 =
+  let prog = ctx.cc.prog in
+  let ca = cexp ctx ea in
+  let cb = cexp ctx eb in
+  let open Int64 in
+  match (op, ea.I.ety, eb.I.ety) with
+  (* Pointer arithmetic scales by element size. *)
+  | Kc.Ast.Add, I.Tptr (elt, _), _ ->
+      let sz = of_int (Kc.Layout.size_of prog elt) in
+      fun env ->
+        let a = ca env in
+        let b = cb env in
+        Cost.op_alu env.cost;
+        add a (mul b sz)
+  | Kc.Ast.Sub, I.Tptr (elt, _), I.Tint _ ->
+      let sz = of_int (Kc.Layout.size_of prog elt) in
+      fun env ->
+        let a = ca env in
+        let b = cb env in
+        Cost.op_alu env.cost;
+        sub a (mul b sz)
+  | Kc.Ast.Sub, I.Tptr (elt, _), I.Tptr _ ->
+      let sz = of_int (Stdlib.max 1 (Kc.Layout.size_of prog elt)) in
+      fun env ->
+        let a = ca env in
+        let b = cb env in
+        Cost.op_alu env.cost;
+        div (sub a b) sz
+  | _ -> (
+      let signed = Vmstate.is_signed ea.I.ety in
+      let nf = normf rty in
+      let bool_ v = if v then 1L else 0L in
+      match op with
+      | Kc.Ast.Add ->
+          fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            nf (add a b)
+      | Kc.Ast.Sub ->
+          fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            nf (sub a b)
+      | Kc.Ast.Mul ->
+          fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            nf (mul a b)
+      | Kc.Ast.Div ->
+          if signed then (fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            if b = 0L then Trap.trap Trap.Div_by_zero "division by zero";
+            nf (div a b))
+          else fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            if b = 0L then Trap.trap Trap.Div_by_zero "division by zero";
+            nf (unsigned_div a b)
+      | Kc.Ast.Mod ->
+          if signed then (fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            if b = 0L then Trap.trap Trap.Div_by_zero "mod by zero";
+            nf (rem a b))
+          else fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            if b = 0L then Trap.trap Trap.Div_by_zero "mod by zero";
+            nf (unsigned_rem a b)
+      | Kc.Ast.Shl ->
+          fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            nf (shift_left a (to_int (logand b 63L)))
+      | Kc.Ast.Shr ->
+          if signed then (fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            nf (shift_right a (to_int (logand b 63L))))
+          else fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            nf (shift_right_logical a (to_int (logand b 63L)))
+      | Kc.Ast.Bitand ->
+          fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            nf (logand a b)
+      | Kc.Ast.Bitor ->
+          fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            nf (logor a b)
+      | Kc.Ast.Bitxor ->
+          fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            nf (logxor a b)
+      | Kc.Ast.Lt ->
+          if signed then (fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            bool_ (a < b))
+          else fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            bool_ (unsigned_compare a b < 0)
+      | Kc.Ast.Gt ->
+          if signed then (fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            bool_ (a > b))
+          else fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            bool_ (unsigned_compare a b > 0)
+      | Kc.Ast.Le ->
+          if signed then (fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            bool_ (a <= b))
+          else fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            bool_ (unsigned_compare a b <= 0)
+      | Kc.Ast.Ge ->
+          if signed then (fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            bool_ (a >= b))
+          else fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            bool_ (unsigned_compare a b >= 0)
+      | Kc.Ast.Eq ->
+          fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            bool_ (a = b)
+      | Kc.Ast.Ne ->
+          fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            bool_ (a <> b)
+      | Kc.Ast.Logand ->
+          (* Like the reference engine, && and || in the IR are eager:
+             both operands were already hoisted by the frontend. *)
+          fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            bool_ (a <> 0L && b <> 0L)
+      | Kc.Ast.Logor ->
+          fun env ->
+            let a = ca env in
+            let b = cb env in
+            Cost.op_alu env.cost;
+            bool_ (a <> 0L || b <> 0L))
+
+(* Resolve an lvalue to a place at compile time, mirroring
+   Treewalk.place_of_lval: same evaluation order, same Oindex ALU
+   charge, same trap messages for malformed shapes. *)
+and cplace ctx ((host, offs) : I.lval) : cplace =
+  let prog = ctx.cc.prog in
+  let base =
+    match host with
+    | I.Lvar v ->
+        if v.I.vglob then
+          match Hashtbl.find_opt ctx.cc.globals v.I.vid with
+          | Some addr -> CPmem (Aconst addr, v.I.vty)
+          | None -> raise Not_found (* matches the tree-walker's Hashtbl.find *)
+        else (
+          match Hashtbl.find_opt ctx.slots v.I.vid with
+          | Some (Sreg i) -> CPreg (i, v.I.vty)
+          | Some (Sstk off) -> CPmem (Adyn (fun env -> env.base + off), v.I.vty)
+          | None -> Trap.trap Trap.Panic "unbound local %s" v.I.vname)
+    | I.Lmem e ->
+        let ty =
+          match e.I.ety with
+          | I.Tptr (ty, _) -> ty
+          | _ -> Trap.trap Trap.Panic "deref of non-pointer"
+        in
+        let ce = cexp ctx e in
+        CPmem (Adyn (fun env -> Int64.to_int (ce env)), ty)
+  in
+  List.fold_left
+    (fun place off ->
+      match (place, off) with
+      | CPmem (a, _), I.Ofield f ->
+          CPmem (add_const a (Kc.Layout.field_offset prog f), f.I.fty)
+      | CPmem (a, I.Tarray (elt, _)), I.Oindex ie ->
+          let fa = force a in
+          let ci = cexp ctx ie in
+          let esz = Kc.Layout.size_of prog elt in
+          CPmem
+            ( Adyn
+                (fun env ->
+                  let addr = fa env in
+                  let i = Int64.to_int (ci env) in
+                  Cost.op_alu env.cost;
+                  addr + (i * esz)),
+              elt )
+      | CPreg _, _ -> Trap.trap Trap.Panic "offset into register slot"
+      | CPmem _, I.Oindex _ -> Trap.trap Trap.Panic "index of non-array")
+    base offs
+
+and cread ctx (lv : I.lval) : env -> int64 =
+  match cplace ctx lv with
+  | CPreg (i, _) -> fun env -> Array.unsafe_get env.regs i
+  | CPmem (a, ty) -> (
+      let width = Vmstate.width_of ctx.cc.prog ty in
+      let signed = Vmstate.is_signed ty in
+      match a with
+      | Aconst addr ->
+          fun env ->
+            Cost.op_load env.cost;
+            Mem.load env.mem ~addr ~width ~signed
+      | Adyn fa ->
+          fun env ->
+            let addr = fa env in
+            Cost.op_load env.cost;
+            Mem.load env.mem ~addr ~width ~signed)
+
+and cwrite ctx (lv : I.lval) : env -> int64 -> unit =
+  match cplace ctx lv with
+  | CPreg (i, ty) -> (
+      match normf_opt ty with
+      | None -> fun env v -> Array.unsafe_set env.regs i v
+      | Some nf -> fun env v -> Array.unsafe_set env.regs i (nf v))
+  | CPmem (a, ty) -> (
+      let width = Vmstate.width_of ctx.cc.prog ty in
+      match a with
+      | Aconst addr ->
+          fun env v ->
+            Cost.op_store env.cost;
+            Mem.store env.mem ~addr ~width v
+      | Adyn fa ->
+          fun env v ->
+            let addr = fa env in
+            Cost.op_store env.cost;
+            Mem.store env.mem ~addr ~width v)
+
+(* Address of an lvalue (struct copies, &x): the place must be memory. *)
+and caddr_of ctx (lv : I.lval) : env -> int =
+  match cplace ctx lv with
+  | CPmem (a, _) -> force a
+  | CPreg _ -> Trap.trap Trap.Panic "address of register slot"
+
+(* Compile-time type of an lvalue, mirroring Treewalk.lval_type. *)
+let lval_type_c ((host, offs) : I.lval) : I.ty =
+  let base =
+    match host with
+    | I.Lvar v -> v.I.vty
+    | I.Lmem e -> (
+        match e.I.ety with
+        | I.Tptr (ty, _) -> ty
+        | _ -> Trap.trap Trap.Panic "deref of non-pointer in lval")
+  in
+  List.fold_left
+    (fun ty off ->
+      match (off, ty) with
+      | I.Ofield f, _ -> f.I.fty
+      | I.Oindex _, I.Tarray (elt, _) -> elt
+      | I.Oindex _, _ -> Trap.trap Trap.Panic "index of non-array in lval")
+    base offs
+
+(* ------------------------------------------------------------------ *)
+(* Calls (runtime entry points, shared with instruction closures).    *)
+(* ------------------------------------------------------------------ *)
+
+let call_builtin (st : Vmstate.t) name (args : int64 array) : int64 =
+  match Hashtbl.find_opt st.Vmstate.builtins name with
+  | Some impl -> impl st (Array.to_list args)
+  | None -> Trap.trap Trap.Unknown_function "call to undefined function %s" name
+
+let rec get_cfun (cc : t) (fd : I.fundec) : cfun =
+  match Hashtbl.find_opt cc.by_fid fd.I.fid with
+  | None -> compile_fun cc fd (* synthetic fundec outside the program: uncached *)
+  | Some idx -> (
+      match Array.unsafe_get cc.cfuns idx with
+      | Some cf when cf.cf_body == fd.I.fbody -> cf
+      | _ ->
+          let cf = compile_fun cc fd in
+          cc.cfuns.(idx) <- Some cf;
+          cf)
+
+and call_fd (cc : t) (st : Vmstate.t) (fd : I.fundec) (args : int64 array) : int64 =
+  if fd.I.fextern then call_by_name_c cc st fd.I.fname args
+  else begin
+    st.Vmstate.call_depth <- st.Vmstate.call_depth + 1;
+    if st.Vmstate.call_depth > 2000 then
+      Trap.trap Trap.Stack_overflow_trap "call depth > 2000 in %s" fd.I.fname;
+    if st.Vmstate.call_depth > st.Vmstate.max_call_depth then
+      st.Vmstate.max_call_depth <- st.Vmstate.call_depth;
+    let cf = get_cfun cc fd in
+    let m = st.Vmstate.m in
+    let base = Machine.push_frame m (max 16 cf.cf_frame_bytes) in
+    let env =
+      {
+        st;
+        m;
+        cost = m.Machine.cost;
+        mem = m.Machine.mem;
+        regs = Array.make cf.cf_nregs 0L;
+        base;
+        retv = 0L;
+      }
+    in
+    let binders = cf.cf_binders in
+    let na = Array.length args in
+    for i = 0 to Array.length binders - 1 do
+      (Array.unsafe_get binders i) env (if i < na then Array.unsafe_get args i else 0L)
+    done;
+    let blocks = cf.cf_blocks in
+    let pc = ref 0 in
+    while !pc >= 0 do
+      let b = Array.unsafe_get blocks !pc in
+      let is = b.instrs in
+      for i = 0 to Array.length is - 1 do
+        (Array.unsafe_get is i) env
+      done;
+      pc := b.term env
+    done;
+    Machine.pop_frame m base;
+    st.Vmstate.call_depth <- st.Vmstate.call_depth - 1;
+    cf.cf_ret_norm env.retv
+  end
+
+and call_by_name_c (cc : t) (st : Vmstate.t) name (args : int64 array) : int64 =
+  match I.find_fun st.Vmstate.prog name with
+  | Some fd when not fd.I.fextern -> call_fd cc st fd args
+  | _ -> call_builtin st name args
+
+(* ------------------------------------------------------------------ *)
+(* Instructions.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Every instruction closure burns fuel first, as exec_instr does. *)
+and compile_instr ctx (instr : I.instr) : env -> unit =
+  match compile_instr_inner ctx instr with
+  | f -> f
+  | exception Trap.Trap (k, m) ->
+      (* A malformed instruction the tree-walker would only trap on
+         when executed: defer the trap into the closure so dead code
+         stays equivalent. *)
+      prof "deferred-trap" (fun env ->
+          Machine.burn_fuel env.m;
+          raise (Trap.Trap (k, m)))
+
+and compile_instr_inner ctx (instr : I.instr) : env -> unit =
+  let prog = ctx.cc.prog in
+  match instr with
+  | I.Iset (lv, e) -> (
+      let ty = lval_type_c lv in
+      match ty with
+      | I.Tcomp _ -> (
+          (* Struct assignment: block copy between lvalues. *)
+          match e.I.e with
+          | I.Elval src_lv ->
+              let cdst = caddr_of ctx lv in
+              let csrc = caddr_of ctx src_lv in
+              let size = Kc.Layout.size_of prog ty in
+              let chg = size / 4 in
+              prof "set-struct" (fun env ->
+                  Machine.burn_fuel env.m;
+                  let dst = cdst env in
+                  let src = csrc env in
+                  Cost.charge env.cost chg;
+                  Mem.blit_copy env.mem ~src ~dst size)
+          | _ ->
+              prof "set-struct" (fun env ->
+                  Machine.burn_fuel env.m;
+                  Trap.trap Trap.Panic "struct assignment from non-lvalue"))
+      | _ ->
+          let ce = cexp ctx e in
+          let cw = cwrite ctx lv in
+          prof "set" (fun env ->
+              Machine.burn_fuel env.m;
+              let v = ce env in
+              cw env v))
+  | I.Icall (ret, target, args) -> (
+      let cargs = Array.of_list (List.map (cexp ctx) args) in
+      let nargs = Array.length cargs in
+      let eval_args env =
+        let a = Array.make nargs 0L in
+        for i = 0 to nargs - 1 do
+          Array.unsafe_set a i ((Array.unsafe_get cargs i) env)
+        done;
+        a
+      in
+      let cret : env -> int64 -> unit =
+        match ret with None -> fun _ _ -> () | Some lv -> cwrite ctx lv
+      in
+      let cc = ctx.cc in
+      match target with
+      | I.Direct name -> (
+          match I.find_fun prog name with
+          | Some fd when not fd.I.fextern ->
+              prof "call" (fun env ->
+                  Machine.burn_fuel env.m;
+                  let args = eval_args env in
+                  Cost.op_call env.cost;
+                  let r = call_fd cc env.st fd args in
+                  cret env r)
+          | _ ->
+              (* extern or undeclared: the builtin table by name, with
+                 the builtin resolved per call (late registration). *)
+              prof "call-builtin" (fun env ->
+                  Machine.burn_fuel env.m;
+                  let args = eval_args env in
+                  Cost.op_call env.cost;
+                  let r = call_builtin env.st name args in
+                  cret env r))
+      | I.Indirect fe ->
+          let cfe = cexp ctx fe in
+          prof "call-indirect" (fun env ->
+              Machine.burn_fuel env.m;
+              let args = eval_args env in
+              Cost.op_call env.cost;
+              let fv = cfe env in
+              let r =
+                match Vmstate.fptr_decode fv with
+                | Some fid -> (
+                    match Hashtbl.find_opt env.st.Vmstate.fun_of_id fid with
+                    | Some fd -> call_fd cc env.st fd args
+                    | None -> Trap.trap Trap.Unknown_function "bad function pointer %Ld" fv)
+                | None -> Trap.trap Trap.Unknown_function "call through non-function value %Ld" fv
+              in
+              cret env r))
+  | I.Icheck (ck, reason) -> (
+      match ck with
+      | I.Ck_nonnull e ->
+          let ce = cexp ctx e in
+          prof "check-nonnull" (fun env ->
+              Machine.burn_fuel env.m;
+              Cost.op_check env.cost;
+              if ce env = 0L then Trap.trap Trap.Check_failed "null pointer: %s" reason)
+      | I.Ck_le (a, b) ->
+          let ca = cexp ctx a in
+          let cb = cexp ctx b in
+          prof "check-le" (fun env ->
+              Machine.burn_fuel env.m;
+              Cost.op_check env.cost;
+              let x = ca env in
+              let y = cb env in
+              if x > y then Trap.trap Trap.Check_failed "%s (%Ld > %Ld)" reason x y)
+      | I.Ck_lt (a, b) ->
+          let ca = cexp ctx a in
+          let cb = cexp ctx b in
+          prof "check-lt" (fun env ->
+              Machine.burn_fuel env.m;
+              Cost.op_check env.cost;
+              let x = ca env in
+              let y = cb env in
+              if x >= y then Trap.trap Trap.Check_failed "%s (%Ld >= %Ld)" reason x y)
+      | I.Ck_nt_next (e, width) ->
+          let ce = cexp ctx e in
+          prof "check-ntnext" (fun env ->
+              Machine.burn_fuel env.m;
+              Cost.op_nt_check env.cost;
+              let p = Int64.to_int (ce env) in
+              let v = Mem.load env.mem ~addr:p ~width ~signed:false in
+              if v = 0L then
+                Trap.trap Trap.Check_failed "nullterm advance past terminator: %s" reason)
+      | I.Ck_not_atomic ->
+          prof "check-notatomic" (fun env ->
+              Machine.burn_fuel env.m;
+              Cost.op_check env.cost;
+              if Machine.atomic_context env.m then
+                Trap.trap Trap.Not_atomic_check "assertion: not in atomic context (%s)" reason))
+  | I.Irc_inc e ->
+      let ce = cexp ctx e in
+      prof "rc-inc" (fun env ->
+          Machine.burn_fuel env.m;
+          let v = ce env in
+          if v <> 0L then begin
+            Mem.rc_inc env.mem v;
+            Cost.op_rc env.cost
+          end)
+  | I.Irc_dec e ->
+      let ce = cexp ctx e in
+      prof "rc-dec" (fun env ->
+          Machine.burn_fuel env.m;
+          let v = ce env in
+          if v <> 0L then begin
+            Mem.rc_dec env.mem v;
+            Cost.op_rc env.cost
+          end)
+  | I.Irc_update (lv, e) -> (
+      match cplace ctx lv with
+      | CPreg _ ->
+          (* Register slots are untracked (paper footnote 2). *)
+          prof "rc-update" (fun env -> Machine.burn_fuel env.m)
+      | CPmem (a, _) ->
+          let fa = force a in
+          let ce = cexp ctx e in
+          let lo = Mem.stack_base in
+          let hi = Mem.stack_base + Mem.stack_size in
+          prof "rc-update" (fun env ->
+              Machine.burn_fuel env.m;
+              let addr = fa env in
+              if not (addr >= lo && addr < hi) then begin
+                let new_target = ce env in
+                if new_target <> 0L then begin
+                  Mem.rc_inc env.mem new_target;
+                  Cost.op_rc env.cost
+                end;
+                let old = Mem.load env.mem ~addr ~width:8 ~signed:false in
+                if old <> 0L then begin
+                  Mem.rc_dec env.mem old;
+                  Cost.op_rc env.cost
+                end
+              end))
+
+(* ------------------------------------------------------------------ *)
+(* Statements: structured -> flat lowering.                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Guard an expression compiled for a terminator: compile-time traps
+   on malformed shapes become runtime traps, as in the tree-walker. *)
+and cexp_safe ctx (e : I.exp) : env -> int64 =
+  match cexp ctx e with
+  | f -> f
+  | exception Trap.Trap (k, m) -> fun _ -> raise (Trap.Trap (k, m))
+
+and lower_block ctx (lenv : lenv) (b : I.block) : unit = List.iter (lower_stmt ctx lenv) b
+
+and lower_stmt ctx (lenv : lenv) (s : I.stmt) : unit =
+  match s.I.sk with
+  | I.Sinstr i -> emit ctx (compile_instr ctx i)
+  | I.Sif (c, b1, b2) ->
+      let cc = cexp_safe ctx c in
+      let bt = new_block ctx in
+      let bf = new_block ctx in
+      let join = new_block ctx in
+      let tid = bt.bid and fid = bf.bid in
+      seal ctx
+        (prof_term "br-if" (fun env ->
+             Cost.op_branch env.cost;
+             if cc env <> 0L then tid else fid));
+      start ctx bt;
+      lower_block ctx lenv b1;
+      seal ctx (goto join);
+      start ctx bf;
+      lower_block ctx lenv b2;
+      seal ctx (goto join);
+      start ctx join
+  | I.Swhile (c, body, step) ->
+      let cc = cexp_safe ctx c in
+      let head = new_block ctx in
+      let bbody = new_block ctx in
+      let bstep = new_block ctx in
+      let bexit = new_block ctx in
+      seal ctx (goto head);
+      start ctx head;
+      let bodyid = bbody.bid and exitid = bexit.bid in
+      (* One loop iteration: fuel burn, branch charge, condition — in
+         the tree-walker's order. *)
+      seal ctx
+        (prof_term "br-while" (fun env ->
+             Machine.burn_fuel env.m;
+             Cost.op_branch env.cost;
+             if cc env = 0L then exitid else bodyid));
+      let d = List.length lenv.scopes in
+      start ctx bbody;
+      lower_block ctx { lenv with brk = Some (bexit.bid, d); cont = Some (bstep.bid, d) } body;
+      seal ctx (goto bstep);
+      start ctx bstep;
+      lower_block ctx { lenv with brk = Some (bexit.bid, d); cont = Some (head.bid, d) } step;
+      seal ctx (goto head);
+      start ctx bexit
+  | I.Sdowhile (body, c) ->
+      let cc = cexp_safe ctx c in
+      let head = new_block ctx in
+      let bcond = new_block ctx in
+      let bexit = new_block ctx in
+      seal ctx (goto head);
+      start ctx head;
+      emit ctx (prof "fuel" (fun env -> Machine.burn_fuel env.m));
+      let d = List.length lenv.scopes in
+      lower_block ctx { lenv with brk = Some (bexit.bid, d); cont = Some (bcond.bid, d) } body;
+      seal ctx (goto bcond);
+      start ctx bcond;
+      let headid = head.bid and exitid = bexit.bid in
+      seal ctx
+        (prof_term "br-dowhile" (fun env ->
+             Cost.op_branch env.cost;
+             if cc env <> 0L then headid else exitid));
+      start ctx bexit
+  | I.Sswitch (e, cases) ->
+      let ce = cexp_safe ctx e in
+      let join = new_block ctx in
+      let cblocks = List.map (fun _ -> new_block ctx) cases in
+      let tbl =
+        Array.of_list (List.map2 (fun (c : I.case) (b : bblock) -> (c.I.cvals, b.bid)) cases cblocks)
+      in
+      let default =
+        let rec find_default cs bs =
+          match (cs, bs) with
+          | (c : I.case) :: cs', (b : bblock) :: bs' ->
+              if c.I.cdefault then b.bid else find_default cs' bs'
+          | _ -> join.bid
+        in
+        find_default cases cblocks
+      in
+      let ncases = Array.length tbl in
+      seal ctx
+        (prof_term "switch" (fun env ->
+             let v = ce env in
+             Cost.op_branch env.cost;
+             let rec find i =
+               if i >= ncases then default
+               else
+                 let vs, b = Array.unsafe_get tbl i in
+                 if List.mem v vs then b else find (i + 1)
+             in
+             find 0));
+      let d = List.length lenv.scopes in
+      let rec lower_cases cs bs =
+        match (cs, bs) with
+        | (c : I.case) :: cs', (b : bblock) :: bs' ->
+            start ctx b;
+            lower_block ctx { lenv with brk = Some (join.bid, d) } c.I.cbody;
+            (* C fallthrough into the next case's body. *)
+            let next = match bs' with nb :: _ -> nb | [] -> join in
+            seal ctx (goto next);
+            lower_cases cs' bs'
+        | _ -> ()
+      in
+      lower_cases cases cblocks;
+      start ctx join
+  | I.Sbreak -> (
+      match lenv.brk with
+      | Some (target, d) ->
+          emit_exits ctx lenv d;
+          seal ctx (fun _ -> target);
+          start ctx (new_block ctx) (* dead code after the jump *)
+      | None ->
+          (* A top-level break leaves the function with result 0, as
+             the signal propagating out of exec_block does. *)
+          emit_exits ctx lenv 0;
+          emit ctx (fun env -> env.retv <- 0L);
+          seal ctx (prof_term "return" (fun _ -> -1));
+          start ctx (new_block ctx))
+  | I.Scontinue -> (
+      match lenv.cont with
+      | Some (target, d) ->
+          emit_exits ctx lenv d;
+          seal ctx (fun _ -> target);
+          start ctx (new_block ctx)
+      | None ->
+          emit_exits ctx lenv 0;
+          emit ctx (fun env -> env.retv <- 0L);
+          seal ctx (prof_term "return" (fun _ -> -1));
+          start ctx (new_block ctx))
+  | I.Sreturn eo ->
+      (* Evaluate the result first, then unwind delayed scopes — the
+         order the tree-walker's `Return signal propagation gives. *)
+      (match eo with
+      | None -> emit ctx (fun env -> env.retv <- 0L)
+      | Some e ->
+          let ce = cexp_safe ctx e in
+          emit ctx (fun env -> env.retv <- ce env));
+      emit_exits ctx lenv 0;
+      seal ctx (prof_term "return" (fun _ -> -1));
+      start ctx (new_block ctx)
+  | I.Sblock b -> lower_block ctx lenv b
+  | I.Sdelayed b ->
+      let where = Kc.Loc.to_string s.I.sloc in
+      let exit_fn env = Machine.delayed_scope_exit env.m ~where in
+      emit ctx (fun env -> Machine.delayed_scope_enter env.m);
+      lower_block ctx { lenv with scopes = exit_fn :: lenv.scopes } b;
+      emit ctx exit_fn
+  | I.Strusted b -> lower_block ctx lenv b
+
+(* ------------------------------------------------------------------ *)
+(* Functions.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+and compile_fun (cc : t) (fd : I.fundec) : cfun =
+  cc.compiles <- cc.compiles + 1;
+  let prog = cc.prog in
+  (* Slot assignment mirrors the tree-walker's frame layout exactly:
+     same needs_memory predicate, same iteration order and alignment,
+     so stack addresses are bit-identical. *)
+  let needs_memory (v : I.varinfo) =
+    v.I.vaddrof || match v.I.vty with I.Tcomp _ | I.Tarray _ -> true | _ -> false
+  in
+  let vars = fd.I.sformals @ fd.I.slocals in
+  let slots = Hashtbl.create 16 in
+  let off = ref 0 in
+  let nregs = ref 0 in
+  List.iter
+    (fun (v : I.varinfo) ->
+      if needs_memory v then begin
+        let a = Kc.Layout.align_of prog v.I.vty in
+        off := (!off + a - 1) / a * a;
+        Hashtbl.replace slots v.I.vid (Sstk !off);
+        off := !off + Kc.Layout.size_of prog v.I.vty
+      end
+      else begin
+        Hashtbl.replace slots v.I.vid (Sreg !nregs);
+        incr nregs
+      end)
+    vars;
+  let frame_bytes = !off in
+  let binders =
+    Array.of_list
+      (List.map
+         (fun (v : I.varinfo) ->
+           match Hashtbl.find slots v.I.vid with
+           | Sreg i -> (
+               match normf_opt v.I.vty with
+               | None -> fun env value -> Array.unsafe_set env.regs i value
+               | Some nf -> fun env value -> Array.unsafe_set env.regs i (nf value))
+           | Sstk o ->
+               let width = Vmstate.width_of prog v.I.vty in
+               fun env value -> Mem.store env.mem ~addr:(env.base + o) ~width value)
+         fd.I.sformals)
+  in
+  let dummy = { bid = -1; instrs = [||]; term = unset_term } in
+  let ctx = { cc; slots; blocks = []; nblocks = 0; cur = dummy; acc = [] } in
+  let entry = new_block ctx in
+  start ctx entry;
+  lower_block ctx { brk = None; cont = None; scopes = [] } fd.I.fbody;
+  seal ctx (prof_term "return" (fun _ -> -1));
+  let blocks = Array.make ctx.nblocks dummy in
+  List.iter (fun b -> blocks.(b.bid) <- b) ctx.blocks;
+  {
+    cf_body = fd.I.fbody;
+    cf_nregs = !nregs;
+    cf_frame_bytes = frame_bytes;
+    cf_blocks = blocks;
+    cf_binders = binders;
+    cf_ret_norm = normf fd.I.fret;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The per-program cache.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let create_cache (prog : I.program) : t =
+  let n = List.length prog.I.funcs in
+  let by_fid = Hashtbl.create (max 16 n) in
+  List.iteri (fun i (fd : I.fundec) -> Hashtbl.replace by_fid fd.I.fid i) prog.I.funcs;
+  let globals, _brk = Vmstate.global_layout prog in
+  { prog; by_fid; cfuns = Array.make (max n 1) None; globals; compiles = 0 }
+
+(* One compiled program per [I.program], keyed by physical identity.
+   The ephemeron keeps the key weak: when a fuzz case's program dies,
+   its compiled code goes with it. The mutex covers parallel fuzz
+   workers booting programs concurrently (each worker has its own
+   programs; only the table itself is shared). *)
+module ProgTbl = Ephemeron.K1.Make (struct
+  type nonrec t = I.program
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let cache_tbl : t ProgTbl.t = ProgTbl.create 16
+let cache_lock = Mutex.create ()
+
+let of_program (prog : I.program) : t =
+  Mutex.lock cache_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache_lock)
+    (fun () ->
+      match ProgTbl.find_opt cache_tbl prog with
+      | Some c -> c
+      | None ->
+          let c = create_cache prog in
+          ProgTbl.add cache_tbl prog c;
+          c)
+
+let call (cc : t) (st : Vmstate.t) (fd : I.fundec) (argv : int64 list) : int64 =
+  call_fd cc st fd (Array.of_list argv)
+
+let install (st : Vmstate.t) : unit =
+  let cc = of_program st.Vmstate.prog in
+  st.Vmstate.run_fn <- Some (fun st fd argv -> call cc st fd argv)
+
+let compiled_functions (cc : t) : int =
+  Array.fold_left (fun acc c -> match c with Some _ -> acc + 1 | None -> acc) 0 cc.cfuns
+
+let compilations (cc : t) : int = cc.compiles

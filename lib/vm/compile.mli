@@ -1,0 +1,58 @@
+(** Pre-compiled execution engine.
+
+    Compiles IR functions once into a flat, pre-resolved form — basic
+    blocks of instruction closures, variable ids resolved to dense
+    register/stack slots, global addresses and field offsets constant
+    folded, callees resolved to direct references — and executes that
+    with an int-indexed block dispatch loop.
+
+    Strictly observationally equivalent to {!Treewalk}: identical trap
+    kinds and messages, results, cycle counts, fuel burns, rodata
+    interning order and stack addresses. Only wall-clock time differs.
+
+    Compiled programs are cached per [Kc.Ir.program] (physical
+    identity, weakly keyed) and revalidated per function against
+    [fbody] identity, so in-place instrumentation passes transparently
+    invalidate stale code. *)
+
+type t
+(** A compiled program: per-function executable code plus the baked
+    global layout. *)
+
+val of_program : Kc.Ir.program -> t
+(** The compiled form of a program, memoized per program (physical
+    identity, thread-safe, weakly keyed). Functions compile lazily on
+    first call. *)
+
+val install : Vmstate.t -> unit
+(** Route the state's calls through the compiled engine. *)
+
+val call : t -> Vmstate.t -> Kc.Ir.fundec -> int64 list -> int64
+(** Call a function through the compiled engine. Extern fundecs
+    dispatch to the builtin table by name, as in {!Treewalk}. *)
+
+val compiled_functions : t -> int
+(** Number of functions currently holding compiled code. *)
+
+val compilations : t -> int
+(** Total function compilations performed (recompiles included). *)
+
+(** {2 Per-opcode execution profiling}
+
+    Enabled by [IVY_VM_PROFILE=1] in the environment (counting code is
+    only generated into closures compiled while the flag is on; when
+    off, profiling costs nothing). The table prints to stderr on exit
+    when enabled via the environment. *)
+
+val set_profiling : bool -> unit
+(** Toggle profiling for subsequently compiled code (tests). *)
+
+val profiling : unit -> bool
+
+val profile_table : unit -> (string * int) list
+(** Non-zero opcode counters, sorted by count descending. *)
+
+val render_profile : unit -> string
+(** The counter table formatted for display; [""] when all zero. *)
+
+val reset_profile : unit -> unit

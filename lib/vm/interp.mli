@@ -6,17 +6,16 @@
     live in register slots — free to access and invisible to CCount
     (the paper's footnote 2); everything else lives on the VM stack.
     Every executed operation charges the cost model, so cycle counts
-    are a deterministic function of the executed path. *)
+    are a deterministic function of the executed path.
 
-type slot = Reg of int64 ref | Stack of int
+    Two engines implement these semantics: {!Treewalk}, the structural
+    reference evaluator, and {!Compile}, which pre-compiles each
+    function once to flat basic blocks with resolved slots and runs
+    ~an order of magnitude faster. They are strictly observationally
+    equivalent (same traps, results, cycle counts); the compiled
+    engine is the default. *)
 
-type frame = {
-  func : Kc.Ir.fundec;
-  slots : (int, slot) Hashtbl.t;  (** vid -> slot *)
-  base : int;  (** stack frame base address *)
-}
-
-type t = {
+type t = Vmstate.t = {
   prog : Kc.Ir.program;
   m : Machine.t;
   globals_addr : (int, int) Hashtbl.t;
@@ -27,7 +26,14 @@ type t = {
   mutable max_call_depth : int;
   builtins : (string, t -> int64 list -> int64) Hashtbl.t;
   fun_of_id : (int, Kc.Ir.fundec) Hashtbl.t;
+  mutable run_fn : (t -> Kc.Ir.fundec -> int64 list -> int64) option;
+      (** installed execution engine; [None] = tree-walk reference *)
 }
+
+(** Which execution engine to install at {!create} time. The default
+    comes from IVY_VM_ENGINE ("tree" forces the reference evaluator;
+    anything else, or unset, selects the compiled engine). *)
+type engine = Tree | Compiled
 
 (** Function-pointer encoding. *)
 
@@ -38,14 +44,16 @@ val fptr_decode : int64 -> int option
 val norm : Kc.Ir.ty -> int64 -> int64
 
 (** Create an interpreter: places and initializes globals, interns
-    nothing else until needed. Builtins must be installed separately
-    (see {!Builtins.install} / {!Builtins.boot}). *)
-val create : Kc.Ir.program -> Machine.t -> t
+    nothing else until needed, and installs the execution engine.
+    Builtins must be installed separately (see {!Builtins.install} /
+    {!Builtins.boot}). *)
+val create : ?engine:engine -> Kc.Ir.program -> Machine.t -> t
 
 (** Intern a string literal in rodata, returning its address. *)
 val intern_string : t -> string -> int
 
-(** Call a defined function (by fundec) with arguments. *)
+(** Call a defined function (by fundec) with arguments, through the
+    installed engine. *)
 val call_function : t -> Kc.Ir.fundec -> int64 list -> int64
 
 (** Read a null-terminated string out of VM memory. *)

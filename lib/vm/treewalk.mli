@@ -1,0 +1,10 @@
+(** The tree-walking reference engine: a direct structural evaluator
+    over the IR, defining the observable semantics (traps, results,
+    cycle counts) that the {!Compile}d engine must reproduce exactly. *)
+
+(** Call a defined function (by fundec) with arguments. Extern
+    fundecs dispatch to the builtin table by name. *)
+val call_function : Vmstate.t -> Kc.Ir.fundec -> int64 list -> int64
+
+(** Run a defined function by name. *)
+val run : Vmstate.t -> string -> int64 list -> int64

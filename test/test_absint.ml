@@ -247,7 +247,7 @@ let test_corpus_strictly_more () =
    absint stage on (instrumentation counters). *)
 let test_fewer_dynamic_checks () =
   let checks_run discharge =
-    let prog = Kernel.Workloads.load () in
+    let prog = Kernel.Workloads.load ~fresh:true () in
     ignore (Deputy.Dreport.deputize prog);
     if discharge then ignore (Absint.Discharge.run prog);
     let t = Vm.Builtins.boot prog in

@@ -1,0 +1,288 @@
+(* Differential equivalence of the two VM execution engines.
+
+   The compiled engine's contract is strict observational equivalence
+   with the tree-walk reference: identical results, identical trap
+   kinds AND messages, identical cycle counts and cost counters,
+   identical maximum call depth. This suite holds both engines to that
+   over the kernel workloads corpus (in every instrumentation variant),
+   a seeded fuzz batch, and the two adversarial OOB fault shapes; it
+   also locks the serial fuzz campaign summary byte-for-byte and
+   exercises the per-opcode profiler. *)
+
+(* ---- observation: everything an engine run can show -------------- *)
+
+type obs = {
+  outcome : (int64, string) result; (* Ok result | Error "kind: message" *)
+  cycles : int;
+  loads : int;
+  stores : int;
+  calls : int;
+  checks : int;
+  rc_ops : int;
+  allocs : int;
+  frees : int;
+  max_depth : int;
+  bad_frees : int;
+}
+
+let observe (t : Vm.Interp.t) (fn : string) (args : int64 list) : obs =
+  let outcome =
+    match Vm.Interp.run t fn args with
+    | v -> Ok v
+    | exception Vm.Trap.Trap (k, m) -> Error (Vm.Trap.kind_to_string k ^ ": " ^ m)
+  in
+  let c = t.Vm.Interp.m.Vm.Machine.cost in
+  {
+    outcome;
+    cycles = c.Vm.Cost.cycles;
+    loads = c.Vm.Cost.loads;
+    stores = c.Vm.Cost.stores;
+    calls = c.Vm.Cost.calls;
+    checks = c.Vm.Cost.checks_executed;
+    rc_ops = c.Vm.Cost.rc_ops;
+    allocs = c.Vm.Cost.allocs;
+    frees = c.Vm.Cost.frees;
+    max_depth = t.Vm.Interp.max_call_depth;
+    bad_frees = (Vm.Machine.free_census t.Vm.Interp.m).Vm.Machine.bad;
+  }
+
+let pp_obs o =
+  Printf.sprintf "{%s cyc=%d ld=%d st=%d call=%d chk=%d rc=%d al=%d fr=%d depth=%d bad=%d}"
+    (match o.outcome with Ok v -> Printf.sprintf "ok %Ld" v | Error m -> "trap " ^ m)
+    o.cycles o.loads o.stores o.calls o.checks o.rc_ops o.allocs o.frees o.max_depth o.bad_frees
+
+let check_obs_equal where (tree : obs) (compiled : obs) =
+  if tree <> compiled then
+    Alcotest.failf "%s: engines diverged\n  tree:     %s\n  compiled: %s" where (pp_obs tree)
+      (pp_obs compiled)
+
+(* Run [entries] on both engines over [mk_prog]-built programs (one
+   fresh program per engine: instrumentation is in-place, so each
+   engine gets its own identically-derived copy) and require identical
+   observations at every step. *)
+let differential where (mk_prog : unit -> Kc.Ir.program)
+    (entries : (string * int64 list) list) =
+  let run engine =
+    let t = Vm.Builtins.boot ~engine (mk_prog ()) in
+    List.map (fun (fn, args) -> observe t fn args) entries
+  in
+  let tree = run Vm.Interp.Tree in
+  let compiled = run Vm.Interp.Compiled in
+  List.iteri
+    (fun i (tr, co) ->
+      check_obs_equal (Printf.sprintf "%s[%s]" where (fst (List.nth entries i))) tr co)
+    (List.combine tree compiled)
+
+(* ---- kernel workloads corpus, all instrumentation variants -------- *)
+
+let workload_entries : (string * int64 list) list =
+  [
+    (Kernel.Corpus.boot_entry, []);
+    ((Kernel.Workloads.find_row "bw_mem_cp").Kernel.Workloads.entry, [ 2L ]);
+    ((Kernel.Workloads.find_row "lat_udp").Kernel.Workloads.entry, [ 2L ]);
+    ("wl_fork", [ 2L ]);
+    ("wl_ssh_copy", [ 3L ]);
+  ]
+
+let test_workloads_base () =
+  differential "base" (fun () -> Kernel.Workloads.load ~fresh:true ()) workload_entries
+
+let test_workloads_deputy () =
+  differential "deputy"
+    (fun () ->
+      let p = Kernel.Workloads.load ~fresh:true () in
+      ignore (Deputy.Dreport.deputize ~optimize:true p);
+      p)
+    workload_entries
+
+let test_workloads_deputy_absint () =
+  differential "deputy+absint"
+    (fun () ->
+      let p = Kernel.Workloads.load ~fresh:true () in
+      ignore (Deputy.Dreport.deputize ~optimize:true p);
+      ignore (Absint.Discharge.run p);
+      p)
+    workload_entries
+
+(* CCount instruments and needs its RTTI registered with the machine,
+   so it boots through Creport's own path (with the engine threaded). *)
+let test_workloads_ccount () =
+  let run engine =
+    let p = Kernel.Workloads.load ~fresh:true () in
+    let t, _report = Ccount.Creport.ccount_boot ~engine p in
+    List.map (fun (fn, args) -> observe t fn args) workload_entries
+  in
+  List.iteri
+    (fun i (tr, co) ->
+      check_obs_equal
+        (Printf.sprintf "ccount[%s]" (fst (List.nth workload_entries i)))
+        tr co)
+    (List.combine (run Vm.Interp.Tree) (run Vm.Interp.Compiled))
+
+(* ---- seeded fuzz batch, base + deputy variants -------------------- *)
+
+let test_fuzz_batch () =
+  for i = 0 to 14 do
+    let src = Gen.Prog.render (Gen.Fuzz.case_program ~seed:11 i) in
+    let parse () = Kc.Typecheck.check_sources [ ("case.kc", src) ] in
+    differential (Printf.sprintf "fuzz#%d base" i) parse [ ("main", []) ];
+    differential
+      (Printf.sprintf "fuzz#%d deputy" i)
+      (fun () ->
+        let p = parse () in
+        ignore (Deputy.Dreport.deputize p);
+        p)
+      [ ("main", []) ];
+    differential
+      (Printf.sprintf "fuzz#%d ccount" i)
+      (fun () ->
+        let p = parse () in
+        ignore (Ccount.Rc_instrument.instrument_program p);
+        p)
+      [ ("main", []) ]
+  done
+
+(* ---- the adversarial OOB shapes ----------------------------------- *)
+
+(* F_oob_loop (widening-sensitive) and F_oob_cast (cast-stripping
+   sensitive): both engines must agree on the exact residual-check
+   trap, both with the Facts optimizer alone and with the absint
+   discharge stage on top. *)
+let oob_shape_prog (shape : Gen.Prog.block) : Gen.Prog.t =
+  {
+    Gen.Prog.seed = 0;
+    ops = [];
+    tables = [];
+    funcs =
+      [
+        { Gen.Prog.fid = 0; blocks = [ Gen.Prog.Arith { iters = 3; mul = 5 }; shape ] };
+      ];
+    faults = [ (Gen.Fault.Oob_write, "f0_") ];
+  }
+
+let test_oob_shapes () =
+  List.iter
+    (fun (name, shape) ->
+      let src = Gen.Prog.render (oob_shape_prog shape) in
+      let parse () = Kc.Typecheck.check_sources [ ("oob.kc", src) ] in
+      differential (name ^ " base") parse [ ("main", []) ];
+      differential (name ^ " deputy")
+        (fun () ->
+          let p = parse () in
+          ignore (Deputy.Dreport.deputize p);
+          p)
+        [ ("main", []) ];
+      differential (name ^ " deputy+absint")
+        (fun () ->
+          let p = parse () in
+          ignore (Deputy.Dreport.deputize p);
+          ignore (Absint.Discharge.run p);
+          p)
+        [ ("main", []) ];
+      (* and the deputy run really does catch the fault *)
+      let p = parse () in
+      ignore (Deputy.Dreport.deputize p);
+      let t = Vm.Builtins.boot p in
+      match Vm.Interp.run t "main" [] with
+      | v -> Alcotest.failf "%s: deputy run completed (%Ld), expected a check trap" name v
+      | exception Vm.Trap.Trap (Vm.Trap.Check_failed, _) -> ()
+      | exception Vm.Trap.Trap (k, m) ->
+          Alcotest.failf "%s: wrong trap %s: %s" name (Vm.Trap.kind_to_string k) m)
+    [
+      ("oob-loop", Gen.Prog.F_oob_loop { bound = 5 });
+      ("oob-cast", Gen.Prog.F_oob_cast { delta = 9 });
+    ]
+
+(* ---- recursion depth ---------------------------------------------- *)
+
+let test_call_depth () =
+  let src =
+    "long rec(int n) { if (n <= 0) { return 0; } return rec(n - 1) + 1; }\n\
+     long main(void) { return rec(40); }\n"
+  in
+  let parse () = Kc.Typecheck.check_sources [ ("rec.kc", src) ] in
+  differential "recursion" parse [ ("main", []) ];
+  let t = Vm.Builtins.boot ~engine:Vm.Interp.Compiled (parse ()) in
+  ignore (Vm.Interp.run t "main" []);
+  Alcotest.(check int) "max depth tracked" 42 t.Vm.Interp.max_call_depth
+
+(* ---- fuzz campaign summary: byte-identical to the pre-change run -- *)
+
+let golden_fuzz_summary =
+  "fuzz campaign (format v2): seed 7, 30 cases (8 clean, 22 faulty)\n\
+   fault kind         injected   detected\n\
+   oob-write                 4          4\n\
+   dangling-free             5          5\n\
+   atomic-block              4          4\n\
+   lock-inversion            2          2\n\
+   unchecked-err             3          3\n\
+   user-deref                4          4\n\
+   oracle violations: none\n"
+
+let test_fuzz_golden () =
+  let s = Gen.Fuzz.run ~jobs:1 ~seed:7 ~count:30 () in
+  Alcotest.(check string) "serial fuzz summary unchanged" golden_fuzz_summary
+    (Gen.Fuzz.render_summary ~elapsed:false s)
+
+(* ---- per-opcode profiler ------------------------------------------ *)
+
+let test_profiler () =
+  Vm.Compile.reset_profile ();
+  Vm.Compile.set_profiling true;
+  Fun.protect
+    ~finally:(fun () ->
+      Vm.Compile.set_profiling false;
+      Vm.Compile.reset_profile ())
+    (fun () ->
+      (* A fresh parse gets a fresh compile cache, so the closures are
+         compiled with counting on. *)
+      let src =
+        "long main(void) { int i; long s; s = 0; for (i = 0; i < 10; i++) { s = s + i; } \
+         return s; }\n"
+      in
+      let t =
+        Vm.Builtins.boot ~engine:Vm.Interp.Compiled
+          (Kc.Typecheck.check_sources [ ("p.kc", src) ])
+      in
+      Alcotest.(check int64) "profiled run result" 45L (Vm.Interp.run t "main" []);
+      let table = Vm.Compile.profile_table () in
+      let count name =
+        match List.assoc_opt name table with Some n -> n | None -> 0
+      in
+      Alcotest.(check bool) "set opcodes counted" true (count "set" > 0);
+      Alcotest.(check bool) "loop branches counted" true (count "br-while" >= 11);
+      Alcotest.(check bool) "table sorted descending" true
+        (let counts = List.map snd table in
+         List.sort (fun a b -> compare b a) counts = counts);
+      Alcotest.(check bool) "render non-empty" true
+        (String.length (Vm.Compile.render_profile ()) > 0))
+
+(* ---- workloads memo ----------------------------------------------- *)
+
+let test_workloads_memo () =
+  let a = Kernel.Workloads.load () in
+  let b = Kernel.Workloads.load () in
+  Alcotest.(check bool) "memoized load shares the program" true (a == b);
+  let c = Kernel.Workloads.load ~fresh:true () in
+  Alcotest.(check bool) "fresh load is private" true (c != a)
+
+let () =
+  Alcotest.run "vm_compile"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "workloads base" `Quick test_workloads_base;
+          Alcotest.test_case "workloads deputy" `Quick test_workloads_deputy;
+          Alcotest.test_case "workloads deputy+absint" `Quick test_workloads_deputy_absint;
+          Alcotest.test_case "workloads ccount" `Quick test_workloads_ccount;
+          Alcotest.test_case "fuzz batch" `Quick test_fuzz_batch;
+          Alcotest.test_case "oob shapes" `Quick test_oob_shapes;
+          Alcotest.test_case "recursion depth" `Quick test_call_depth;
+        ] );
+      ( "campaign",
+        [ Alcotest.test_case "serial summary byte-identical" `Quick test_fuzz_golden ] );
+      ( "profiler",
+        [ Alcotest.test_case "opcode counters" `Quick test_profiler ] );
+      ( "workloads",
+        [ Alcotest.test_case "load memoized" `Quick test_workloads_memo ] );
+    ]
