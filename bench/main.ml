@@ -23,7 +23,7 @@ let best_of n f =
 
 (* --json: machine-readable results. Every headline scenario records
    (name, wall-clock seconds, speedup); the collected list is printed
-   as JSON and written to BENCH_pr5.json at the repo root when the
+   as JSON and written to BENCH_pr6.json at the repo root when the
    flag is given. Format documented in DESIGN.md §13. *)
 let json_results : (string * float * float) list ref = ref []
 
@@ -43,7 +43,7 @@ let render_json () =
 let emit_json () =
   let s = render_json () in
   print_string s;
-  let oc = open_out "BENCH_pr5.json" in
+  let oc = open_out "BENCH_pr6.json" in
   output_string oc s;
   close_out oc
 
@@ -183,6 +183,103 @@ let bench_parfuzz ?(count = 60) () =
   record ~scenario:"parfuzz" ~wall:t_par ~speedup:(t_serial /. t_par);
   if not identical then begin
     Printf.printf "FAIL: parallel campaign diverged from the serial one\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Part 1d': serve daemon latency tiers                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The point of `ivy serve`: a cold check pays the full pipeline, a
+   byte-identical resubmit is microseconds (no parse, all artifact
+   hits), a comment-only edit pays one re-parse but zero rebuilds
+   (fingerprints are over the IR), and a one-function body edit
+   rebuilds only the artifacts downstream of that function. Runs the
+   daemon's request handler in-process — the latency of interest is
+   the engine's, not the socket's. Runnable standalone as
+   `bench/main.exe --serve`. *)
+let bench_serve () =
+  section "SERVE: check latency, cold vs warm vs incremental";
+  let module J = Ivy.Jsonx in
+  let sources = Kernel.Corpus.sources () in
+  let req srcs =
+    J.render
+      (J.Obj
+         [
+           ("id", J.Num 1.0);
+           ("method", J.Str "check");
+           ( "params",
+             J.Obj
+               [
+                 ("program", J.Str "bench");
+                 ( "files",
+                   J.List
+                     (List.map
+                        (fun (p, s) -> J.Obj [ ("path", J.Str p); ("source", J.Str s) ])
+                        srcs) );
+               ] );
+         ])
+  in
+  let t = Ivy.Serve.create ~capacity:4 ~jobs:1 () in
+  let timed line =
+    let t0 = Unix.gettimeofday () in
+    let resp, _ = Ivy.Serve.handle_line t line in
+    (resp, Unix.gettimeofday () -. t0)
+  in
+  let warm_of resp =
+    match Option.bind (J.member "result" (J.parse resp)) (J.member "warm") with
+    | Some (J.Bool b) -> b
+    | _ -> false
+  in
+  let r_cold, t_cold = timed (req sources) in
+  let r_warm, t_warm = timed (req sources) in
+  (* Comment-only change: the daemon must re-parse, but every content
+     hash is unchanged, so nothing rebuilds. *)
+  let touched = List.map (fun (p, s) -> (p, s ^ "\n// bench touch\n")) sources in
+  let r_touch, t_touch = timed (req touched) in
+  (* One arithmetic body edit in one file: partial rebuild. *)
+  let edited =
+    let done_ = ref false in
+    List.map
+      (fun (p, s) ->
+        match String.index_opt s '{' with
+        | Some _ when not !done_ ->
+            let marker = "return 0;" in
+            let rec find i =
+              if i + String.length marker > String.length s then None
+              else if String.sub s i (String.length marker) = marker then Some i
+              else find (i + 1)
+            in
+            (match find 0 with
+            | Some i ->
+                done_ := true;
+                ( p,
+                  String.sub s 0 i ^ "return 0 + 0;"
+                  ^ String.sub s (i + String.length marker)
+                      (String.length s - i - String.length marker) )
+            | None -> (p, s))
+        | _ -> (p, s))
+      touched
+  in
+  let r_edit, t_edit = timed (req edited) in
+  Printf.printf "cold (parse + full build):      %8.2f ms (warm:%b)\n" (t_cold *. 1e3)
+    (warm_of r_cold);
+  Printf.printf "identical resubmit:             %8.2f ms (warm:%b)\n" (t_warm *. 1e3)
+    (warm_of r_warm);
+  Printf.printf "comment-only edit (re-parse):   %8.2f ms (warm:%b)\n" (t_touch *. 1e3)
+    (warm_of r_touch);
+  Printf.printf "one-function body edit:         %8.2f ms (warm:%b)\n" (t_edit *. 1e3)
+    (warm_of r_edit);
+  Printf.printf "warm speedup:                   %8.2fx\n" (t_cold /. t_warm);
+  record ~scenario:"serve-warm" ~wall:t_warm ~speedup:(t_cold /. t_warm);
+  record ~scenario:"serve-edit" ~wall:t_edit ~speedup:(t_cold /. t_edit);
+  if (not (warm_of r_warm)) || not (warm_of r_touch) then begin
+    Printf.printf "FAIL: a no-op resubmit rebuilt artifacts (warm resubmit %b, comment edit %b)\n"
+      (warm_of r_warm) (warm_of r_touch);
+    exit 1
+  end;
+  if warm_of r_edit then begin
+    Printf.printf "FAIL: a body edit reported warm (stale artifacts served)\n";
     exit 1
   end
 
@@ -442,12 +539,14 @@ let () =
   | "--fuzz-par" :: rest ->
       let count = match rest with c :: _ -> int_of_string c | [] -> 60 in
       bench_parfuzz ~count ()
+  | "--serve" :: _ -> bench_serve ()
   | _ ->
       regenerate ();
       bench_unified ();
       bench_absint ();
       bench_vm_compile () |> ignore;
       bench_parfuzz ();
+      bench_serve ();
       section "Implementation micro-benchmarks (bechamel)";
       benchmark ());
   if json then emit_json ()

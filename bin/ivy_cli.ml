@@ -5,6 +5,8 @@
      ivy boot [--mode MODE]        boot the kernel on the VM
      ivy run ENTRY [--iters N]     run a workload entry point
      ivy check [--only a,b]        all analyses over one shared context
+     ivy serve [--watch DIR]       incremental analysis daemon (JSON-RPC)
+     ivy rpc METHOD [FILE...]      talk to a running daemon
      ivy deputy [FILE...]          Deputy census (and static errors)
      ivy ccount [--profile P]      CCount free census after light use
      ivy blockstop [--guards]      BlockStop warnings
@@ -361,13 +363,19 @@ let check_cmd =
                let deputy = if absint_ran then Some (Engine.Context.deputized ctxt) else None in
                print_string (Ivy.Report_fmt.render_diags_json ?deputy results)
              else print_string (Ivy.Report_fmt.render_diags results));
-            if stats then begin
-              if absint_ran then
-                print_string
-                  (Absint.Discharge.render_stats
-                     (Engine.Context.deputized ctxt).Engine.Context.dstats);
-              print_string (Ivy.Report_fmt.render_engine_stats ctxt)
-            end
+            if stats then
+              if json then
+                (* A second JSON line: deterministic counts under
+                   "artifacts"/"totals", wall clock under "timing_s" —
+                   golden tests lock the former and ignore the latter. *)
+                print_string (Ivy.Report_fmt.render_stats_json (Engine.Context.stats ctxt))
+              else begin
+                if absint_ran then
+                  print_string
+                    (Absint.Discharge.render_stats
+                       (Engine.Context.deputized ctxt).Engine.Context.dstats);
+                print_string (Ivy.Report_fmt.render_engine_stats ctxt)
+              end
         | files ->
             (* Several inputs shard per file: each worker owns one
                program and one context (contexts memoize in plain
@@ -404,11 +412,13 @@ let check_cmd =
               List.iter
                 (fun (path, body, _) -> Printf.printf "== %s\n%s" path body)
                 per_file;
-            if stats then
-              print_string
-                (Ivy.Report_fmt.render_stat_list
-                   (Engine.Context.merge_counters
-                      (List.map (fun (_, _, s) -> s) per_file))))
+            if stats then begin
+              let merged =
+                Engine.Context.merge_counters (List.map (fun (_, _, s) -> s) per_file)
+              in
+              if json then print_string (Ivy.Report_fmt.render_stats_json merged)
+              else print_string (Ivy.Report_fmt.render_stat_list merged)
+            end)
   in
   Cmd.v
     (Cmd.info "check"
@@ -418,6 +428,162 @@ let check_cmd =
           file is analyzed as its own program, sharded across --jobs worker domains; reports \
           come back in argument order.")
     Term.(const run $ files_t $ only_t $ jobs_t $ json_t $ stats_t)
+
+(* ---- serve: the incremental analysis daemon + its RPC client ---- *)
+
+let socket_t =
+  Arg.(
+    value
+    & opt string "/tmp/ivy.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket path of the daemon.")
+
+let serve_cmd =
+  let watch_t =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "watch" ] ~docv:"DIR"
+          ~doc:"Re-check the directory's .kc files whenever their contents change.")
+  in
+  let poll_t =
+    Arg.(
+      value & opt int 500
+      & info [ "poll-ms" ] ~docv:"MS" ~doc:"Watch poll interval in milliseconds.")
+  in
+  let capacity_t =
+    Arg.(
+      value & opt int 8
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Warm programs kept resident (least recently used evicted beyond $(docv)).")
+  in
+  let run socket watch poll_ms capacity jobs =
+    let t = Ivy.Serve.create ~capacity ~jobs () in
+    Ivy.Serve.run ~socket ?watch ~poll_ms ~log:(fun s -> Printf.eprintf "%s\n%!" s) t
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the incremental analysis daemon: newline-delimited JSON-RPC (check, stats, \
+          invalidate, shutdown) over a Unix socket, one warm artifact graph per program. A \
+          re-check of an unchanged program is pure cache hits; an edit rebuilds only the \
+          artifacts downstream of the changed functions.")
+    Term.(const run $ socket_t $ watch_t $ poll_t $ capacity_t $ jobs_t)
+
+let rpc_cmd =
+  let module J = Ivy.Jsonx in
+  let method_t =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("check", `Check); ("stats", `Stats); ("invalidate", `Invalidate); ("shutdown", `Shutdown) ])) None
+      & info [] ~docv:"METHOD" ~doc:"One of check, stats, invalidate, shutdown.")
+  in
+  let rpc_files_t =
+    Arg.(value & pos_right 0 file [] & info [] ~docv:"FILE" ~doc:"KC source files to submit.")
+  in
+  let program_t =
+    Arg.(
+      value & opt string "default"
+      & info [ "program" ] ~docv:"ID" ~doc:"Program id the daemon keys its warm context by.")
+  in
+  let corpus_t =
+    Arg.(value & flag & info [ "corpus" ] ~doc:"Submit the bundled mini-kernel corpus.")
+  in
+  let only_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"NAMES" ~doc:"Comma-separated subset of analyses.")
+  in
+  let artifact_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifact" ] ~docv:"NAME"
+          ~doc:"invalidate: artifact name (e.g. cfg); omitted = whole program.")
+  in
+  let param_t =
+    Arg.(
+      value & opt string ""
+      & info [ "param" ] ~docv:"P" ~doc:"invalidate: artifact parameter (e.g. a function name).")
+  in
+  let expect_warm_t =
+    Arg.(
+      value & flag
+      & info [ "expect-warm" ]
+          ~doc:"check: exit non-zero unless the response says no artifact was built.")
+  in
+  let run socket meth files program corpus only artifact param expect_warm =
+    let request_body =
+      match meth with
+      | `Check ->
+          let params =
+            [ ("program", J.Str program) ]
+            @ (if corpus then [ ("corpus", J.Bool true) ]
+               else
+                 [
+                   ( "files",
+                     J.List
+                       (List.map
+                          (fun path ->
+                            let ic = open_in_bin path in
+                            let s = really_input_string ic (in_channel_length ic) in
+                            close_in ic;
+                            J.Obj [ ("path", J.Str path); ("source", J.Str s) ])
+                          files) );
+                 ])
+            @
+            match only with
+            | None -> []
+            | Some s ->
+                [
+                  ( "only",
+                    J.List
+                      (List.filter_map
+                         (fun n -> if n = "" then None else Some (J.Str n))
+                         (String.split_on_char ',' s)) );
+                ]
+          in
+          if (not corpus) && files = [] then begin
+            Printf.eprintf "rpc check needs FILE arguments or --corpus\n";
+            exit 1
+          end;
+          J.Obj [ ("id", J.Num 1.0); ("method", J.Str "check"); ("params", J.Obj params) ]
+      | `Stats -> J.Obj [ ("id", J.Num 1.0); ("method", J.Str "stats") ]
+      | `Invalidate ->
+          let params =
+            [ ("program", J.Str program) ]
+            @ (match artifact with Some a -> [ ("artifact", J.Str a) ] | None -> [])
+            @ if param = "" then [] else [ ("param", J.Str param) ]
+          in
+          J.Obj
+            [ ("id", J.Num 1.0); ("method", J.Str "invalidate"); ("params", J.Obj params) ]
+      | `Shutdown -> J.Obj [ ("id", J.Num 1.0); ("method", J.Str "shutdown") ]
+    in
+    let response = Ivy.Serve.request ~socket (J.render request_body) in
+    print_endline response;
+    let j = try J.parse response with J.Parse_error _ -> J.Null in
+    (match J.member "error" j with
+    | Some e ->
+        Printf.eprintf "rpc error: %s\n"
+          (match J.member "message" e with Some (J.Str m) -> m | _ -> J.render e);
+        exit 1
+    | None -> ());
+    if expect_warm then
+      match Option.bind (J.member "result" j) (J.member "warm") with
+      | Some (J.Bool true) -> ()
+      | _ ->
+          Printf.eprintf "expected a warm check (zero artifact builds), got a cold one\n";
+          exit 1
+  in
+  Cmd.v
+    (Cmd.info "rpc"
+       ~doc:
+         "Talk to a running ivy serve daemon: submit files (or the bundled corpus) for \
+          checking, query stats, invalidate artifacts, or shut it down. Prints the raw \
+          JSON response; --expect-warm turns the incrementality claim into an exit code.")
+    Term.(
+      const run $ socket_t $ method_t $ rpc_files_t $ program_t $ corpus_t $ only_t
+      $ artifact_t $ param_t $ expect_warm_t)
 
 (* ---- fuzz: generator + fault injector + differential oracle ---- *)
 
@@ -548,9 +714,9 @@ let main =
   in
   Cmd.group info
     [
-      boot_cmd; run_cmd; check_cmd; deputy_cmd; ccount_cmd; blockstop_cmd; locksafe_cmd;
-      stackcheck_cmd; errcheck_cmd; userck_cmd; infer_cmd; annotdb_cmd; fuzz_cmd; corpus_cmd;
-      experiments_cmd;
+      boot_cmd; run_cmd; check_cmd; serve_cmd; rpc_cmd; deputy_cmd; ccount_cmd; blockstop_cmd;
+      locksafe_cmd; stackcheck_cmd; errcheck_cmd; userck_cmd; infer_cmd; annotdb_cmd; fuzz_cmd;
+      corpus_cmd; experiments_cmd;
     ]
 
 let () = exit (Cmd.eval main)

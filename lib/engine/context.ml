@@ -1,18 +1,20 @@
 (* The shared whole-program analysis context. See context.mli.
 
-   Memoization discipline: every artifact getter first consults its
-   cache table, and on a miss constructs the value inside [timed] so
-   the per-artifact counters record exactly how many constructions the
-   run paid for. The call graph deliberately requests the points-to
-   result *outside* its own timed region, so "points-to built once"
-   and "call graph built once" show up as separate stats lines. *)
+   Since the artifact-graph refactor every memoized value lives in one
+   {!Graph} per context: getters declare their artifact's key, its
+   dependency edges and the content hash of its inputs (from the
+   context's {!Fingerprint.table}, recomputed only when the program is
+   (re)loaded), and the graph decides hit vs rebuild and owns the
+   build/hit/invalidation counters. [update] re-fingerprints a newly
+   parsed version of the program, swaps it in, and push-invalidates
+   exactly the per-function artifacts whose digest changed — the
+   whole-program artifacts notice their own input hash change on next
+   access. *)
 
 module P = Blockstop.Pointsto
 module CG = Blockstop.Callgraph
 module BL = Blockstop.Blocking
 module AT = Blockstop.Atomic
-
-type counters = { mutable c_builds : int; mutable c_hits : int; mutable c_seconds : float }
 
 (* The deputized view of the program: a shallow copy instrumented,
    Facts-optimized and absint-discharged, with both passes' stats. *)
@@ -23,217 +25,239 @@ type deputized = {
 }
 
 type t = {
-  prog : Kc.Ir.program;
+  mutable prog : Kc.Ir.program;
   jobs : int;
-  pointsto_tbl : (P.mode, P.t) Hashtbl.t;
-  callgraph_tbl : (P.mode, CG.t) Hashtbl.t;
-  blocking_tbl : (P.mode, BL.t) Hashtbl.t;
-  cfg_tbl : (string, Dataflow.Cfg.t) Hashtbl.t;
-  mutable handlers : AT.SS.t option;
-  mutable summaries_c : Absint.Transfer.summaries option;
-  mutable deputized_c : deputized option;
-  mutable vm_compiled_c : Vm.Compile.t option;
-  counters_tbl : (string, counters) Hashtbl.t;
+  g : Graph.t;
+  mutable fps : Fingerprint.table;
+  prefetch_miss : int Atomic.t;
+      (* CFGs built by Par workers outside the graph because the
+         serial prefetch missed them; surfaced in stats, never
+         silent. *)
 }
 
 let create ?(jobs = 1) (prog : Kc.Ir.program) : t =
-  {
-    prog;
-    jobs;
-    pointsto_tbl = Hashtbl.create 4;
-    callgraph_tbl = Hashtbl.create 4;
-    blocking_tbl = Hashtbl.create 4;
-    cfg_tbl = Hashtbl.create 64;
-    handlers = None;
-    summaries_c = None;
-    deputized_c = None;
-    vm_compiled_c = None;
-    counters_tbl = Hashtbl.create 8;
-  }
+  { prog; jobs; g = Graph.create (); fps = Fingerprint.table_of prog;
+    prefetch_miss = Atomic.make 0 }
 
 let program t = t.prog
-
-let counters_for (t : t) (name : string) : counters =
-  match Hashtbl.find_opt t.counters_tbl name with
-  | Some c -> c
-  | None ->
-      let c = { c_builds = 0; c_hits = 0; c_seconds = 0.0 } in
-      Hashtbl.replace t.counters_tbl name c;
-      c
-
-let hit t name = (counters_for t name).c_hits <- (counters_for t name).c_hits + 1
-
-let timed (t : t) (name : string) (build : unit -> 'a) : 'a =
-  let c = counters_for t name in
-  let t0 = Unix.gettimeofday () in
-  let v = build () in
-  c.c_builds <- c.c_builds + 1;
-  c.c_seconds <- c.c_seconds +. (Unix.gettimeofday () -. t0);
-  v
-
-let memo (t : t) (name : string) tbl key (build : unit -> 'a) : 'a =
-  match Hashtbl.find_opt tbl key with
-  | Some v ->
-      hit t name;
-      v
-  | None ->
-      let v = timed t name build in
-      Hashtbl.replace tbl key v;
-      v
+let graph t = t.g
+let program_fingerprint t = t.fps.Fingerprint.t_program
+let skeleton_fingerprint t = t.fps.Fingerprint.t_skeleton
 
 let mode_name = function P.Type_based -> "type-based" | P.Field_based -> "field-based"
 
+(* Artifact keys, shared with consumers that declare dependencies on
+   us (Ivy.Checks, the serve daemon's invalidate RPC). *)
+module Key = struct
+  let pointsto mode = Graph.key (Printf.sprintf "pointsto(%s)" (mode_name mode))
+  let callgraph mode = Graph.key (Printf.sprintf "callgraph(%s)" (mode_name mode))
+  let blocking mode = Graph.key (Printf.sprintf "blocking(%s)" (mode_name mode))
+  let cfg fname = Graph.key ~param:fname "cfg"
+  let summaries = Graph.key "absint-summaries"
+  let deputized = Graph.key "deputized(absint)"
+  let vm_compiled = Graph.key "vm-compiled"
+  let irq_handlers = Graph.key "irq-handlers"
+  let check name = Graph.key (Printf.sprintf "check(%s)" name)
+end
+
+(* One slot per artifact family (see Graph.slot): allocated once so
+   projection always matches injection. *)
+let pointsto_slot : P.t Graph.slot = Graph.slot ()
+let callgraph_slot : CG.t Graph.slot = Graph.slot ()
+let blocking_slot : BL.t Graph.slot = Graph.slot ()
+let cfg_slot : Dataflow.Cfg.t Graph.slot = Graph.slot ()
+let handlers_slot : AT.SS.t Graph.slot = Graph.slot ()
+let summaries_slot : Absint.Transfer.summaries Graph.slot = Graph.slot ()
+let deputized_slot : deputized Graph.slot = Graph.slot ()
+let vm_compiled_slot : Vm.Compile.t Graph.slot = Graph.slot ()
+
 let pointsto ?(mode = P.Type_based) (t : t) : P.t =
-  memo t
-    (Printf.sprintf "pointsto(%s)" (mode_name mode))
-    t.pointsto_tbl mode
+  Graph.get t.g pointsto_slot
+    ~name:(Key.pointsto mode).Graph.name
+    ~fp:(skeleton_fingerprint t)
     (fun () -> P.build ~mode t.prog)
 
 let callgraph ?(mode = P.Type_based) (t : t) : CG.t =
-  let name = Printf.sprintf "callgraph(%s)" (mode_name mode) in
-  match Hashtbl.find_opt t.callgraph_tbl mode with
-  | Some cg ->
-      hit t name;
-      cg
-  | None ->
-      let pt = pointsto ~mode t in
-      let cg = timed t name (fun () -> CG.build ~pointsto:pt t.prog) in
-      Hashtbl.replace t.callgraph_tbl mode cg;
-      cg
+  (* Fetch the dependency first so its stamp is current when the graph
+     checks ours. *)
+  let pt = pointsto ~mode t in
+  Graph.get t.g callgraph_slot
+    ~name:(Key.callgraph mode).Graph.name
+    ~deps:[ Key.pointsto mode ]
+    ~fp:(skeleton_fingerprint t)
+    (fun () -> CG.build ~pointsto:pt t.prog)
 
 let blocking ?(mode = P.Type_based) (t : t) : BL.t =
-  let name = Printf.sprintf "blocking(%s)" (mode_name mode) in
-  match Hashtbl.find_opt t.blocking_tbl mode with
-  | Some bl ->
-      hit t name;
-      bl
-  | None ->
-      let cg = callgraph ~mode t in
-      let bl = timed t name (fun () -> BL.compute cg) in
-      Hashtbl.replace t.blocking_tbl mode bl;
-      bl
+  let cg = callgraph ~mode t in
+  Graph.get t.g blocking_slot
+    ~name:(Key.blocking mode).Graph.name
+    ~deps:[ Key.callgraph mode ]
+    ~fp:(skeleton_fingerprint t)
+    (fun () -> BL.compute cg)
+
+let fn_fingerprint t fname =
+  match List.assoc_opt fname t.fps.Fingerprint.t_fns with
+  | Some d -> d
+  | None -> Fingerprint.fn (Option.get (Kc.Ir.find_fun t.prog fname))
 
 let cfg (t : t) (fname : string) : Dataflow.Cfg.t option =
-  match Hashtbl.find_opt t.cfg_tbl fname with
-  | Some c ->
-      hit t "cfg";
-      Some c
-  | None -> (
-      match Kc.Ir.find_fun t.prog fname with
-      | Some fd when not fd.Kc.Ir.fextern ->
-          let c = timed t "cfg" (fun () -> Dataflow.Cfg.build fd) in
-          Hashtbl.replace t.cfg_tbl fname c;
-          Some c
-      | _ -> None)
+  match Kc.Ir.find_fun t.prog fname with
+  | Some fd when not fd.Kc.Ir.fextern ->
+      Some
+        (Graph.get t.g cfg_slot ~name:"cfg" ~param:fname ~fp:(fn_fingerprint t fname)
+           (fun () -> Dataflow.Cfg.build fd))
+  | _ -> None
+
+let defined_funcs (t : t) : Kc.Ir.fundec list =
+  List.filter (fun (fd : Kc.Ir.fundec) -> not fd.Kc.Ir.fextern) t.prog.Kc.Ir.funcs
 
 (* Interprocedural interval summaries over the base (uninstrumented)
    program, sharing the memoized CFGs: instrumentation only adds
    checks and temporaries, so return-value summaries computed here
    stay valid for the deputized view. *)
 let absint_summaries (t : t) : Absint.Transfer.summaries =
-  match t.summaries_c with
-  | Some s ->
-      hit t "absint-summaries";
-      s
-  | None ->
-      (* The CFG memo table and its counters are plain Hashtbls owned by
-         this context's domain; before the summary stage fans out over a
-         Par pool, populate the table serially so the workers' [cfg_of]
-         only ever reads it. *)
-      if t.jobs > 1 then
-        List.iter
-          (fun (fd : Kc.Ir.fundec) -> ignore (cfg t fd.Kc.Ir.fname))
-          (List.filter (fun (fd : Kc.Ir.fundec) -> not fd.Kc.Ir.fextern) t.prog.Kc.Ir.funcs);
-      let cfg_of (fd : Kc.Ir.fundec) =
-        if t.jobs > 1 then
-          match Hashtbl.find_opt t.cfg_tbl fd.Kc.Ir.fname with
-          | Some c -> c
-          | None -> Dataflow.Cfg.build fd
-        else match cfg t fd.Kc.Ir.fname with Some c -> c | None -> Dataflow.Cfg.build fd
-      in
-      let s =
-        timed t "absint-summaries" (fun () ->
-            Absint.Summary.compute ~cfg_of ~jobs:t.jobs t.prog)
-      in
-      t.summaries_c <- Some s;
-      s
+  let defined = defined_funcs t in
+  (* Populate the CFG artifacts serially (the graph is single-domain),
+     then fan the summary solve out over an immutable snapshot. A
+     snapshot miss means a function the prefetch could not see; it is
+     built outside the graph but counted (satellite: a missed prefetch
+     surfaces in stats, it does not vanish). *)
+  List.iter (fun (fd : Kc.Ir.fundec) -> ignore (cfg t fd.Kc.Ir.fname)) defined;
+  let snapshot = Hashtbl.create (List.length defined) in
+  List.iter
+    (fun (fd : Kc.Ir.fundec) ->
+      match cfg t fd.Kc.Ir.fname with
+      | Some c -> Hashtbl.replace snapshot fd.Kc.Ir.fname c
+      | None -> ())
+    defined;
+  let cfg_of (fd : Kc.Ir.fundec) =
+    match Hashtbl.find_opt snapshot fd.Kc.Ir.fname with
+    | Some c -> c
+    | None ->
+        Atomic.incr t.prefetch_miss;
+        Dataflow.Cfg.build fd
+  in
+  Graph.get t.g summaries_slot ~name:Key.summaries.Graph.name
+    ~deps:(List.map (fun (fd : Kc.Ir.fundec) -> Key.cfg fd.Kc.Ir.fname) defined)
+    ~fp:(program_fingerprint t)
+    (fun () -> Absint.Summary.compute ~cfg_of ~jobs:t.jobs t.prog)
 
 (* The deputized view: instrument + Facts-optimize + absint-discharge
    a shallow copy, leaving the context's base program untouched. *)
 let deputized (t : t) : deputized =
-  match t.deputized_c with
-  | Some d ->
-      hit t "deputized(absint)";
-      d
-  | None ->
-      let summaries = absint_summaries t in
-      let d =
-        timed t "deputized(absint)" (fun () ->
-            let dprog = Kc.Ir.copy_program t.prog in
-            let dreport = Deputy.Dreport.deputize dprog in
-            let dstats = Absint.Discharge.run ~summaries dprog in
-            { dprog; dreport; dstats })
-      in
-      t.deputized_c <- Some d;
-      d
+  let summaries = absint_summaries t in
+  Graph.get t.g deputized_slot ~name:Key.deputized.Graph.name ~deps:[ Key.summaries ]
+    ~fp:(program_fingerprint t)
+    (fun () ->
+      let dprog = Kc.Ir.copy_program t.prog in
+      let dreport = Deputy.Dreport.deputize dprog in
+      let dstats = Absint.Discharge.run ~summaries dprog in
+      { dprog; dreport; dstats })
 
 (* The VM's compiled form of the base program. Vm.Compile keeps its
    own per-program memo (so fuzz-case programs outside any context
    still share code); this artifact pins the result on the context and
    folds its construction into the stats lines. *)
 let vm_compiled (t : t) : Vm.Compile.t =
-  match t.vm_compiled_c with
-  | Some c ->
-      hit t "vm-compiled";
-      c
-  | None ->
-      let c = timed t "vm-compiled" (fun () -> Vm.Compile.of_program t.prog) in
-      t.vm_compiled_c <- Some c;
-      c
+  Graph.get t.g vm_compiled_slot ~name:Key.vm_compiled.Graph.name
+    ~fp:(program_fingerprint t)
+    (fun () -> Vm.Compile.of_program t.prog)
 
 let irq_handlers (t : t) : AT.SS.t =
-  match t.handlers with
-  | Some h ->
-      hit t "irq-handlers";
-      h
-  | None ->
-      let h = timed t "irq-handlers" (fun () -> AT.irq_handlers t.prog) in
-      t.handlers <- Some h;
-      h
+  Graph.get t.g handlers_slot ~name:Key.irq_handlers.Graph.name
+    ~fp:(skeleton_fingerprint t)
+    (fun () -> AT.irq_handlers t.prog)
 
-type stat = { artifact : string; builds : int; hits : int; seconds : float }
+(* Generic artifact registration for consumers outside the engine
+   (Ivy.Checks caches per-analysis diagnostics this way). *)
+let cached (t : t) (slot : 'a Graph.slot) ~name ?param ?deps ~fp (build : unit -> 'a) : 'a =
+  Graph.get t.g slot ~name ?param ?deps ~fp build
+
+(* ------------------------------------------------------------------ *)
+(* Incremental update                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type update = {
+  u_changed : string list;
+  u_added : string list;
+  u_removed : string list;
+  u_header_changed : bool;
+  u_unchanged : bool;  (** nothing differed; the old program was kept *)
+  u_dropped : int;  (** artifacts push-invalidated by the update *)
+}
+
+let update (t : t) (prog : Kc.Ir.program) : update =
+  let fps = Fingerprint.table_of prog in
+  if Fingerprint.unchanged ~old:t.fps fps then
+    (* Keep the old program object: artifacts stay physically shared
+       and the VM's per-program compile memo stays warm. *)
+    { u_changed = []; u_added = []; u_removed = []; u_header_changed = false;
+      u_unchanged = true; u_dropped = 0 }
+  else begin
+    let d = Fingerprint.diff ~old:t.fps fps in
+    t.prog <- prog;
+    t.fps <- fps;
+    (* Per-function artifacts whose content hash changed (or that no
+       longer exist) are push-invalidated along the declared edges:
+       cfg(f) -> absint-summaries -> deputized(absint) -> check(absint).
+       Whole-program artifacts re-key themselves on next access via
+       their own input hash. *)
+    let dropped =
+      List.fold_left
+        (fun acc f -> acc + Graph.invalidate t.g (Key.cfg f))
+        0
+        (d.Fingerprint.d_changed @ d.Fingerprint.d_removed)
+    in
+    {
+      u_changed = d.Fingerprint.d_changed;
+      u_added = d.Fingerprint.d_added;
+      u_removed = d.Fingerprint.d_removed;
+      u_header_changed = d.Fingerprint.d_header_changed;
+      u_unchanged = false;
+      u_dropped = dropped;
+    }
+  end
+
+let invalidate (t : t) (k : Graph.key) : int = Graph.invalidate t.g k
+let invalidate_all (t : t) : int = Graph.invalidate_all t.g
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type stat = Graph.stat = {
+  artifact : string;
+  builds : int;
+  hits : int;
+  invalidations : int;
+  seconds : float;
+}
 
 let stats (t : t) : stat list =
-  Hashtbl.fold
-    (fun artifact c acc ->
-      { artifact; builds = c.c_builds; hits = c.c_hits; seconds = c.c_seconds } :: acc)
-    t.counters_tbl []
-  |> List.sort (fun a b -> String.compare a.artifact b.artifact)
+  let base = Graph.stats t.g in
+  let misses = Atomic.get t.prefetch_miss in
+  if misses = 0 then base
+  else
+    base
+    @ [
+        { artifact = "cfg(prefetch-miss)"; builds = misses; hits = 0; invalidations = 0;
+          seconds = 0.0 };
+      ]
+    |> List.sort (fun a b -> String.compare a.artifact b.artifact)
+
+let prefetch_misses (t : t) : int = Atomic.get t.prefetch_miss
 
 (* Contexts are never shared across domains — each Par worker creates
    its own and ships back its [stats] — so aggregation is a plain fold
-   here on the merging side: sum per artifact, emit sorted by name.
-   Build/hit counts are deterministic; seconds are wall-clock. *)
-let merge_counters (per_worker : stat list list) : stat list =
-  let tbl = Hashtbl.create 16 in
-  List.iter
-    (fun stats ->
-      List.iter
-        (fun s ->
-          let b, h, sec =
-            Option.value (Hashtbl.find_opt tbl s.artifact) ~default:(0, 0, 0.0)
-          in
-          Hashtbl.replace tbl s.artifact (b + s.builds, h + s.hits, sec +. s.seconds))
-        stats)
-    per_worker;
-  Hashtbl.fold
-    (fun artifact (builds, hits, seconds) acc -> { artifact; builds; hits; seconds } :: acc)
-    tbl []
-  |> List.sort (fun a b -> String.compare a.artifact b.artifact)
+   on the merging side: per-artifact sums, sorted by name. Builds,
+   hits and invalidations are deterministic; seconds are wall-clock. *)
+let merge_counters (per_worker : stat list list) : stat list = Graph.merge per_worker
 
 let pp_stats fmt (t : t) =
-  Format.fprintf fmt "engine artifacts (builds / cache hits / build seconds):@.";
+  Format.fprintf fmt
+    "engine artifacts (builds / cache hits / invalidations / build seconds):@.";
   List.iter
     (fun s ->
-      Format.fprintf fmt "  %-24s built %d  hits %d  %.4fs@." s.artifact s.builds s.hits s.seconds)
+      Format.fprintf fmt "  %-24s built %d  hits %d  inval %d  %.4fs@." s.artifact s.builds
+        s.hits s.invalidations s.seconds)
     (stats t)

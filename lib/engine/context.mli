@@ -3,11 +3,19 @@
     One [Context.t] is the single owner of every expensive
     whole-program artifact: the typed program, {!Blockstop.Pointsto.t}
     and {!Blockstop.Callgraph.t} memoized per points-to mode,
-    per-function {!Dataflow.Cfg.t} tables, blocking summaries, and the
-    interrupt-handler facts from {!Blockstop.Atomic}. Everything is
-    built lazily, built at most once per key, and instrumented with
-    hit/miss counters and wall-clock build timers so the bench (and
-    [ivy check --stats]) can show that N analyses pay for one build. *)
+    per-function {!Dataflow.Cfg.t} tables, blocking summaries, absint
+    summaries, the deputized view, compiled VM code and the
+    interrupt-handler facts from {!Blockstop.Atomic}.
+
+    Since the artifact-graph refactor all of those live in one
+    {!Graph} per context: every artifact has a declared key, declared
+    dependency edges, and a content hash of its inputs derived from
+    the context's {!Fingerprint.table}. Everything is built lazily,
+    built at most once per key while its inputs are unchanged, and
+    instrumented with build/hit/invalidation counters plus wall-clock
+    build timers. {!update} swaps in a re-parsed program and
+    invalidates exactly what the edit reaches — the basis of
+    [ivy serve]'s incremental re-checking. *)
 
 type t
 
@@ -15,14 +23,41 @@ val create : ?jobs:int -> Kc.Ir.program -> t
 (** [jobs] (default 1) sizes the {!Par} pool used by stages that can
     fan out internally (today: {!absint_summaries} solves one SCC
     level's functions in parallel). The context itself must never be
-    shared across domains — its memo tables are plain [Hashtbl]s; a
-    parallel driver creates one context per worker and aggregates
-    observability with {!merge_counters}. *)
+    shared across domains — its graph is single-domain; a parallel
+    driver creates one context per worker and aggregates observability
+    with {!merge_counters}. *)
 
 val program : t -> Kc.Ir.program
 
+val graph : t -> Graph.t
+(** The context's artifact graph (exposed for the serve daemon and
+    tests; normal consumers go through the getters below). *)
+
+val program_fingerprint : t -> string
+(** Content hash of the whole program (header + every function): the
+    input hash of artifacts that read arbitrary bodies. *)
+
+val skeleton_fingerprint : t -> string
+(** Content hash of the call/function-pointer projection: the input
+    hash of points-to, call graph, blocking and irq-handler facts. *)
+
+(** The declared artifact keys, for consumers that register dependent
+    artifacts ({!Ivy.Checks}) or target the invalidate RPC. *)
+module Key : sig
+  val pointsto : Blockstop.Pointsto.mode -> Graph.key
+  val callgraph : Blockstop.Pointsto.mode -> Graph.key
+  val blocking : Blockstop.Pointsto.mode -> Graph.key
+  val cfg : string -> Graph.key
+  val summaries : Graph.key
+  val deputized : Graph.key
+  val vm_compiled : Graph.key
+  val irq_handlers : Graph.key
+  val check : string -> Graph.key
+end
+
 (** Points-to facts for [mode] (default {!Blockstop.Pointsto.Type_based}),
-    built on first request and shared thereafter. *)
+    built on first request and shared while the call skeleton is
+    unchanged. *)
 val pointsto : ?mode:Blockstop.Pointsto.mode -> t -> Blockstop.Pointsto.t
 
 (** Call graph for [mode]; reuses the cached points-to for that mode. *)
@@ -32,11 +67,13 @@ val callgraph : ?mode:Blockstop.Pointsto.mode -> t -> Blockstop.Callgraph.t
 val blocking : ?mode:Blockstop.Pointsto.mode -> t -> Blockstop.Blocking.t
 
 (** Control-flow graph of a defined function ([None] for externs),
-    cached per function name. *)
+    cached per function name and keyed by that function's content
+    hash. *)
 val cfg : t -> string -> Dataflow.Cfg.t option
 
 (** Interprocedural interval summaries ({!Absint.Summary}) over the
-    base program, sharing the memoized CFGs (cached). *)
+    base program, sharing the memoized CFGs (cached; depends on every
+    per-function CFG artifact). *)
 val absint_summaries : t -> Absint.Transfer.summaries
 
 (** The deputized view of the program: a shallow copy that has been
@@ -59,16 +96,51 @@ val vm_compiled : t -> Vm.Compile.t
 (** Functions registered as interrupt handlers (cached). *)
 val irq_handlers : t -> Blockstop.Atomic.SS.t
 
-(** Observability for the bench and [--stats]. *)
-type stat = {
+(** Register an artifact family owned by a consumer outside the
+    engine: same hit/build/invalidate discipline and counters as the
+    built-in artifacts. Allocate the slot once per family. *)
+val cached :
+  t -> 'a Graph.slot -> name:string -> ?param:string -> ?deps:Graph.key list ->
+  fp:string -> (unit -> 'a) -> 'a
+
+(** {2 Incremental update} *)
+
+type update = {
+  u_changed : string list;
+  u_added : string list;
+  u_removed : string list;
+  u_header_changed : bool;
+  u_unchanged : bool;  (** nothing differed; the old program was kept *)
+  u_dropped : int;  (** artifacts push-invalidated by the update *)
+}
+
+val update : t -> Kc.Ir.program -> update
+(** Swap in a newly parsed version of the program. If every digest
+    matches, the old program object is kept (fully warm). Otherwise
+    the per-function artifacts whose content hash changed are
+    push-invalidated along the declared edges, and whole-program
+    artifacts re-key themselves on next access. *)
+
+val invalidate : t -> Graph.key -> int
+(** Drop one artifact and its transitive dependents; returns the count. *)
+
+val invalidate_all : t -> int
+
+(** {2 Observability for the bench and [--stats]} *)
+
+type stat = Graph.stat = {
   artifact : string;  (** e.g. ["callgraph(type-based)"] *)
   builds : int;  (** times actually constructed (1 per key if shared) *)
   hits : int;  (** times served from the cache *)
+  invalidations : int;  (** stale rebuilds + push-invalidation drops *)
   seconds : float;  (** wall-clock spent constructing *)
 }
 
-(** Stats sorted by artifact name. *)
+(** Stats sorted by artifact name. Includes a ["cfg(prefetch-miss)"]
+    row when a Par worker had to build a CFG outside the graph. *)
 val stats : t -> stat list
+
+val prefetch_misses : t -> int
 
 (** Fold the per-worker stat lists of a parallel run (one context per
     worker) into one list: per-artifact sums, sorted by artifact name —

@@ -1,0 +1,24 @@
+(** Minimal JSON parse/render for the serve daemon's
+    newline-delimited RPC framing. [Raw] splices an already-rendered
+    report string into a response without re-parsing it. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string  (** rendered verbatim; never produced by {!parse} *)
+
+exception Parse_error of string
+
+val render : t -> string
+
+val parse : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+val to_list_opt : t -> t list option

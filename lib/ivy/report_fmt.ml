@@ -264,17 +264,64 @@ let render_diags_json ?deputy (results : (string * Engine.Diag.t list) list) : s
 
 let render_stat_list (stats : Engine.Context.stat list) : string =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "engine artifacts (builds / cache hits / build seconds):\n";
+  Buffer.add_string buf
+    "engine artifacts (builds / cache hits / invalidations / build seconds):\n";
   List.iter
     (fun (s : Engine.Context.stat) ->
       Buffer.add_string buf
-        (fprintf "  %-24s built %d  hits %d  %.4fs\n" s.Engine.Context.artifact
-           s.Engine.Context.builds s.Engine.Context.hits s.Engine.Context.seconds))
+        (fprintf "  %-24s built %d  hits %d  inval %d  %.4fs\n" s.Engine.Context.artifact
+           s.Engine.Context.builds s.Engine.Context.hits s.Engine.Context.invalidations
+           s.Engine.Context.seconds))
     stats;
   Buffer.contents buf
 
 let render_engine_stats (ctxt : Engine.Context.t) : string =
   render_stat_list (Engine.Context.stats ctxt)
+
+(* Stats as JSON, deterministic counts separated from wall-clock
+   timing: golden tests (and the CI serve smoke job) lock the
+   "artifacts" and "totals" objects while "timing_s" stays free. *)
+let render_stats_json (stats : Engine.Context.stat list) : string =
+  let counts =
+    Jsonx.Obj
+      (List.map
+         (fun (s : Engine.Context.stat) ->
+           ( s.Engine.Context.artifact,
+             Jsonx.Obj
+               [
+                 ("builds", Jsonx.Num (float_of_int s.Engine.Context.builds));
+                 ("hits", Jsonx.Num (float_of_int s.Engine.Context.hits));
+                 ("invalidations", Jsonx.Num (float_of_int s.Engine.Context.invalidations));
+               ] ))
+         stats)
+  in
+  let timing =
+    Jsonx.Obj
+      (List.filter_map
+         (fun (s : Engine.Context.stat) ->
+           if s.Engine.Context.seconds = 0.0 then None
+           else
+             Some
+               ( s.Engine.Context.artifact,
+                 Jsonx.Raw (Printf.sprintf "%.6f" s.Engine.Context.seconds) ))
+         stats)
+  in
+  Jsonx.render
+    (Jsonx.Obj
+       [
+         ("artifacts", counts);
+         ( "totals",
+           Jsonx.Obj
+             [
+               ( "builds",
+                 Jsonx.Num (float_of_int (Engine.Graph.total_builds stats)) );
+               ("hits", Jsonx.Num (float_of_int (Engine.Graph.total_hits stats)));
+               ( "invalidations",
+                 Jsonx.Num (float_of_int (Engine.Graph.total_invalidations stats)) );
+             ] );
+         ("timing_s", timing);
+       ])
+  ^ "\n"
 
 let render_e5 (e : Experiment.e5) : string =
   let r = e.Experiment.report in

@@ -1,0 +1,299 @@
+(* Tests for the artifact graph's content-hash invalidation: the
+   fingerprint projections, warm re-checks (zero builds), single-
+   function edits rebuilding exactly the downstream artifacts, push
+   invalidation along declared edges, counter merging and the serve
+   LRU. *)
+
+let parse src = Kc.Typecheck.check_sources [ ("t.kc", src) ]
+
+let preamble =
+  "void *kmalloc(unsigned long size, int gfp) __blocking_if_gfp_wait;\n\
+   void kfree(void * __opt p);\n\
+   void spin_lock(long *l);\n\
+   void spin_unlock(long *l);\n\
+   void schedule(void) __blocking;\n\
+   int request_irq(int irq, int (*handler)(int));\n"
+
+let base_body = "int helper(int x) { return x + 1; }\n"
+let edited_body = "int helper(int x) { return x + 2; }\n"
+
+let prog_src body =
+  preamble
+  ^ "long the_lock;\n"
+  ^ body
+  ^ "int leaf(void) { schedule(); return 0; }\n\
+     int work(void) {\n\
+     \  spin_lock(&the_lock);\n\
+     \  int r = helper(1);\n\
+     \  spin_unlock(&the_lock);\n\
+     \  return r;\n\
+     }\n\
+     int start_kernel(void) { work(); leaf(); return 0; }\n"
+
+let find_fn prog name = Option.get (Kc.Ir.find_fun prog name)
+
+let delta_of ctxt f =
+  let before = Engine.Context.stats ctxt in
+  let v = f () in
+  (v, Engine.Graph.delta ~before (Engine.Context.stats ctxt))
+
+let builds_of delta name =
+  match
+    List.find_opt (fun (s : Engine.Graph.stat) -> s.Engine.Graph.artifact = name) delta
+  with
+  | Some s -> s.Engine.Graph.builds
+  | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint_stable_across_reparse () =
+  let a = Engine.Fingerprint.table_of (parse (prog_src base_body)) in
+  let b = Engine.Fingerprint.table_of (parse (prog_src base_body)) in
+  Alcotest.(check bool) "tables equal" true (Engine.Fingerprint.unchanged ~old:a b);
+  Alcotest.(check string) "program digest equal" a.Engine.Fingerprint.t_program
+    b.Engine.Fingerprint.t_program;
+  Alcotest.(check string) "skeleton digest equal" a.Engine.Fingerprint.t_skeleton
+    b.Engine.Fingerprint.t_skeleton
+
+let test_fingerprint_arith_edit_is_skeleton_stable () =
+  let a = Engine.Fingerprint.table_of (parse (prog_src base_body)) in
+  let b = Engine.Fingerprint.table_of (parse (prog_src edited_body)) in
+  Alcotest.(check bool) "tables differ" false (Engine.Fingerprint.unchanged ~old:a b);
+  let d = Engine.Fingerprint.diff ~old:a b in
+  Alcotest.(check (list string)) "only helper changed" [ "helper" ]
+    d.Engine.Fingerprint.d_changed;
+  Alcotest.(check (list string)) "nothing added" [] d.Engine.Fingerprint.d_added;
+  Alcotest.(check (list string)) "nothing removed" [] d.Engine.Fingerprint.d_removed;
+  Alcotest.(check bool) "header unchanged" false d.Engine.Fingerprint.d_header_changed;
+  (* An arithmetic-only body edit leaves the call skeleton unchanged:
+     points-to, call graph, blocking and irq-handler facts stay warm. *)
+  Alcotest.(check string) "skeleton digest stable" a.Engine.Fingerprint.t_skeleton
+    b.Engine.Fingerprint.t_skeleton;
+  Alcotest.(check bool) "program digest moved" false
+    (String.equal a.Engine.Fingerprint.t_program b.Engine.Fingerprint.t_program)
+
+let test_fingerprint_call_edit_changes_skeleton () =
+  let a = Engine.Fingerprint.table_of (parse (prog_src base_body)) in
+  let b =
+    Engine.Fingerprint.table_of
+      (parse (prog_src "int helper(int x) { schedule(); return x + 1; }\n"))
+  in
+  Alcotest.(check bool) "skeleton digest moved" false
+    (String.equal a.Engine.Fingerprint.t_skeleton b.Engine.Fingerprint.t_skeleton)
+
+let test_fingerprint_includes_locations () =
+  (* Shifting a function down a line must change its digest: cached
+     CFGs carry statement locations, and serving a stale one would
+     report stale line numbers. *)
+  let a = parse (prog_src base_body) in
+  let b = parse (prog_src ("\n" ^ base_body)) in
+  Alcotest.(check bool) "shifted helper has a new digest" false
+    (String.equal
+       (Engine.Fingerprint.fn (find_fn a "helper"))
+       (Engine.Fingerprint.fn (find_fn b "helper")));
+  (* Functions above an edit keep their digests: appending at the end
+     of the file shifts nothing. *)
+  let c = parse (prog_src base_body ^ "int tail(void) { return 9; }\n") in
+  Alcotest.(check string) "helper digest stable below-edit"
+    (Engine.Fingerprint.fn (find_fn a "helper"))
+    (Engine.Fingerprint.fn (find_fn c "helper"))
+
+(* ------------------------------------------------------------------ *)
+(* Warm re-check: the acceptance criterion                            *)
+(* ------------------------------------------------------------------ *)
+
+let report ctxt = Ivy.Report_fmt.render_diags_json (Ivy.Checks.run_all ctxt)
+
+let test_warm_recheck_zero_builds () =
+  let ctxt = Engine.Context.create (parse (prog_src base_body)) in
+  let first = report ctxt in
+  (* Resubmit a re-parse of identical source: nothing may rebuild. *)
+  let u = Engine.Context.update ctxt (parse (prog_src base_body)) in
+  Alcotest.(check bool) "update says unchanged" true u.Engine.Context.u_unchanged;
+  let second, delta = delta_of ctxt (fun () -> report ctxt) in
+  Alcotest.(check int) "zero artifact builds" 0 (Engine.Graph.total_builds delta);
+  Alcotest.(check int) "zero invalidations" 0 (Engine.Graph.total_invalidations delta);
+  Alcotest.(check bool) "every analysis served from cache" true
+    (Engine.Graph.total_hits delta > 0);
+  Alcotest.(check string) "report byte-identical" first second
+
+let test_single_function_edit_rebuilds_only_downstream () =
+  let ctxt = Engine.Context.create (parse (prog_src base_body)) in
+  ignore (report ctxt);
+  ignore (Engine.Context.vm_compiled ctxt);
+  let u = Engine.Context.update ctxt (parse (prog_src edited_body)) in
+  Alcotest.(check (list string)) "helper changed" [ "helper" ] u.Engine.Context.u_changed;
+  Alcotest.(check bool) "cfg(helper) and dependents dropped" true
+    (u.Engine.Context.u_dropped > 0);
+  let second, delta =
+    delta_of ctxt (fun () ->
+        let r = report ctxt in
+        ignore (Engine.Context.vm_compiled ctxt);
+        r)
+  in
+  (* The call-skeleton artifacts must be served warm... *)
+  List.iter
+    (fun name -> Alcotest.(check int) (name ^ " not rebuilt") 0 (builds_of delta name))
+    [
+      "pointsto(type-based)"; "pointsto(field-based)"; "callgraph(type-based)";
+      "callgraph(field-based)"; "blocking(type-based)"; "irq-handlers";
+    ];
+  (* ...while the body-reading chain rebuilds exactly once each. *)
+  Alcotest.(check int) "one cfg rebuild (helper only)" 1 (builds_of delta "cfg");
+  List.iter
+    (fun name -> Alcotest.(check int) (name ^ " rebuilt once") 1 (builds_of delta name))
+    [ "absint-summaries"; "deputized(absint)"; "vm-compiled" ];
+  (* And the incremental report equals a cold context's report. *)
+  let cold = Engine.Context.create (parse (prog_src edited_body)) in
+  Alcotest.(check string) "report byte-identical to cold" (report cold) second
+
+let test_update_keeps_program_object_when_unchanged () =
+  let prog = parse (prog_src base_body) in
+  let ctxt = Engine.Context.create prog in
+  ignore (Engine.Context.update ctxt (parse (prog_src base_body)));
+  Alcotest.(check bool) "old program object kept (VM memo stays warm)" true
+    (Engine.Context.program ctxt == prog);
+  ignore (Engine.Context.update ctxt (parse (prog_src edited_body)));
+  Alcotest.(check bool) "edited program swapped in" true
+    (Engine.Context.program ctxt != prog)
+
+let test_removed_function_invalidates () =
+  let ctxt = Engine.Context.create (parse (prog_src base_body)) in
+  ignore (report ctxt);
+  let without_leaf =
+    preamble ^ "long the_lock;\n" ^ base_body
+    ^ "int work(void) { spin_lock(&the_lock); int r = helper(1); spin_unlock(&the_lock); \
+       return r; }\n\
+       int start_kernel(void) { work(); return 0; }\n"
+  in
+  let u = Engine.Context.update ctxt (parse without_leaf) in
+  Alcotest.(check bool) "leaf removed" true (List.mem "leaf" u.Engine.Context.u_removed);
+  let fresh, delta = delta_of ctxt (fun () -> report ctxt) in
+  Alcotest.(check bool) "some rebuild happened" true (Engine.Graph.total_builds delta > 0);
+  let cold = Engine.Context.create (parse without_leaf) in
+  Alcotest.(check string) "report matches cold context" (report cold) fresh
+
+(* ------------------------------------------------------------------ *)
+(* Graph units: push invalidation, counters, LRU                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_push_invalidation () =
+  let g = Engine.Graph.create () in
+  let slot : int Engine.Graph.slot = Engine.Graph.slot () in
+  let get name deps v = Engine.Graph.get g slot ~name ~deps ~fp:"fp" (fun () -> v) in
+  ignore (get "a" [] 1);
+  ignore (get "b" [ Engine.Graph.key "a" ] 2);
+  ignore (get "c" [ Engine.Graph.key "b" ] 3);
+  ignore (get "d" [] 4);
+  (* Dropping the root takes the chain with it, but not the bystander. *)
+  Alcotest.(check int) "a,b,c dropped" 3 (Engine.Graph.invalidate g (Engine.Graph.key "a"));
+  Alcotest.(check bool) "d survives" true (Engine.Graph.mem g (Engine.Graph.key "d"));
+  Alcotest.(check bool) "c gone" false (Engine.Graph.mem g (Engine.Graph.key "c"));
+  (* Rebuilding after the drop counts as builds, not hits. *)
+  ignore (get "a" [] 1);
+  let stats = Engine.Graph.stats g in
+  let find n =
+    List.find (fun (s : Engine.Graph.stat) -> s.Engine.Graph.artifact = n) stats
+  in
+  Alcotest.(check int) "a built twice" 2 (find "a").Engine.Graph.builds;
+  Alcotest.(check int) "a invalidated once" 1 (find "a").Engine.Graph.invalidations
+
+let test_graph_dep_stamp_staleness () =
+  let g = Engine.Graph.create () in
+  let slot : int Engine.Graph.slot = Engine.Graph.slot () in
+  ignore (Engine.Graph.get g slot ~name:"up" ~fp:"v1" (fun () -> 1));
+  ignore
+    (Engine.Graph.get g slot ~name:"down" ~deps:[ Engine.Graph.key "up" ] ~fp:"d1"
+       (fun () -> 10));
+  (* Rebuild the upstream under a new hash: the downstream's recorded
+     dep stamp no longer matches, so its own unchanged hash must not
+     save it. *)
+  ignore (Engine.Graph.get g slot ~name:"up" ~fp:"v2" (fun () -> 2));
+  let rebuilt = ref false in
+  ignore
+    (Engine.Graph.get g slot ~name:"down" ~deps:[ Engine.Graph.key "up" ] ~fp:"d1"
+       (fun () ->
+         rebuilt := true;
+         20));
+  Alcotest.(check bool) "downstream rebuilt on stale dep stamp" true !rebuilt
+
+let test_merge_counters () =
+  let s artifact builds hits invalidations seconds =
+    { Engine.Graph.artifact; builds; hits; invalidations; seconds }
+  in
+  let merged =
+    Engine.Context.merge_counters
+      [ [ s "cfg" 2 1 1 0.5; s "pointsto" 1 0 0 0.1 ]; [ s "cfg" 1 4 0 0.25 ]; [] ]
+  in
+  Alcotest.(check int) "two artifacts" 2 (List.length merged);
+  (match merged with
+  | [ cfg; pt ] ->
+      Alcotest.(check string) "sorted by name" "cfg" cfg.Engine.Graph.artifact;
+      Alcotest.(check int) "builds summed" 3 cfg.Engine.Graph.builds;
+      Alcotest.(check int) "hits summed" 5 cfg.Engine.Graph.hits;
+      Alcotest.(check int) "invalidations summed" 1 cfg.Engine.Graph.invalidations;
+      Alcotest.(check bool) "seconds summed" true
+        (Float.abs (cfg.Engine.Graph.seconds -. 0.75) < 1e-9);
+      Alcotest.(check string) "second artifact" "pointsto" pt.Engine.Graph.artifact
+  | _ -> Alcotest.fail "expected exactly [cfg; pointsto]");
+  (* Merging is order-insensitive. *)
+  let flipped =
+    Engine.Context.merge_counters [ [ s "cfg" 1 4 0 0.25 ]; [ s "pointsto" 1 0 0 0.1; s "cfg" 2 1 1 0.5 ] ]
+  in
+  Alcotest.(check bool) "order-insensitive" true (merged = flipped)
+
+let test_lru_eviction () =
+  let lru : int Engine.Graph.Lru.t = Engine.Graph.Lru.create ~capacity:2 in
+  Alcotest.(check bool) "add under capacity" true (Engine.Graph.Lru.add lru "a" 1 = None);
+  Alcotest.(check bool) "add under capacity" true (Engine.Graph.Lru.add lru "b" 2 = None);
+  (* Touch a so b becomes the least recently used. *)
+  Alcotest.(check (option int)) "find bumps recency" (Some 1) (Engine.Graph.Lru.find lru "a");
+  Alcotest.(check (option (pair string int))) "b evicted at capacity" (Some ("b", 2))
+    (Engine.Graph.Lru.add lru "c" 3);
+  Alcotest.(check int) "size bounded" 2 (Engine.Graph.Lru.size lru);
+  Alcotest.(check int) "eviction counted" 1 (Engine.Graph.Lru.evictions lru);
+  Alcotest.(check bool) "b gone" false (Engine.Graph.Lru.mem lru "b");
+  Alcotest.(check (list string)) "keys sorted" [ "a"; "c" ] (Engine.Graph.Lru.keys lru);
+  (* Refreshing a resident key never evicts. *)
+  Alcotest.(check bool) "refresh is not an insert" true
+    (Engine.Graph.Lru.add lru "a" 10 = None);
+  Alcotest.(check (option int)) "refresh updates the value" (Some 10)
+    (Engine.Graph.Lru.find lru "a")
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "stable across re-parse" `Quick
+            test_fingerprint_stable_across_reparse;
+          Alcotest.test_case "arith edit is skeleton-stable" `Quick
+            test_fingerprint_arith_edit_is_skeleton_stable;
+          Alcotest.test_case "call edit changes skeleton" `Quick
+            test_fingerprint_call_edit_changes_skeleton;
+          Alcotest.test_case "locations are part of the digest" `Quick
+            test_fingerprint_includes_locations;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "warm re-check has zero builds" `Quick
+            test_warm_recheck_zero_builds;
+          Alcotest.test_case "one-function edit rebuilds only downstream" `Quick
+            test_single_function_edit_rebuilds_only_downstream;
+          Alcotest.test_case "unchanged update keeps the program object" `Quick
+            test_update_keeps_program_object_when_unchanged;
+          Alcotest.test_case "removed function invalidates" `Quick
+            test_removed_function_invalidates;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "push invalidation follows declared edges" `Quick
+            test_graph_push_invalidation;
+          Alcotest.test_case "stale dep stamp forces rebuild" `Quick
+            test_graph_dep_stamp_staleness;
+          Alcotest.test_case "merge_counters sums per artifact" `Quick test_merge_counters;
+          Alcotest.test_case "lru evicts least recently used" `Quick test_lru_eviction;
+        ] );
+    ]
