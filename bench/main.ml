@@ -23,7 +23,7 @@ let best_of n f =
 
 (* --json: machine-readable results. Every headline scenario records
    (name, wall-clock seconds, speedup); the collected list is printed
-   as JSON and written to BENCH_pr6.json at the repo root when the
+   as JSON and written to BENCH_pr7.json at the repo root when the
    flag is given. Format documented in DESIGN.md §13. *)
 let json_results : (string * float * float) list ref = ref []
 
@@ -43,7 +43,7 @@ let render_json () =
 let emit_json () =
   let s = render_json () in
   print_string s;
-  let oc = open_out "BENCH_pr6.json" in
+  let oc = open_out "BENCH_pr7.json" in
   output_string oc s;
   close_out oc
 
@@ -283,6 +283,114 @@ let bench_serve () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Part 1d'': refsafe-gated CCount overhead                           *)
+(* ------------------------------------------------------------------ *)
+
+(* CCount instrumentation vs CCount with the refsafe discharge gate,
+   on a workload whose hot loop is exactly the shapes the gate proves
+   unobservable: stack-hosted pointer-field writes (rule R1) and a
+   global publish/retire window (rule R3). The VM's cycle counts are
+   deterministic, so the overhead split is a property of the analysis,
+   not of the host. The corpus itself takes an int-to-pointer cast
+   (MMIO), which soundly disables the class/window rules there — hence
+   a dedicated workload, mirroring how E2 isolates CCount's own cost. *)
+let refsafe_bench_src =
+  "typedef unsigned long size_t;\n\
+   void * __opt kzalloc(size_t n, int flags) __blocking_if_gfp_wait;\n\
+   void kfree(void * __opt p);\n\
+   long * __count(4) __opt gslot;\n\
+   struct pair { long * __opt a; long * __opt b; };\n\
+   long bench(long n) {\n\
+   long acc = 0;\n\
+   long i = 0;\n\
+   while (i < n) {\n\
+   long * __count(4) __opt hp = kzalloc(32, 0);\n\
+   struct pair pr;\n\
+   pr.a = hp;\n\
+   pr.b = 0;\n\
+   if (hp != 0) {\n\
+   hp[0] = i;\n\
+   gslot = hp;\n\
+   acc = acc + hp[0];\n\
+   gslot = 0;\n\
+   kfree(hp);\n\
+   }\n\
+   i = i + 1;\n\
+   }\n\
+   return acc;\n\
+   }\n\
+   int main(void) { return (int)bench(0); }\n"
+
+let refsafe_parse () = Kc.Typecheck.check_sources [ ("refsafe_bench.kc", refsafe_bench_src) ]
+
+(* Boot one interpreter per arm and run the same schedule on each;
+   returns (cycles, census, discharge stats option). *)
+let refsafe_arm ~iters arm : int * Vm.Machine.free_census * Refsafe.Discharge.stats option =
+  let prog = refsafe_parse () in
+  let t, report =
+    match arm with
+    | `Base ->
+        (* Same machine configuration, no instrumentation: isolates the
+           counter-maintenance cycles from the workload's own. *)
+        let m = Vm.Machine.create ~config:(Ccount.Creport.config ()) () in
+        let t = Vm.Interp.create prog m in
+        Vm.Builtins.install t;
+        (t, None)
+    | `Ccount ->
+        let t, r = Ccount.Creport.ccount_boot prog in
+        (t, Some r)
+    | `Gated ->
+        let t, r = Ccount.Creport.ccount_boot ~refsafe:true prog in
+        (t, Some r)
+  in
+  ignore (Vm.Interp.run t "bench" [ Int64.of_int iters ]);
+  ( t.Vm.Interp.m.Vm.Machine.cost.Vm.Cost.cycles,
+    Vm.Machine.free_census t.Vm.Interp.m,
+    Option.bind report (fun r -> r.Ccount.Creport.refsafe) )
+
+(* Percentage of CCount's own cycle overhead the gate removes. *)
+let refsafe_overhead_removed () =
+  let iters = 200 in
+  let c_base, _, _ = refsafe_arm ~iters `Base in
+  let c_plain, census_plain, _ = refsafe_arm ~iters `Ccount in
+  let c_gated, census_gated, st = refsafe_arm ~iters `Gated in
+  (c_base, c_plain, c_gated, census_plain, census_gated, st)
+
+let bench_refsafe () =
+  section "REFSAFE: CCount overhead with and without the discharge gate";
+  let c_base, c_plain, c_gated, census_plain, census_gated, st = refsafe_overhead_removed () in
+  let pct c = 100.0 *. float_of_int (c - c_base) /. float_of_int c_base in
+  let removed =
+    if c_plain = c_base then 0.0
+    else 100.0 *. float_of_int (c_plain - c_gated) /. float_of_int (c_plain - c_base)
+  in
+  (match st with Some st -> print_string (Refsafe.Discharge.render_stats st) | None -> ());
+  Printf.printf "cycles (200-iteration alloc/publish/free loop):\n";
+  Printf.printf "  uninstrumented:  %10d\n" c_base;
+  Printf.printf "  ccount:          %10d  (+%.1f%%)\n" c_plain (pct c_plain);
+  Printf.printf "  ccount+refsafe:  %10d  (+%.1f%%)\n" c_gated (pct c_gated);
+  Printf.printf "  gate removed:    %10.1f%% of the ccount overhead\n" removed;
+  let census_ok =
+    census_plain.Vm.Machine.total_frees = census_gated.Vm.Machine.total_frees
+    && census_plain.Vm.Machine.bad = census_gated.Vm.Machine.bad
+  in
+  Printf.printf "free census identical: %b (%d frees, %d bad)\n" census_ok
+    census_plain.Vm.Machine.total_frees census_plain.Vm.Machine.bad;
+  record ~scenario:"refsafe-gate" ~wall:0.0
+    ~speedup:(float_of_int c_plain /. float_of_int c_gated);
+  if not census_ok then begin
+    Printf.printf "FAIL: the gate changed the observable free census\n";
+    exit 1
+  end;
+  removed
+
+(* --refsafe-gate: CI regression fence, mirroring --absint-gate. The
+   floor is the share of CCount's cycle overhead the discharge gate is
+   known to remove on the dedicated workload; both sides of the ratio
+   are deterministic VM cycle counts. *)
+let refsafe_floor_file = "bench/refsafe_floor.txt"
+
 (* --absint-gate: CI regression fence.  The checked-in floor is the
    discharge rate the interval stage is known to reach on the corpus;
    a change that drops below it silently weakened the analysis. *)
@@ -313,6 +421,17 @@ let absint_gate () =
     rate (Absint.Discharge.checks_proved st) (Absint.Discharge.checks_seen st) floor;
   if rate < floor then begin
     Printf.printf "FAIL: discharge rate regressed below the checked-in floor\n";
+    exit 1
+  end
+  else Printf.printf "OK\n"
+
+let refsafe_gate () =
+  let floor = read_floor refsafe_floor_file in
+  let removed = bench_refsafe () in
+  Printf.printf "refsafe gate: %.1f%% of the ccount overhead removed, floor %.1f%%\n" removed
+    floor;
+  if removed < floor then begin
+    Printf.printf "FAIL: the refsafe discharge regressed below the checked-in floor\n";
     exit 1
   end
   else Printf.printf "OK\n"
@@ -535,6 +654,7 @@ let () =
   (match args with
   | "--absint-gate" :: _ -> absint_gate ()
   | "--vm-gate" :: _ -> vm_gate ()
+  | "--refsafe-gate" :: _ -> refsafe_gate ()
   | "--vm-compile" :: _ -> ignore (bench_vm_compile ())
   | "--fuzz-par" :: rest ->
       let count = match rest with c :: _ -> int_of_string c | [] -> 60 in
@@ -545,6 +665,7 @@ let () =
       bench_unified ();
       bench_absint ();
       bench_vm_compile () |> ignore;
+      bench_refsafe () |> ignore;
       bench_parfuzz ();
       bench_serve ();
       section "Implementation micro-benchmarks (bechamel)";

@@ -59,6 +59,8 @@ let mode_arg =
     | "deputy-absint" -> Ok Ivy.Pipeline.Deputy_absint
     | "ccount-up" -> Ok (Ivy.Pipeline.Ccount Vm.Cost.Up)
     | "ccount-smp" -> Ok (Ivy.Pipeline.Ccount Vm.Cost.Smp_p4)
+    | "ccount-refsafe-up" -> Ok (Ivy.Pipeline.Ccount_refsafe Vm.Cost.Up)
+    | "ccount-refsafe-smp" -> Ok (Ivy.Pipeline.Ccount_refsafe Vm.Cost.Smp_p4)
     | "blockstop-guarded" -> Ok Ivy.Pipeline.Blockstop_guarded
     | s -> Error (`Msg (Printf.sprintf "unknown mode %s" s))
   in
@@ -71,7 +73,7 @@ let mode_t =
     & opt mode_arg Ivy.Pipeline.Base
     & info [ "m"; "mode" ] ~docv:"MODE"
         ~doc:"Instrumentation mode: base, deputy, deputy-unopt, deputy-absint, ccount-up, \
-              ccount-smp, blockstop-guarded.")
+              ccount-smp, ccount-refsafe-up, ccount-refsafe-smp, blockstop-guarded.")
 
 let unfixed_t =
   Arg.(value & flag & info [ "unfixed" ] ~doc:"Use the corpus variant before the free fixes.")
@@ -163,20 +165,41 @@ let ccount_cmd =
       value & opt string "up"
       & info [ "profile" ] ~docv:"P" ~doc:"Cost profile: up or smp.")
   in
-  let run profile unfixed =
+  let refsafe_t =
+    Arg.(
+      value & flag
+      & info [ "refsafe" ]
+          ~doc:
+            "Run the static refcount analysis first and strip the counter updates it proves \
+             unobservable; the census is unchanged, the counter-maintenance work is smaller.")
+  in
+  let stats_t =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"With --refsafe, show the per-rule discharge breakdown.")
+  in
+  let run profile unfixed refsafe stats =
     handle_frontend_errors (fun () ->
         let profile = if profile = "smp" then Vm.Cost.Smp_p4 else Vm.Cost.Up in
-        let r = Ivy.Pipeline.booted ~fixed_frees:(not unfixed) (Ivy.Pipeline.Ccount profile) in
+        let mode =
+          if refsafe then Ivy.Pipeline.Ccount_refsafe profile else Ivy.Pipeline.Ccount profile
+        in
+        let r = Ivy.Pipeline.booted ~fixed_frees:(not unfixed) mode in
         ignore (Ivy.Pipeline.run_entry r "wl_idle" 50);
         ignore (Ivy.Pipeline.run_entry r "wl_ssh_copy" 100);
         (match r.Ivy.Pipeline.ccount_report with
-        | Some cr -> Format.printf "%a@." Ccount.Creport.pp cr
+        | Some cr ->
+            Format.printf "%a@." Ccount.Creport.pp cr;
+            if stats then
+              Option.iter
+                (fun rs -> print_string (Refsafe.Discharge.render_stats rs))
+                cr.Ccount.Creport.refsafe
         | None -> ());
         Format.printf "%a@." Ccount.Creport.pp_census (Ivy.Pipeline.free_census r))
   in
   Cmd.v
     (Cmd.info "ccount" ~doc:"Refcounted free checking after boot + light use (paper §2.2).")
-    Term.(const run $ profile_t $ unfixed_t)
+    Term.(const run $ profile_t $ unfixed_t $ refsafe_t $ stats_t)
 
 (* ---- blockstop ---- *)
 
@@ -359,9 +382,13 @@ let check_cmd =
             let ctxt = Engine.Context.create ~jobs prog in
             let results = Ivy.Checks.run_all ~only ctxt in
             let absint_ran = List.mem_assoc "absint" results in
+            let refsafe_ran = List.mem_assoc "refsafe" results in
             (if json then
                let deputy = if absint_ran then Some (Engine.Context.deputized ctxt) else None in
-               print_string (Ivy.Report_fmt.render_diags_json ?deputy results)
+               let ccount =
+                 if refsafe_ran then Some (Engine.Context.ccount_discharged ctxt) else None
+               in
+               print_string (Ivy.Report_fmt.render_diags_json ?deputy ?ccount results)
              else print_string (Ivy.Report_fmt.render_diags results));
             if stats then
               if json then
@@ -387,12 +414,16 @@ let check_cmd =
               let ctxt = Engine.Context.create prog in
               let results = Ivy.Checks.run_all ~only ctxt in
               let absint_ran = List.mem_assoc "absint" results in
+              let refsafe_ran = List.mem_assoc "refsafe" results in
               let body =
                 if json then
                   let deputy =
                     if absint_ran then Some (Engine.Context.deputized ctxt) else None
                   in
-                  Ivy.Report_fmt.render_diags_json ?deputy results
+                  let ccount =
+                    if refsafe_ran then Some (Engine.Context.ccount_discharged ctxt) else None
+                  in
+                  Ivy.Report_fmt.render_diags_json ?deputy ?ccount results
                 else Ivy.Report_fmt.render_diags results
               in
               (path, body, Engine.Context.stats ctxt)
@@ -424,7 +455,7 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Run every registered analysis (blockstop, locksafe, stackcheck, errcheck, userck, \
-          absint) over one shared whole-program context. With several FILE arguments, each \
+          absint, refsafe) over one shared whole-program context. With several FILE arguments, each \
           file is analyzed as its own program, sharded across --jobs worker domains; reports \
           come back in argument order.")
     Term.(const run $ files_t $ only_t $ jobs_t $ json_t $ stats_t)

@@ -3,6 +3,8 @@
 type report = {
   instr : Rc_instrument.stats;
   types_described : int;  (** tags with pointer slots (the "32 types" census) *)
+  refsafe : Refsafe.Discharge.stats option;
+      (** set when the refsafe gate discharged updates before boot *)
 }
 
 (** Machine configuration for a CCount run: shadow counters on,
@@ -10,10 +12,15 @@ type report = {
 val config : ?profile:Vm.Cost.profile -> ?overflow_check:bool -> unit -> Vm.Machine.config
 
 (** Instrument [prog] in place, register its RTTI, and boot a
-    CCount-enabled interpreter. *)
+    CCount-enabled interpreter.  [~refsafe:true] runs the static
+    refcount analysis first and strips the [Irc_update]s it proves
+    unobservable (reusing [?summaries] when the caller already
+    computed them). *)
 val ccount_boot :
   ?profile:Vm.Cost.profile ->
   ?overflow_check:bool ->
+  ?refsafe:bool ->
+  ?summaries:Refsafe.Summary.summaries ->
   ?engine:Vm.Interp.engine ->
   Kc.Ir.program ->
   Vm.Interp.t * report

@@ -24,6 +24,16 @@ type deputized = {
   dstats : Absint.Discharge.stats;
 }
 
+(* The CCount view of the program: a shallow copy rc-instrumented and
+   then thinned by the refsafe discharge, with both passes' stats and
+   the RTTI needed to boot it. *)
+type ccounted = {
+  cprog : Kc.Ir.program;
+  cinstr : Ccount.Rc_instrument.stats;
+  cinfo : Ccount.Typeinfo.t;
+  crstats : Refsafe.Discharge.stats;
+}
+
 type t = {
   mutable prog : Kc.Ir.program;
   jobs : int;
@@ -57,6 +67,8 @@ module Key = struct
   let deputized = Graph.key "deputized(absint)"
   let vm_compiled = Graph.key "vm-compiled"
   let irq_handlers = Graph.key "irq-handlers"
+  let refsafe_summaries = Graph.key "refsafe-summaries"
+  let ccount_discharged = Graph.key "ccount-discharged"
   let check name = Graph.key (Printf.sprintf "check(%s)" name)
 end
 
@@ -70,6 +82,8 @@ let handlers_slot : AT.SS.t Graph.slot = Graph.slot ()
 let summaries_slot : Absint.Transfer.summaries Graph.slot = Graph.slot ()
 let deputized_slot : deputized Graph.slot = Graph.slot ()
 let vm_compiled_slot : Vm.Compile.t Graph.slot = Graph.slot ()
+let refsafe_summaries_slot : Refsafe.Summary.summaries Graph.slot = Graph.slot ()
+let ccounted_slot : ccounted Graph.slot = Graph.slot ()
 
 let pointsto ?(mode = P.Type_based) (t : t) : P.t =
   Graph.get t.g pointsto_slot
@@ -153,6 +167,31 @@ let deputized (t : t) : deputized =
       let dreport = Deputy.Dreport.deputize dprog in
       let dstats = Absint.Discharge.run ~summaries dprog in
       { dprog; dreport; dstats })
+
+(* Refsafe ownership summaries: flow-insensitive per-function alias
+   facts solved over the Tarjan SCC levels. They read only the
+   pointer-flow projection of each body, so they key on the (extended)
+   call skeleton and stay warm across arithmetic-only edits. *)
+let refsafe_summaries (t : t) : Refsafe.Summary.summaries =
+  Graph.get t.g refsafe_summaries_slot
+    ~name:Key.refsafe_summaries.Graph.name
+    ~fp:(skeleton_fingerprint t)
+    (fun () -> Refsafe.Summary.compute ~jobs:t.jobs t.prog)
+
+(* The CCount view: rc-instrument a shallow copy, then let the refsafe
+   discharge strip the counter updates it proves unobservable. Keyed
+   on the full program digest (instrumentation reads every body) with
+   the summaries as a declared dependency. *)
+let ccount_discharged (t : t) : ccounted =
+  let summaries = refsafe_summaries t in
+  Graph.get t.g ccounted_slot ~name:Key.ccount_discharged.Graph.name
+    ~deps:[ Key.refsafe_summaries ]
+    ~fp:(program_fingerprint t)
+    (fun () ->
+      let cprog = Kc.Ir.copy_program t.prog in
+      let cinstr, cinfo = Ccount.Rc_instrument.instrument_program cprog in
+      let crstats = Refsafe.Discharge.run ~summaries cprog in
+      { cprog; cinstr; cinfo; crstats })
 
 (* The VM's compiled form of the base program. Vm.Compile keeps its
    own per-program memo (so fuzz-case programs outside any context

@@ -4,7 +4,8 @@
     whole-program artifact: the typed program, {!Blockstop.Pointsto.t}
     and {!Blockstop.Callgraph.t} memoized per points-to mode,
     per-function {!Dataflow.Cfg.t} tables, blocking summaries, absint
-    summaries, the deputized view, compiled VM code and the
+    summaries, the deputized view, the refsafe ownership summaries and
+    the rc-instrumented CCount view, compiled VM code and the
     interrupt-handler facts from {!Blockstop.Atomic}.
 
     Since the artifact-graph refactor all of those live in one
@@ -52,6 +53,8 @@ module Key : sig
   val deputized : Graph.key
   val vm_compiled : Graph.key
   val irq_handlers : Graph.key
+  val refsafe_summaries : Graph.key
+  val ccount_discharged : Graph.key
   val check : string -> Graph.key
 end
 
@@ -86,6 +89,23 @@ type deputized = {
 }
 
 val deputized : t -> deputized
+
+(** The CCount view of the program: a shallow copy rc-instrumented and
+    thinned by the {!Refsafe.Discharge} ownership stage. *)
+type ccounted = {
+  cprog : Kc.Ir.program;
+  cinstr : Ccount.Rc_instrument.stats;  (** instrumentation counters *)
+  cinfo : Ccount.Typeinfo.t;  (** RTTI to register before booting [cprog] *)
+  crstats : Refsafe.Discharge.stats;  (** refsafe discharge counters *)
+}
+
+(** Refsafe ownership summaries ({!Refsafe.Summary}), keyed on the call
+    skeleton: arithmetic-only edits keep them warm. *)
+val refsafe_summaries : t -> Refsafe.Summary.summaries
+
+(** The memoized CCount view (cached; depends on
+    [Key.refsafe_summaries] and the full program digest). *)
+val ccount_discharged : t -> ccounted
 
 (** The VM's pre-compiled executable form of the base program
     ({!Vm.Compile}), cached on the context (and globally memoized per

@@ -15,13 +15,16 @@
      the deputized view, compiled VM code, analysis reports);
    - the call skeleton ([table_of].t_skeleton): the projection of the
      program that the points-to analysis, call graph, blocking
-     propagation and irq-handler discovery actually read — function
-     signatures and annotations, global initializers, and every
-     instruction that performs a call, mentions a function designator,
-     or assigns to a function-pointer lvalue (assignments poison
-     points-to var tracking, so they are part of the projection). An
+     propagation, irq-handler discovery and the refsafe ownership
+     summaries actually read — function signatures and annotations,
+     global initializers, every instruction that performs a call,
+     mentions a function designator, or assigns to a function-pointer
+     lvalue (assignments poison points-to var tracking), plus every
+     pointer-relevant instruction (a store or return that moves a
+     pointer value, takes an address, or casts a pointer — the flow
+     edges the refsafe escape/ownership summaries are built from). An
      arithmetic-only body edit leaves the skeleton unchanged and those
-     four artifact families warm.
+     five artifact families warm.
 
    Serialization is deterministic across re-parses of the same source:
    it never includes [vid]/[fid] counters, only names (which the
@@ -385,25 +388,37 @@ let header (prog : I.program) : string =
     prog.I.globals;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
+(* Does an expression move pointer values around — mention a
+   pointer-typed subexpression, take an address, or name a function?
+   These are exactly the flow edges the refsafe summaries read. *)
+let exp_ptr_relevant (e : I.exp) : bool =
+  I.fold_exp
+    (fun acc sub ->
+      acc || I.is_pointer sub.I.ety
+      || match sub.I.e with I.Eaddrof _ | I.Estartof _ | I.Efun _ -> true | _ -> false)
+    false e
+
 (* Does this instruction belong to the call skeleton? Calls, function
-   designators anywhere inside, and stores into function-pointer
-   lvalues (they poison the points-to variable tracking). *)
+   designators anywhere inside, stores into function-pointer lvalues
+   (they poison the points-to variable tracking), and pointer-relevant
+   stores (the refsafe summaries read them).  Pure integer arithmetic
+   stays out, which is what keeps the skeleton stable across
+   arithmetic-only edits. *)
 let skeleton_instr (i : I.instr) : bool =
   let is_fptr_ty = function I.Tptr (I.Tfun _, _) -> true | _ -> false in
-  let mentions_fun e =
-    I.fold_exp (fun acc sub -> acc || match sub.I.e with I.Efun _ -> true | _ -> false) false e
-  in
   match i with
   | I.Icall _ -> true
   | I.Iset ((host, offs), e) ->
-      mentions_fun e
+      exp_ptr_relevant e
       ||
       let lv_ty =
         (* conservative: the host variable's type for direct stores,
            any field store is included if the RHS is fptr-typed *)
         match (host, offs) with I.Lvar v, [] -> Some v.I.vty | _ -> None
       in
-      (match lv_ty with Some ty -> is_fptr_ty ty | None -> is_fptr_ty e.I.ety)
+      (match lv_ty with
+      | Some ty -> is_fptr_ty ty || I.is_pointer ty
+      | None -> is_fptr_ty e.I.ety)
   | I.Icheck _ | I.Irc_inc _ | I.Irc_dec _ | I.Irc_update _ -> false
 
 let skeleton (prog : I.program) : string =
@@ -419,6 +434,13 @@ let skeleton (prog : I.program) : string =
           | I.Sinstr i when skeleton_instr i ->
               ser_loc b s.I.sloc;
               ser_instr b i;
+              add b ";"
+          | I.Sreturn (Some e) when exp_ptr_relevant e ->
+              (* pointer returns feed the summaries' returns_alloc /
+                 returns_param facts *)
+              ser_loc b s.I.sloc;
+              add b "return ";
+              ser_exp b e;
               add b ";"
           | _ -> ())
         fd.I.fbody;

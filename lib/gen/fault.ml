@@ -5,8 +5,24 @@ type kind =
   | Lock_inversion
   | Unchecked_err
   | User_deref
+  | Ref_leak
+  | Double_put
+  | Put_on_error_path
 
-let all = [ Oob_write; Dangling_free; Atomic_block; Lock_inversion; Unchecked_err; User_deref ]
+(* New kinds go at the end: fault derivation in the fuzz driver picks
+   by index into this list, so order is part of the seed format. *)
+let all =
+  [
+    Oob_write;
+    Dangling_free;
+    Atomic_block;
+    Lock_inversion;
+    Unchecked_err;
+    User_deref;
+    Ref_leak;
+    Double_put;
+    Put_on_error_path;
+  ]
 
 let to_string = function
   | Oob_write -> "oob-write"
@@ -15,6 +31,9 @@ let to_string = function
   | Lock_inversion -> "lock-inversion"
   | Unchecked_err -> "unchecked-err"
   | User_deref -> "user-deref"
+  | Ref_leak -> "ref-leak"
+  | Double_put -> "double-put"
+  | Put_on_error_path -> "put-on-error-path"
 
 let of_string s = List.find_opt (fun k -> to_string k = s) all
 
@@ -25,3 +44,4 @@ let owner = function
   | Lock_inversion -> "locksafe"
   | Unchecked_err -> "errcheck"
   | User_deref -> "userck"
+  | Ref_leak | Double_put | Put_on_error_path -> "refsafe"

@@ -14,6 +14,10 @@ type kind =
   | Lock_inversion  (** two spinlocks acquired in both orders; owner: locksafe *)
   | Unchecked_err  (** discarded error-returning call; owner: errcheck *)
   | User_deref  (** direct dereference of a [__user] pointer; owner: userck *)
+  | Ref_leak  (** allocation never released on any path; owner: refsafe *)
+  | Double_put  (** second kfree of the same object; owner: refsafe (VM traps too) *)
+  | Put_on_error_path
+      (** kfree while the pointer is still published in a global; owner: refsafe (census too) *)
 
 val all : kind list
 val to_string : kind -> string

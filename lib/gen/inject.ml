@@ -13,6 +13,9 @@ let block_of rng (kind : Fault.kind) : Prog.block =
       Prog.F_lock_inversion { lo; hi = Rng.range rng (lo + 1) 2 }
   | Fault.Unchecked_err -> Prog.F_unchecked_err
   | Fault.User_deref -> Prog.F_user_deref
+  | Fault.Ref_leak -> Prog.F_ref_leak
+  | Fault.Double_put -> Prog.F_double_put
+  | Fault.Put_on_error_path -> Prog.F_put_on_error_path
 
 let plant rng kind (p : Prog.t) : Prog.t =
   let host = List.nth p.Prog.funcs (Rng.int rng (List.length p.Prog.funcs)) in

@@ -12,6 +12,8 @@ type run_results = {
   deputy_absint : outcome;
   ccount : outcome;
   bad_frees : int;
+  ccount_refsafe : outcome;
+  rs_bad_frees : int;
 }
 
 type violation =
@@ -21,6 +23,7 @@ type violation =
   | Spurious_trap of string
   | Result_mismatch of string
   | Discharge_unsound of string
+  | Refsafe_unsound of string
 
 type verdict = {
   diags : (string * Diag.t list) list;
@@ -39,6 +42,7 @@ let violation_to_string = function
   | Spurious_trap m -> "spurious-trap: " ^ m
   | Result_mismatch m -> "result-mismatch: " ^ m
   | Discharge_unsound m -> "discharge-unsound: " ^ m
+  | Refsafe_unsound m -> "refsafe-unsound: " ^ m
 
 let outcome_to_string = function
   | Completed v -> Printf.sprintf "completed (%Ld)" v
@@ -68,7 +72,7 @@ let noisy_diags diags =
     (fun (_, ds) -> List.filter (fun (d : Diag.t) -> d.Diag.severity <> Diag.Info) ds)
     diags
 
-(* ---- the four dynamic runs ---------------------------------------- *)
+(* ---- the five dynamic runs ---------------------------------------- *)
 
 let parse ~name src = Kc.Typecheck.check_sources [ (name, src) ]
 
@@ -104,7 +108,13 @@ let dynamic ?base_prog ~name src : run_results =
     let o = run_main interp in
     (o, (Vm.Machine.free_census interp.Vm.Interp.m).Vm.Machine.bad)
   in
-  { base; deputy; deputy_absint; ccount; bad_frees }
+  let ccount_refsafe, rs_bad_frees =
+    let p = parse ~name src in
+    let interp, _report = Ccount.Creport.ccount_boot ~refsafe:true p in
+    let o = run_main interp in
+    (o, (Vm.Machine.free_census interp.Vm.Interp.m).Vm.Machine.bad)
+  in
+  { base; deputy; deputy_absint; ccount; bad_frees; ccount_refsafe; rs_bad_frees }
 
 (* ---- detection rules (soundness) ---------------------------------- *)
 
@@ -132,6 +142,15 @@ let detects ~diags ~static_errors ~(runs : run_results) (kind, fn) =
       flagged diags ~analysis:"locksafe" ~needle:"both orders"
   | Fault.Unchecked_err -> flagged diags ~analysis:"errcheck" ~needle:fn
   | Fault.User_deref -> flagged diags ~analysis:"userck" ~needle:fn
+  | Fault.Ref_leak ->
+      (* dynamically invisible by construction: only the static
+         ownership analysis can catch it *)
+      flagged diags ~analysis:"refsafe" ~needle:fn
+  | Fault.Double_put -> (
+      flagged diags ~analysis:"refsafe" ~needle:fn
+      || match runs.ccount with Trapped (Vm.Trap.Double_free, _) -> true | _ -> false)
+  | Fault.Put_on_error_path ->
+      flagged diags ~analysis:"refsafe" ~needle:fn || runs.rs_bad_frees > 0
 
 (* ---- allowed dynamic behaviour (consistency) ---------------------- *)
 
@@ -149,12 +168,14 @@ let check_runs ~labels (runs : run_results) : violation list =
   | Completed _ -> ()
   | Trapped (Vm.Trap.Blocking_in_atomic, _) when has Fault.Atomic_block -> ()
   | Trapped (Vm.Trap.Wild_access, _) when has Fault.Oob_write -> ()
+  | Trapped (Vm.Trap.Double_free, _) when has Fault.Double_put -> ()
   | o -> spurious "base:" o);
   (* deputy: additionally, the residual checks catch OOB writes. *)
   (match runs.deputy with
   | Completed _ -> ()
   | Trapped (Vm.Trap.Blocking_in_atomic, _) when has Fault.Atomic_block -> ()
   | Trapped (Vm.Trap.Check_failed, _) when has Fault.Oob_write -> ()
+  | Trapped (Vm.Trap.Double_free, _) when has Fault.Double_put -> ()
   | o -> spurious "deputy:" o);
   (* deputy+absint: the discharge pass may only remove checks that can
      never fire, so this run must behave exactly like the deputy run —
@@ -173,9 +194,23 @@ let check_runs ~labels (runs : run_results) : violation list =
   | Completed _ -> ()
   | Trapped (Vm.Trap.Blocking_in_atomic, _) when has Fault.Atomic_block -> ()
   | Trapped (Vm.Trap.Wild_access, _) when has Fault.Oob_write -> ()
+  | Trapped (Vm.Trap.Double_free, _) when has Fault.Double_put -> ()
   | o -> spurious "ccount:" o);
-  (* census: only a dangling-free label explains bad frees. *)
-  if runs.bad_frees > 0 && not (has Fault.Dangling_free) then
+  (* ccount+refsafe: the discharge may only remove counter updates the
+     census can never observe, so this run must match the full CCount
+     run exactly — same outcome AND same bad-free count.  Any drift is
+     a refsafe-soundness bug, reported regardless of labels. *)
+  if runs.ccount_refsafe <> runs.ccount || runs.rs_bad_frees <> runs.bad_frees then
+    vs :=
+      Refsafe_unsound
+        (Printf.sprintf "ccount=%s (%d bad) ccount+refsafe=%s (%d bad)"
+           (outcome_to_string runs.ccount) runs.bad_frees
+           (outcome_to_string runs.ccount_refsafe)
+           runs.rs_bad_frees)
+      :: !vs;
+  (* census: only a dangling-free or put-on-error-path label explains
+     bad frees. *)
+  if runs.bad_frees > 0 && not (has Fault.Dangling_free || has Fault.Put_on_error_path) then
     vs :=
       Spurious_trap (Printf.sprintf "ccount census: %d unexplained bad frees" runs.bad_frees)
       :: !vs;

@@ -5,11 +5,12 @@
     - {b static}: one shared {!Engine.Context} runs every registered
       analysis ([Ivy.Checks.run_all]), and a separate parse is deputized
       to collect Deputy's definite static errors;
-    - {b dynamic}: four fresh parses execute on the VM — uninstrumented
+    - {b dynamic}: five fresh parses execute on the VM — uninstrumented
       (Base), with Deputy runtime checks, with Deputy checks further
-      thinned by the {!Absint.Discharge} interval stage, and with CCount
-      reference counting — recording each run's outcome and CCount's
-      free census.
+      thinned by the {!Absint.Discharge} interval stage, with CCount
+      reference counting, and with CCount counter updates thinned by the
+      {!Refsafe.Discharge} ownership stage — recording each run's
+      outcome and CCount's free census.
 
     The verdict cross-checks the two sides against the program's
     ground-truth labels:
@@ -24,7 +25,11 @@
     - {e discharge soundness}: the absint-thinned Deputy run must match
       the full Deputy run outcome exactly (same value, or same trap with
       the same message) — a removed check that would have fired shows up
-      here as a [Discharge_unsound] violation. *)
+      here as a [Discharge_unsound] violation;
+    - {e refsafe soundness}: the refsafe-gated CCount run must match the
+      full CCount run exactly (same outcome and same bad-free census) —
+      a discharged counter update the census would have observed shows
+      up here as a [Refsafe_unsound] violation. *)
 
 type outcome =
   | Completed of int64  (** main returned *)
@@ -36,6 +41,8 @@ type run_results = {
   deputy_absint : outcome;  (** Deputy checks thinned by {!Absint.Discharge} *)
   ccount : outcome;
   bad_frees : int;  (** CCount free-census [bad] count *)
+  ccount_refsafe : outcome;  (** CCount updates thinned by {!Refsafe.Discharge} *)
+  rs_bad_frees : int;  (** free-census [bad] count of the gated run *)
 }
 
 type violation =
@@ -46,6 +53,8 @@ type violation =
   | Result_mismatch of string  (** instrumented and base runs disagree *)
   | Discharge_unsound of string
       (** the absint-thinned run diverged from the full Deputy run *)
+  | Refsafe_unsound of string
+      (** the refsafe-gated CCount run diverged from the full CCount run *)
 
 type verdict = {
   diags : (string * Engine.Diag.t list) list;  (** per-analysis diagnostics *)

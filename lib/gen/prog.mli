@@ -40,6 +40,10 @@ type block =
   | F_lock_inversion of { lo : int; hi : int }  (** fault: lo->hi then hi->lo *)
   | F_unchecked_err  (** fault: gerr_ result discarded *)
   | F_user_deref  (** fault: direct *p on a __user pointer *)
+  | F_ref_leak  (** fault: allocation with no kfree on any path (statically visible only) *)
+  | F_double_put  (** fault: kfree twice — every run traps on the second free *)
+  | F_put_on_error_path
+      (** fault: kfree while gslot_e still holds the reference, retired too late *)
 
 type op = { oid : int; omul : int }
 (** Leaf callee for function-pointer tables; signature [long (int, int)]

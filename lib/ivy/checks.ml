@@ -1,4 +1,4 @@
-(* The registry of engine analyses: each of the six whole-program
+(* The registry of engine analyses: each of the seven whole-program
    checkers wrapped as an [Engine.Analysis.S], obtaining every
    expensive artifact through the shared [Engine.Context] (so one
    [ivy check] run builds the call graph and points-to once per mode,
@@ -232,10 +232,64 @@ let absint : Engine.Analysis.t =
         summary :: per_fun
   end)
 
+(* ---- refsafe: static refcount/ownership imbalances + CCount discharge ---- *)
+
+let refsafe : Engine.Analysis.t =
+  (module struct
+    let name = "refsafe"
+    let doc = "refcount ownership imbalances; discharges CCount updates (paper §2.2)"
+    let deps = [ Context.Key.refsafe_summaries; Context.Key.ccount_discharged ]
+
+    let fix_hint_of = function
+      | Refsafe.Ownership.Double_put -> "drop the second put; ownership ended at the first"
+      | Refsafe.Ownership.Put_on_error_path ->
+          "retire the published global reference before releasing the object"
+      | Refsafe.Ownership.Missing_put -> "release the allocation before the error return"
+      | Refsafe.Ownership.Leak -> "release or publish the allocation before returning"
+
+    let run ctxt =
+      let summaries = Context.refsafe_summaries ctxt in
+      let prog = Context.program ctxt in
+      let cfg_of (fd : Kc.Ir.fundec) =
+        match Context.cfg ctxt fd.Kc.Ir.fname with
+        | Some c -> c
+        | None -> Dataflow.Cfg.build fd
+      in
+      let findings = Refsafe.Ownership.check_program ~cfg_of summaries prog in
+      let warnings =
+        List.map
+          (fun (f : Refsafe.Ownership.finding) ->
+            Diag.make ~analysis:name ~loc:f.Refsafe.Ownership.floc
+              ~fix_hint:(fix_hint_of f.Refsafe.Ownership.fkind)
+              f.Refsafe.Ownership.fmsg)
+          findings
+      in
+      (* The CCount-discharge census rides along as an Info line, like
+         absint's: silent when the program has nothing instrumented. *)
+      let st = (Context.ccount_discharged ctxt).Context.crstats in
+      let summary =
+        if st.Refsafe.Discharge.updates_seen = 0 then []
+        else
+          [
+            (* render_stats already opens with "refsafe: "; strip it so
+               the [analysis] prefix doesn't repeat. *)
+            Diag.make ~analysis:name ~severity:Diag.Info ~loc:Kc.Loc.dummy
+              (String.trim
+                 (let s = Refsafe.Discharge.render_stats st in
+                  if String.length s > 9 && String.sub s 0 9 = "refsafe: " then
+                    String.sub s 9 (String.length s - 9)
+                  else s));
+          ]
+      in
+      Diag.sort warnings @ summary
+  end)
+
 (* ---- the registry ---- *)
 
-(* absint is registered last: consumers lock the JSON key order. *)
-let all : Engine.Analysis.t list = [ blockstop; locksafe; stackcheck; errcheck; userck; absint ]
+(* absint and refsafe are registered last, in this order: consumers
+   lock the JSON key order. *)
+let all : Engine.Analysis.t list =
+  [ blockstop; locksafe; stackcheck; errcheck; userck; absint; refsafe ]
 let find (name : string) : Engine.Analysis.t option =
   List.find_opt (fun a -> Engine.Analysis.name a = name) all
 

@@ -11,6 +11,7 @@ type mode =
   | Deputy_unoptimized (* ablation: no static discharge *)
   | Deputy_absint (* Facts optimizer + absint interval discharge *)
   | Ccount of Vm.Cost.profile (* refcounted frees *)
+  | Ccount_refsafe of Vm.Cost.profile (* refcounted frees, refsafe-discharged updates *)
   | Blockstop_guarded (* BlockStop runtime checks compiled in *)
 
 type run = {
@@ -29,6 +30,8 @@ let mode_to_string = function
   | Deputy_absint -> "deputy-absint"
   | Ccount Vm.Cost.Up -> "ccount-up"
   | Ccount Vm.Cost.Smp_p4 -> "ccount-smp"
+  | Ccount_refsafe Vm.Cost.Up -> "ccount-refsafe-up"
+  | Ccount_refsafe Vm.Cost.Smp_p4 -> "ccount-refsafe-smp"
   | Blockstop_guarded -> "blockstop-guarded"
 
 (* Build a fresh program + VM in the given mode. [workloads] appends
@@ -83,6 +86,17 @@ let prepare ?(workloads = true) ?(fixed_frees = true) (mode : mode) : run =
   | Ccount profile ->
       let prog = load () in
       let interp, report = Ccount.Creport.ccount_boot ~profile prog in
+      {
+        mode;
+        prog;
+        interp;
+        deputy_report = None;
+        absint_stats = None;
+        ccount_report = Some report;
+      }
+  | Ccount_refsafe profile ->
+      let prog = load () in
+      let interp, report = Ccount.Creport.ccount_boot ~profile ~refsafe:true prog in
       {
         mode;
         prog;

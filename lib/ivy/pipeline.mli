@@ -20,6 +20,9 @@ type mode =
       (** Deputy plus the {!Absint.Discharge} second stage: interval
           facts remove further provably-redundant checks *)
   | Ccount of Vm.Cost.profile  (** refcounted free checking, UP or SMP cost profile *)
+  | Ccount_refsafe of Vm.Cost.profile
+      (** CCount with the {!Refsafe.Discharge} gate: statically
+          unobservable counter updates are stripped before boot *)
   | Blockstop_guarded  (** the BlockStop runtime-check guards compiled in *)
 
 type run = {

@@ -237,8 +237,10 @@ let render_diags (results : (string * Engine.Diag.t list) list) : string =
 
 (* JSON shape: {"analyses": {...per-analysis arrays...}, "diagnostics":
    [...]} with an optional trailing "deputy" object carrying the check
-   discharge counters (facts pass and absint pass separately). *)
-let render_diags_json ?deputy (results : (string * Engine.Diag.t list) list) : string =
+   discharge counters (facts pass and absint pass separately) and an
+   optional "ccount" object splitting the counter-update census into
+   instrumented / register-skipped / refsafe-discharged / residual. *)
+let render_diags_json ?deputy ?ccount (results : (string * Engine.Diag.t list) list) : string =
   let per =
     String.concat ","
       (List.map
@@ -258,9 +260,22 @@ let render_diags_json ?deputy (results : (string * Engine.Diag.t list) list) : s
           inserted facts proved
           (inserted - facts - proved)
   in
-  fprintf "{\"analyses\":{%s},\"diagnostics\":%s%s}\n" per
+  let ccount_json =
+    match ccount with
+    | None -> ""
+    | Some (c : Engine.Context.ccounted) ->
+        let sites = c.Engine.Context.cinstr.Ccount.Rc_instrument.ptr_writes_instrumented in
+        let skipped = c.Engine.Context.cinstr.Ccount.Rc_instrument.register_writes_skipped in
+        let st = c.Engine.Context.crstats in
+        let discharged = Refsafe.Discharge.discharged st in
+        fprintf
+          ",\"ccount\":{\"sites_instrumented\":%d,\"register_skipped\":%d,\"refsafe_discharged\":%d,\"residual\":%d}"
+          sites skipped discharged
+          (st.Refsafe.Discharge.updates_seen - discharged)
+  in
+  fprintf "{\"analyses\":{%s},\"diagnostics\":%s%s%s}\n" per
     (Engine.Diag.list_to_json (List.concat_map snd results))
-    deputy_json
+    deputy_json ccount_json
 
 let render_stat_list (stats : Engine.Context.stat list) : string =
   let buf = Buffer.create 256 in

@@ -1,0 +1,56 @@
+(* Escape classification of pointer variables.
+
+   Built directly on the per-function alias facts of {!Summary}: a
+   pointer local (or formal) is
+
+   - [Uniquely_owned] when every value it can hold is a fresh
+     allocation and neither the variable's value nor its address can
+     reach anybody else (not escaped, never duplicated into a second
+     variable, address never taken) — the holder is the only possible
+     reference;
+   - [Non_escaping] when the value never leaves the function (not
+     stored to memory/globals, not passed to a capturing callee, not
+     returned, address not taken), though it may alias shared state;
+   - [Shared] otherwise.
+
+   The classification is what `ivy check --only refsafe --stats`
+   reports and what the test suite pins down; the CCount discharge
+   rules in {!Discharge} re-derive the facts they need directly so
+   each rule's soundness argument stays local. *)
+
+module I = Kc.Ir
+
+type class_ = Non_escaping | Uniquely_owned | Shared
+
+let class_to_string = function
+  | Non_escaping -> "non-escaping"
+  | Uniquely_owned -> "uniquely-owned"
+  | Shared -> "shared"
+
+type info = { var : I.varinfo; cls : class_ }
+
+(* Classify the named (non-temporary) pointer variables of [fd]. *)
+let classify (summaries : Summary.summaries) (prog : I.program) (fd : I.fundec) : info list =
+  let a = Summary.analyze summaries prog fd in
+  let classify_var (v : I.varinfo) : info =
+    let srcs = Summary.get_srcs a v.I.vid in
+    let escaped = Hashtbl.mem a.Summary.aescaped v.I.vid in
+    let copied = Hashtbl.mem a.Summary.acopied v.I.vid in
+    let returned = Hashtbl.mem a.Summary.areturned v.I.vid in
+    let cls =
+      if
+        (not (Summary.SrcSet.is_empty srcs))
+        && Summary.SrcSet.for_all (fun s -> s = Summary.Salloc) srcs
+        && (not escaped) && (not copied) && (not returned) && not v.I.vaddrof
+      then Uniquely_owned
+      else if (not escaped) && (not returned) && not v.I.vaddrof then Non_escaping
+      else Shared
+    in
+    { var = v; cls }
+  in
+  fd.I.sformals @ fd.I.slocals
+  |> List.filter (fun v -> I.is_pointer v.I.vty && not v.I.vtemp)
+  |> List.map classify_var
+
+let count (infos : info list) (cls : class_) =
+  List.length (List.filter (fun i -> i.cls = cls) infos)

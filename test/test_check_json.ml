@@ -17,14 +17,23 @@ let render src =
   let deputy =
     if List.mem_assoc "absint" results then Some (Engine.Context.deputized ctxt) else None
   in
-  Ivy.Report_fmt.render_diags_json ?deputy results
+  (* likewise the ccount counter object whenever refsafe ran *)
+  let ccount =
+    if List.mem_assoc "refsafe" results then Some (Engine.Context.ccount_discharged ctxt)
+    else None
+  in
+  Ivy.Report_fmt.render_diags_json ?deputy ?ccount results
 
 (* One diagnostic from each of locksafe (error), errcheck (warning),
    userck (error) and stackcheck (info, null fix_hint): covers every
    severity spelling and both fix_hint encodings. [masked] adds four
    Deputy checks: two constant-index ones the Facts optimizer removes
    and two masked-index ones only the absint interval stage can prove,
-   so the "deputy" counter object exercises both discharge paths. *)
+   so the "deputy" counter object exercises both discharge paths.
+   [leaky] drops its allocation on the n > 3 early return, so the
+   seventh "refsafe" array carries a warning and the "ccount" counter
+   object (register-allocated pointer locals, nothing instrumented or
+   discharged) is locked alongside it. *)
 let fixture =
   "void spin_lock(long *l);\n\
    void spin_unlock(long *l);\n\
@@ -35,10 +44,13 @@ let fixture =
    int one(void) { spin_lock(&la); spin_lock(&lb); spin_unlock(&lb); spin_unlock(&la); return 0; }\n\
    int two(void) { spin_lock(&lb); spin_lock(&la); spin_unlock(&la); spin_unlock(&lb); return 0; }\n\
    int bad(char * __user u) { return *u; }\n\
-   long masked(int n) { long a[8]; int k = n & 7; a[2] = 1; a[k] = 5; return a[k]; }\n"
+   long masked(int n) { long a[8]; int k = n & 7; a[2] = 1; a[k] = 5; return a[k]; }\n\
+   void *kzalloc(long n, long f);\n\
+   void kfree(void *p);\n\
+   long leaky(long n) { long *p = kzalloc(16, 0); if (n > 3) { return -22; } kfree(p); return 0; }\n"
 
 let expected =
-  "{\"analyses\":{\"blockstop\":[],\"locksafe\":[{\"analysis\":\"locksafe\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":7,\"col\":33,\"message\":\"locks la and lb are acquired in both orders (deadlock risk)\",\"fix_hint\":\"always acquire la before lb (or vice versa)\"}],\"stackcheck\":[{\"analysis\":\"stackcheck\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":10,\"col\":1,\"message\":\"deepest bounded call chain: 96 bytes (masked)\",\"fix_hint\":null}],\"errcheck\":[{\"analysis\":\"errcheck\",\"severity\":\"warning\",\"file\":\"golden.kc\",\"line\":6,\"col\":20,\"message\":\"caller discards error result of risky\",\"fix_hint\":\"test the result of risky against its error codes\"}],\"userck\":[{\"analysis\":\"userck\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":9,\"col\":28,\"message\":\"in bad: dereference of __user pointer (u)\",\"fix_hint\":\"stage the access through copy_from_user/copy_to_user\"}],\"absint\":[{\"analysis\":\"absint\",\"severity\":\"info\",\"file\":\"<builtin>\",\"line\":0,\"col\":0,\"message\":\"discharged 4 of 4 inserted checks (facts 2 + absint 2); 0 dynamic checks remain\",\"fix_hint\":null},{\"analysis\":\"absint\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":10,\"col\":1,\"message\":\"masked: proved 2 of 2 residual checks (7 fixpoint iterations, 0 widening points)\",\"fix_hint\":null}]},\"diagnostics\":[{\"analysis\":\"absint\",\"severity\":\"info\",\"file\":\"<builtin>\",\"line\":0,\"col\":0,\"message\":\"discharged 4 of 4 inserted checks (facts 2 + absint 2); 0 dynamic checks remain\",\"fix_hint\":null},{\"analysis\":\"errcheck\",\"severity\":\"warning\",\"file\":\"golden.kc\",\"line\":6,\"col\":20,\"message\":\"caller discards error result of risky\",\"fix_hint\":\"test the result of risky against its error codes\"},{\"analysis\":\"locksafe\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":7,\"col\":33,\"message\":\"locks la and lb are acquired in both orders (deadlock risk)\",\"fix_hint\":\"always acquire la before lb (or vice versa)\"},{\"analysis\":\"userck\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":9,\"col\":28,\"message\":\"in bad: dereference of __user pointer (u)\",\"fix_hint\":\"stage the access through copy_from_user/copy_to_user\"},{\"analysis\":\"absint\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":10,\"col\":1,\"message\":\"masked: proved 2 of 2 residual checks (7 fixpoint iterations, 0 widening points)\",\"fix_hint\":null},{\"analysis\":\"stackcheck\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":10,\"col\":1,\"message\":\"deepest bounded call chain: 96 bytes (masked)\",\"fix_hint\":null}],\"deputy\":{\"checks_inserted\":4,\"facts_discharged\":2,\"absint_discharged\":2,\"residual\":0}}\n"
+  "{\"analyses\":{\"blockstop\":[],\"locksafe\":[{\"analysis\":\"locksafe\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":7,\"col\":33,\"message\":\"locks la and lb are acquired in both orders (deadlock risk)\",\"fix_hint\":\"always acquire la before lb (or vice versa)\"}],\"stackcheck\":[{\"analysis\":\"stackcheck\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":10,\"col\":1,\"message\":\"deepest bounded call chain: 96 bytes (masked)\",\"fix_hint\":null}],\"errcheck\":[{\"analysis\":\"errcheck\",\"severity\":\"warning\",\"file\":\"golden.kc\",\"line\":6,\"col\":20,\"message\":\"caller discards error result of risky\",\"fix_hint\":\"test the result of risky against its error codes\"}],\"userck\":[{\"analysis\":\"userck\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":9,\"col\":28,\"message\":\"in bad: dereference of __user pointer (u)\",\"fix_hint\":\"stage the access through copy_from_user/copy_to_user\"}],\"absint\":[{\"analysis\":\"absint\",\"severity\":\"info\",\"file\":\"<builtin>\",\"line\":0,\"col\":0,\"message\":\"discharged 4 of 4 inserted checks (facts 2 + absint 2); 0 dynamic checks remain\",\"fix_hint\":null},{\"analysis\":\"absint\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":10,\"col\":1,\"message\":\"masked: proved 2 of 2 residual checks (7 fixpoint iterations, 0 widening points)\",\"fix_hint\":null}],\"refsafe\":[{\"analysis\":\"refsafe\",\"severity\":\"warning\",\"file\":\"golden.kc\",\"line\":13,\"col\":1,\"message\":\"leaky: missing put of p on error return\",\"fix_hint\":\"release the allocation before the error return\"}]},\"diagnostics\":[{\"analysis\":\"absint\",\"severity\":\"info\",\"file\":\"<builtin>\",\"line\":0,\"col\":0,\"message\":\"discharged 4 of 4 inserted checks (facts 2 + absint 2); 0 dynamic checks remain\",\"fix_hint\":null},{\"analysis\":\"errcheck\",\"severity\":\"warning\",\"file\":\"golden.kc\",\"line\":6,\"col\":20,\"message\":\"caller discards error result of risky\",\"fix_hint\":\"test the result of risky against its error codes\"},{\"analysis\":\"locksafe\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":7,\"col\":33,\"message\":\"locks la and lb are acquired in both orders (deadlock risk)\",\"fix_hint\":\"always acquire la before lb (or vice versa)\"},{\"analysis\":\"userck\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":9,\"col\":28,\"message\":\"in bad: dereference of __user pointer (u)\",\"fix_hint\":\"stage the access through copy_from_user/copy_to_user\"},{\"analysis\":\"absint\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":10,\"col\":1,\"message\":\"masked: proved 2 of 2 residual checks (7 fixpoint iterations, 0 widening points)\",\"fix_hint\":null},{\"analysis\":\"stackcheck\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":10,\"col\":1,\"message\":\"deepest bounded call chain: 96 bytes (masked)\",\"fix_hint\":null},{\"analysis\":\"refsafe\",\"severity\":\"warning\",\"file\":\"golden.kc\",\"line\":13,\"col\":1,\"message\":\"leaky: missing put of p on error return\",\"fix_hint\":\"release the allocation before the error return\"}],\"deputy\":{\"checks_inserted\":4,\"facts_discharged\":2,\"absint_discharged\":2,\"residual\":0},\"ccount\":{\"sites_instrumented\":0,\"register_skipped\":2,\"refsafe_discharged\":0,\"residual\":0}}\n"
 
 let test_schema_golden () = Alcotest.(check string) "exact JSON output" expected (render fixture)
 
@@ -56,12 +68,16 @@ let test_quiet_program_shape () =
     let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
     go 0
   in
-  Alcotest.(check bool) "errcheck, userck and absint keys present though empty" true
+  Alcotest.(check bool) "errcheck, userck, absint and refsafe keys present though empty" true
     (contains "\"errcheck\":[]" out && contains "\"userck\":[]" out
-    && contains "\"absint\":[]" out);
+    && contains "\"absint\":[]" out && contains "\"refsafe\":[]" out);
   Alcotest.(check bool) "deputy counters present and all zero" true
     (contains
        "\"deputy\":{\"checks_inserted\":0,\"facts_discharged\":0,\"absint_discharged\":0,\"residual\":0}"
+       out);
+  Alcotest.(check bool) "ccount counters present and all zero" true
+    (contains
+       "\"ccount\":{\"sites_instrumented\":0,\"register_skipped\":0,\"refsafe_discharged\":0,\"residual\":0}"
        out);
   Alcotest.(check bool) "single info diagnostic" true
     (contains "\"diagnostics\":[{\"analysis\":\"stackcheck\",\"severity\":\"info\"" out)

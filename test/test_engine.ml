@@ -103,7 +103,7 @@ let test_counters_track_builds_and_hits () =
 let test_run_all_builds_once_per_mode () =
   let ctxt = Engine.Context.create (Kernel.Corpus.load ()) in
   let results = Ivy.Checks.run_all ctxt in
-  Alcotest.(check int) "six analyses ran" 6 (List.length results);
+  Alcotest.(check int) "seven analyses ran" 7 (List.length results);
   List.iter
     (fun name ->
       Alcotest.(check int) (name ^ " built once") 1 (stat ctxt name).Engine.Context.builds)

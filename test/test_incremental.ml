@@ -133,18 +133,23 @@ let test_single_function_edit_rebuilds_only_downstream () =
         ignore (Engine.Context.vm_compiled ctxt);
         r)
   in
-  (* The call-skeleton artifacts must be served warm... *)
+  (* The call-skeleton artifacts must be served warm: an arithmetic
+     edit moves no pointer-relevant instruction, so refsafe's
+     summaries stay warm alongside points-to and the call graph... *)
   List.iter
     (fun name -> Alcotest.(check int) (name ^ " not rebuilt") 0 (builds_of delta name))
     [
       "pointsto(type-based)"; "pointsto(field-based)"; "callgraph(type-based)";
       "callgraph(field-based)"; "blocking(type-based)"; "irq-handlers";
+      "refsafe-summaries";
     ];
-  (* ...while the body-reading chain rebuilds exactly once each. *)
+  (* ...while the body-reading chain rebuilds exactly once each (the
+     ccount discharge re-instruments the edited program, but reuses the
+     warm summaries). *)
   Alcotest.(check int) "one cfg rebuild (helper only)" 1 (builds_of delta "cfg");
   List.iter
     (fun name -> Alcotest.(check int) (name ^ " rebuilt once") 1 (builds_of delta name))
-    [ "absint-summaries"; "deputized(absint)"; "vm-compiled" ];
+    [ "absint-summaries"; "deputized(absint)"; "vm-compiled"; "ccount-discharged" ];
   (* And the incremental report equals a cold context's report. *)
   let cold = Engine.Context.create (parse (prog_src edited_body)) in
   Alcotest.(check string) "report byte-identical to cold" (report cold) second

@@ -141,13 +141,41 @@ let test_corpus_summaries_equal_serial () =
     (Absint.Transfer.SM.equal (fun a b -> Absint.Aval.to_string a = Absint.Aval.to_string b)
        serial parallel)
 
+(* ---- refsafe summaries: parallel = serial ---- *)
+
+let refsafe_fixture =
+  "typedef unsigned long size_t;\n\
+   void * __opt kzalloc(size_t n, int flags) __blocking_if_gfp_wait;\n\
+   void kfree(void * __opt p);\n\
+   long *mk(void) { long *p = kzalloc(16, 0); return p; }\n\
+   void fin(long *p) { kfree(p); }\n\
+   long use(long n) { long *q = mk(); if (q != 0) { q[0] = n; n = q[0]; fin(q); } return n; }\n"
+
+let test_refsafe_summaries_equal_serial () =
+  let prog = parse refsafe_fixture in
+  let serial = Refsafe.Summary.compute ~jobs:1 prog in
+  let parallel = Refsafe.Summary.compute ~jobs:4 prog in
+  Alcotest.(check bool) "fixture refsafe summaries identical for jobs=1 and jobs=4" true
+    (Refsafe.Summary.equal serial parallel)
+
+let test_corpus_refsafe_summaries_equal_serial () =
+  let prog = Kernel.Workloads.load () in
+  let serial = Refsafe.Summary.compute ~jobs:1 prog in
+  let parallel = Refsafe.Summary.compute ~jobs:4 prog in
+  Alcotest.(check bool) "corpus refsafe summaries identical for jobs=1 and jobs=4" true
+    (Refsafe.Summary.equal serial parallel)
+
 (* ---- campaign format v2: the injector stream split ---- *)
 
 let test_format_version () = Alcotest.(check int) "campaign format" 2 Gen.Fuzz.format_version
 
 let test_v2_fault_derivation_locked () =
   (* Snapshot of the v2 (split-stream) per-case fault labels: a silent
-     return to the v1 [cseed + 1] derivation changes these. *)
+     return to the v1 [cseed + 1] derivation changes these.  The labels
+     also depend on the length of [Gen.Fault.all] (the injector draws an
+     index into it), so APPENDING a fault kind legitimately reshuffles
+     them — recompute the snapshot when the taxonomy grows (last:
+     ref-leak/double-put/put-on-error-path, 6 -> 9 kinds). *)
   let label i =
     match (Gen.Fuzz.case_program ~seed:42 i).Gen.Prog.faults with
     | [ (k, fn) ] -> Gen.Fault.to_string k ^ "@" ^ fn
@@ -157,12 +185,12 @@ let test_v2_fault_derivation_locked () =
   List.iter
     (fun (i, expected) -> Alcotest.(check string) (Printf.sprintf "case %d" i) expected (label i))
     [
-      (1, "lock-inversion@f0_");
+      (1, "ref-leak@f0_");
       (2, "oob-write@f1_");
-      (3, "user-deref@f3_");
+      (3, "atomic-block@f3_");
       (4, "clean");
-      (5, "dangling-free@f0_");
-      (6, "atomic-block@f4_");
+      (5, "unchecked-err@f0_");
+      (6, "user-deref@f4_");
     ]
 
 (* ---- end-to-end determinism: fuzz ---- *)
@@ -205,7 +233,11 @@ let test_check_json_identical_across_jobs () =
     let deputy =
       if List.mem_assoc "absint" results then Some (Engine.Context.deputized ctxt) else None
     in
-    Ivy.Report_fmt.render_diags_json ?deputy results
+    let ccount =
+      if List.mem_assoc "refsafe" results then Some (Engine.Context.ccount_discharged ctxt)
+      else None
+    in
+    Ivy.Report_fmt.render_diags_json ?deputy ?ccount results
   in
   let serial = render 1 in
   Alcotest.(check string) "check --json byte-identical for jobs=4" serial (render 4)
@@ -266,6 +298,10 @@ let () =
             test_parallel_summaries_equal_serial;
           Alcotest.test_case "parallel = serial (corpus)" `Slow
             test_corpus_summaries_equal_serial;
+          Alcotest.test_case "refsafe parallel = serial (fixture)" `Quick
+            test_refsafe_summaries_equal_serial;
+          Alcotest.test_case "refsafe parallel = serial (corpus)" `Slow
+            test_corpus_refsafe_summaries_equal_serial;
         ] );
       ( "format",
         [
