@@ -23,7 +23,7 @@ let best_of n f =
 
 (* --json: machine-readable results. Every headline scenario records
    (name, wall-clock seconds, speedup); the collected list is printed
-   as JSON and written to BENCH_pr7.json at the repo root when the
+   as JSON and written to BENCH_pr8.json at the repo root when the
    flag is given. Format documented in DESIGN.md §13. *)
 let json_results : (string * float * float) list ref = ref []
 
@@ -43,7 +43,7 @@ let render_json () =
 let emit_json () =
   let s = render_json () in
   print_string s;
-  let oc = open_out "BENCH_pr7.json" in
+  let oc = open_out "BENCH_pr8.json" in
   output_string oc s;
   close_out oc
 
@@ -273,6 +273,25 @@ let bench_serve () =
   Printf.printf "warm speedup:                   %8.2fx\n" (t_cold /. t_warm);
   record ~scenario:"serve-warm" ~wall:t_warm ~speedup:(t_cold /. t_warm);
   record ~scenario:"serve-edit" ~wall:t_edit ~speedup:(t_cold /. t_edit);
+  (* Relational interface summaries ride the ptrflow fingerprint: the
+     arithmetic body edit above must leave them warm (0 builds) even
+     though the value summaries downstream of the edited function
+     rebuild. *)
+  let builds_of resp name =
+    match
+      Option.bind (J.member "result" (J.parse resp)) (fun r ->
+          Option.bind (J.member "stats" r) (fun s ->
+              Option.bind (J.member "artifacts" s) (fun a ->
+                  Option.bind (J.member name a) (J.member "builds"))))
+    with
+    | Some (J.Num n) -> int_of_float n
+    | _ -> 0
+  in
+  let rs_cold = builds_of r_cold "relsum-ifaces" in
+  let rs_edit = builds_of r_edit "relsum-ifaces" in
+  Printf.printf "relsum-ifaces builds:           cold %d, arithmetic edit %d\n" rs_cold rs_edit;
+  record ~scenario:"relsum-cold" ~wall:t_cold ~speedup:1.0;
+  record ~scenario:"relsum-warm-edit" ~wall:t_edit ~speedup:(t_cold /. t_edit);
   if (not (warm_of r_warm)) || not (warm_of r_touch) then begin
     Printf.printf "FAIL: a no-op resubmit rebuilt artifacts (warm resubmit %b, comment edit %b)\n"
       (warm_of r_warm) (warm_of r_touch);
@@ -280,6 +299,15 @@ let bench_serve () =
   end;
   if warm_of r_edit then begin
     Printf.printf "FAIL: a body edit reported warm (stale artifacts served)\n";
+    exit 1
+  end;
+  if rs_cold < 1 then begin
+    Printf.printf "FAIL: the cold check never built the relational summaries\n";
+    exit 1
+  end;
+  if rs_edit > 0 then begin
+    Printf.printf
+      "FAIL: an arithmetic-only edit rebuilt the relational summaries (ptrflow drift)\n";
     exit 1
   end
 
@@ -417,8 +445,13 @@ let absint_gate () =
   ignore (Deputy.Dreport.deputize ~optimize:true prog);
   let st = Absint.Discharge.run prog in
   let rate = Absint.Discharge.rate st in
-  Printf.printf "absint gate: discharge rate %.1f%% (%d of %d residual checks), floor %.1f%%\n"
-    rate (Absint.Discharge.checks_proved st) (Absint.Discharge.checks_seen st) floor;
+  Printf.printf
+    "absint gate: discharge rate %.1f%% (%d of %d residual checks: intervals %d + relational \
+     %d), floor %.1f%%\n"
+    rate (Absint.Discharge.checks_proved st) (Absint.Discharge.checks_seen st)
+    (Absint.Discharge.checks_proved_iv st)
+    (Absint.Discharge.checks_proved_rel st) floor;
+  record ~scenario:"absint-gate" ~wall:0.0 ~speedup:(rate /. 100.);
   if rate < floor then begin
     Printf.printf "FAIL: discharge rate regressed below the checked-in floor\n";
     exit 1
@@ -655,6 +688,13 @@ let () =
   | "--absint-gate" :: _ -> absint_gate ()
   | "--vm-gate" :: _ -> vm_gate ()
   | "--refsafe-gate" :: _ -> refsafe_gate ()
+  | "--gates" :: _ ->
+      (* every CI regression fence in one process, so --json collects
+         all the headline scenarios into a single BENCH_pr8.json *)
+      absint_gate ();
+      vm_gate ();
+      refsafe_gate ();
+      bench_serve ()
   | "--vm-compile" :: _ -> ignore (bench_vm_compile ())
   | "--fuzz-par" :: rest ->
       let count = match rest with c :: _ -> int_of_string c | [] -> 60 in

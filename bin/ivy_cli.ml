@@ -137,7 +137,10 @@ let deputy_cmd =
     Arg.(
       value & flag
       & info [ "absint" ]
-          ~doc:"Also run the interval abstract-interpretation discharge stage on the result.")
+          ~doc:
+            "Also run the abstract-interpretation discharge stage on the result (the \
+             interval-zone product domain by default; set IVY_ABSINT_DOMAIN=interval for the \
+             interval-only ablation).")
   in
   let run files absint =
     handle_frontend_errors (fun () ->

@@ -1,0 +1,190 @@
+(* Sparse difference-bound matrix: a finite map from ordered variable
+   pairs (x, y) to an int64 bound c, meaning x - y <= c.  Variables are
+   plain integers (the Zone layer maps program variables and the
+   distinguished zero variable onto them).  An absent pair means +oo
+   (no constraint), so dropping entries is always sound.
+
+   Design notes, load-bearing for termination of the analysis:
+
+   - [widen old next] keeps an entry of [old] only when [next] does not
+     weaken it, and *never* adopts entries or values from [next].  The
+     key set of a widening sequence is therefore monotonically
+     shrinking and the surviving values never change, so any widening
+     chain is finite regardless of what the right-hand side does —
+     including when downstream closure re-derives dropped entries.
+   - Widening results are never closed in place; closure is applied to
+     join *inputs* and to query-time copies only (see {!Zone}).
+
+   Bound arithmetic saturates by *dropping*: if c1 + c2 overflows in
+   either direction the derived constraint is discarded (treated as
+   +oo), which is sound because absent = unconstrained. *)
+
+module PM = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+module IS = Set.Make (Int)
+
+type t = int64 PM.t
+
+let top : t = PM.empty
+let is_top = PM.is_empty
+let equal = PM.equal Int64.equal
+let find_opt x y (t : t) = PM.find_opt (x, y) t
+let fold f (t : t) acc = PM.fold (fun (x, y) c acc -> f x y c acc) t acc
+let cardinal = PM.cardinal
+
+(* d(a, b) with the implicit zero diagonal. *)
+let bound (t : t) a b : int64 option = if a = b then Some 0L else PM.find_opt (a, b) t
+
+let vars (t : t) : int list =
+  IS.elements (PM.fold (fun (x, y) _ acc -> IS.add x (IS.add y acc)) t IS.empty)
+
+(* a + b, None on overflow (the derived constraint is dropped). *)
+let checked_add (a : int64) (b : int64) : int64 option =
+  let s = Int64.add a b in
+  (* overflow iff operands share a sign and the sum's sign differs *)
+  if Int64.logxor a b >= 0L && Int64.logxor a s < 0L then None else Some s
+
+let checked_add3 a b c =
+  match checked_add a b with None -> None | Some s -> checked_add s c
+
+(* Keep the tighter bound for [key]. *)
+let tighten key v (t : t) =
+  match PM.find_opt key t with
+  | Some c when Int64.compare c v <= 0 -> t
+  | _ -> PM.add key v t
+
+(* [add x y c t]: record x - y <= c and propagate it one step through
+   every existing path (incremental closure: complete when [t] was
+   closed, sound otherwise).  [None] signals an infeasible state. *)
+let add x y c (t : t) : t option =
+  if x = y then if Int64.compare c 0L < 0 then None else Some t
+  else
+    match bound t x y with
+    | Some c0 when Int64.compare c0 c <= 0 -> Some t
+    | _ ->
+        let t = PM.add (x, y) c t in
+        let vs = vars t in
+        let feasible = ref true in
+        let acc = ref t in
+        List.iter
+          (fun i ->
+            match bound t i x with
+            | None -> ()
+            | Some dix ->
+                List.iter
+                  (fun j ->
+                    match bound t y j with
+                    | None -> ()
+                    | Some dyj -> (
+                        match checked_add3 dix c dyj with
+                        | None -> ()
+                        | Some v ->
+                            if i = j then begin
+                              if Int64.compare v 0L < 0 then feasible := false
+                            end
+                            else acc := tighten (i, j) v !acc))
+                  vs)
+          vs;
+        if !feasible then Some !acc else None
+
+(* Full shortest-path closure over the universe [vs] (callers may widen
+   the universe beyond [vars t], e.g. with query endpoints).  [None]
+   signals a negative cycle (infeasible state). *)
+let close_over (vs : int list) (t : t) : t option =
+  match vs with
+  | [] | [ _ ] -> Some t
+  | _ ->
+      let h = Hashtbl.create 64 in
+      PM.iter (fun k c -> Hashtbl.replace h k c) t;
+      let get i j = if i = j then Some 0L else Hashtbl.find_opt h (i, j) in
+      let feasible = ref true in
+      List.iter
+        (fun k ->
+          List.iter
+            (fun i ->
+              match get i k with
+              | None -> ()
+              | Some a ->
+                  List.iter
+                    (fun j ->
+                      match get k j with
+                      | None -> ()
+                      | Some b -> (
+                          match checked_add a b with
+                          | None -> ()
+                          | Some v ->
+                              if i = j then begin
+                                if Int64.compare v 0L < 0 then feasible := false
+                              end
+                              else
+                                match get i j with
+                                | Some c when Int64.compare c v <= 0 -> ()
+                                | _ -> Hashtbl.replace h (i, j) v))
+                    vs)
+            vs)
+        vs;
+      if not !feasible then None
+      else Some (Hashtbl.fold (fun k v acc -> PM.add k v acc) h PM.empty)
+
+let close (t : t) : t option = close_over (vars t) t
+
+(* Pointwise max over the keys common to both sides; keys present on
+   only one side join with +oo and disappear.  Sound on arbitrary
+   (even unclosed) arguments; precise when both arguments are closed. *)
+let join (a : t) (b : t) : t =
+  PM.merge
+    (fun _ l r ->
+      match (l, r) with
+      | Some x, Some y -> Some (if Int64.compare x y >= 0 then x else y)
+      | _ -> None)
+    a b
+
+(* Keep an entry of [old] only where [next] hasn't weakened it.  Keys
+   shrink monotonically and kept values never change: termination. *)
+let widen (old : t) (next : t) : t =
+  PM.filter
+    (fun k c ->
+      match PM.find_opt k next with
+      | Some cn -> Int64.compare cn c <= 0
+      | None -> false)
+    old
+
+(* Keep everything [old] knows; adopt [next]'s entries on keys [old]
+   dropped (typically the ones widening destroyed). *)
+let narrow (old : t) (next : t) : t =
+  PM.union (fun _ c _ -> Some c) old next
+
+let forget (v : int) (t : t) : t = PM.filter (fun (x, y) _ -> x <> v && y <> v) t
+
+(* v := v + k, exact when the concrete addition cannot wrap (the caller
+   certifies that): x - v <= c becomes x - v' <= c - k, v - y <= c
+   becomes v' - y <= c + k.  Entries whose shifted bound overflows are
+   dropped (sound: +oo). *)
+let shift (v : int) (k : int64) (t : t) : t =
+  if Int64.equal k Int64.min_int then forget v t (* -k not representable *)
+  else
+    PM.fold
+      (fun (x, y) c acc ->
+        let c' =
+          if x = v then checked_add c k
+          else if y = v then checked_add c (Int64.neg k)
+          else Some c
+        in
+        match c' with Some c' -> PM.add (x, y) c' acc | None -> acc)
+      t PM.empty
+
+let entails_le x y c (t : t) : bool =
+  match bound t x y with Some c0 -> Int64.compare c0 c <= 0 | None -> false
+
+let to_string (t : t) : string =
+  let b = Buffer.create 64 in
+  PM.iter
+    (fun (x, y) c ->
+      if Buffer.length b > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "v%d - v%d <= %Ld" x y c))
+    t;
+  if Buffer.length b = 0 then "T" else Buffer.contents b

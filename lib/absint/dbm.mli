@@ -1,0 +1,60 @@
+(** Sparse difference-bound matrix over integer variable ids: a map
+    from pairs [(x, y)] to the tightest known [c] with [x - y <= c].
+    Absent pairs mean +oo, so dropping entries is always sound.
+    The relational half of the absint product domain ({!Zone} wraps
+    this with program variables and the distinguished zero var). *)
+
+type t
+
+val top : t
+(** No constraints. *)
+
+val is_top : t -> bool
+val equal : t -> t -> bool
+val find_opt : int -> int -> t -> int64 option
+val fold : (int -> int -> int64 -> 'a -> 'a) -> t -> 'a -> 'a
+val cardinal : t -> int
+
+val vars : t -> int list
+(** Every variable id mentioned by some constraint, sorted. *)
+
+val add : int -> int -> int64 -> t -> t option
+(** [add x y c t]: record [x - y <= c], propagating one step through
+    existing paths (incremental closure — complete when [t] is closed,
+    sound otherwise). [None] when the constraint system becomes
+    infeasible (negative cycle). *)
+
+val close : t -> t option
+(** Full shortest-path closure; [None] on a negative cycle. *)
+
+val close_over : int list -> t -> t option
+(** Closure over an explicit universe (may include variables without
+    constraints yet, e.g. query endpoints). *)
+
+val join : t -> t -> t
+(** Pointwise max over common keys. Precise when both sides are
+    closed; sound regardless. *)
+
+val widen : t -> t -> t
+(** [widen old next] keeps entries of [old] that [next] does not
+    weaken and never adopts anything from [next]: widening chains are
+    finite because key sets shrink monotonically and surviving values
+    never change. Never close a widening result in place. *)
+
+val narrow : t -> t -> t
+(** [narrow old next]: all of [old] plus [next]'s entries on keys
+    [old] lacks. Sound when [next <= old] (the solver guards this). *)
+
+val forget : int -> t -> t
+(** Drop every constraint mentioning the variable. *)
+
+val shift : int -> int64 -> t -> t
+(** [shift v k t]: exact translation for [v := v + k]; only sound when
+    the concrete addition cannot wrap (callers certify that with an
+    interval no-wrap check). *)
+
+val entails_le : int -> int -> int64 -> t -> bool
+(** [entails_le x y c t]: does [t] (ideally closed) already record
+    [x - y <= c']  with [c' <= c]? *)
+
+val to_string : t -> string

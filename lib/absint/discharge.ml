@@ -18,7 +18,9 @@ module Cfg = Dataflow.Cfg
 type fstat = {
   fname : string;
   seen : int; (* residual checks entering this pass *)
-  proved : int; (* ... removed by interval facts *)
+  proved : int; (* ... removed by the product domain *)
+  proved_iv : int; (* ... by the interval component alone *)
+  proved_rel : int; (* ... only with the zone's relational facts *)
   iterations : int;
   widen_points : int;
 }
@@ -28,6 +30,8 @@ type stats = { fstats : fstat list }
 let total f stats = List.fold_left (fun acc s -> acc + f s) 0 stats.fstats
 let checks_seen = total (fun s -> s.seen)
 let checks_proved = total (fun s -> s.proved)
+let checks_proved_iv = total (fun s -> s.proved_iv)
+let checks_proved_rel = total (fun s -> s.proved_rel)
 
 let rate stats =
   let seen = checks_seen stats in
@@ -39,8 +43,12 @@ let count_checks (b : I.block) : int =
   !n
 
 (* Collect the checks provable at their program point by replaying the
-   fixpoint through each node's instruction list. *)
-let provable_checks ~summaries (r : Solver.fresult) : I.instr list =
+   fixpoint through each node's instruction list, tagged with which
+   component of the product proved them ({!Transfer.provable_why}
+   tries the interval rule first, so [P_relational] counts only
+   zone-exclusive proofs). *)
+let provable_checks ~ifaces ~summaries (r : Solver.fresult) :
+    (I.instr * Transfer.proof) list =
   let removable = ref [] in
   Array.iter
     (fun (node : Cfg.node) ->
@@ -48,9 +56,12 @@ let provable_checks ~summaries (r : Solver.fresult) : I.instr list =
       List.iter
         (fun (i, _loc) ->
           (match i with
-          | I.Icheck (ck, _) when Transfer.provable !env ck -> removable := i :: !removable
+          | I.Icheck (ck, _) -> (
+              match Transfer.provable_why !env ck with
+              | Some p -> removable := (i, p) :: !removable
+              | None -> ())
           | _ -> ());
-          env := Transfer.instr summaries !env i)
+          env := Transfer.instr ~ifaces summaries !env i)
         node.Cfg.instrs)
     r.Solver.cfg.Cfg.nodes;
   !removable
@@ -80,27 +91,41 @@ and filter_stmt removable (s : I.stmt) : I.stmt option =
   | I.Sdelayed b1 -> Some { s with I.sk = I.Sdelayed (filter_block removable b1) }
   | I.Strusted b1 -> Some { s with I.sk = I.Strusted (filter_block removable b1) }
 
-let discharge_fundec ~summaries (fd : I.fundec) : fstat =
+let discharge_fundec ?(ifaces = Transfer.no_ifaces) ~summaries (fd : I.fundec) : fstat =
   let seen = count_checks fd.I.fbody in
-  let r = Solver.analyze ~summaries fd in
-  let removable = provable_checks ~summaries r in
+  let r = Solver.analyze ~summaries ~ifaces fd in
+  let tagged = provable_checks ~ifaces ~summaries r in
+  let removable = List.map fst tagged in
   if removable <> [] then fd.I.fbody <- filter_block removable fd.I.fbody;
+  let count p = List.length (List.filter (fun (_, q) -> q = p) tagged) in
   {
     fname = fd.I.fname;
     seen;
     proved = List.length removable;
+    proved_iv = count Transfer.P_interval;
+    proved_rel = count Transfer.P_relational;
     iterations = r.Solver.iterations;
     widen_points = r.Solver.widen_points;
   }
 
 (* Discharge over every defined function of an (already deputized and
-   Facts-optimized) program, in place. *)
-let run ?summaries (prog : I.program) : stats =
-  let summaries = match summaries with Some s -> s | None -> Summary.compute prog in
+   Facts-optimized) program, in place.  Under the product domain
+   (default, see {!Domain}) the relational interface summaries are
+   computed first and feed both the interval summaries and the
+   per-function fixpoints. *)
+let run ?summaries ?ifaces (prog : I.program) : stats =
+  let ifaces =
+    match ifaces with
+    | Some i -> i
+    | None -> if Domain.relational () then Relsum.compute prog else Transfer.no_ifaces
+  in
+  let summaries =
+    match summaries with Some s -> s | None -> Summary.compute ~ifaces prog
+  in
   {
     fstats =
       List.filter_map
-        (fun fd -> if fd.I.fextern then None else Some (discharge_fundec ~summaries fd))
+        (fun fd -> if fd.I.fextern then None else Some (discharge_fundec ~ifaces ~summaries fd))
         prog.I.funcs;
   }
 
@@ -115,6 +140,9 @@ let render_stats (stats : stats) : string =
            s.widen_points))
     stats.fstats;
   Buffer.add_string buf
-    (Printf.sprintf "absint: proved %d of %d residual checks (%.1f%% discharge rate)\n"
-       (checks_proved stats) (checks_seen stats) (rate stats));
+    (Printf.sprintf
+       "absint: proved %d of %d residual checks (%.1f%% discharge rate; intervals %d + \
+        relational %d)\n"
+       (checks_proved stats) (checks_seen stats) (rate stats) (checks_proved_iv stats)
+       (checks_proved_rel stats));
   Buffer.contents buf

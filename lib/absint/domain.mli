@@ -1,0 +1,18 @@
+(** Abstract-domain selection: the interval×nullness×zone product is
+    the default; [IVY_ABSINT_DOMAIN=interval] opts out of the
+    relational component. *)
+
+type t = Product | Interval_only
+
+val of_string : string -> t option
+
+val current : unit -> t
+(** Programmatic override, else the environment, else [Product]. *)
+
+val relational : unit -> bool
+(** Is the zone component enabled? *)
+
+val with_domain : t -> (unit -> 'a) -> 'a
+(** Run with a forced domain choice (bench compares both in-process). *)
+
+val to_string : t -> string

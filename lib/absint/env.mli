@@ -1,10 +1,12 @@
-(** Abstract environment: stable variable id -> {!Aval.t}, with an
+(** Abstract environment: reduced product of a stable-variable map to
+    {!Aval.t} and a {!Zone.t} of difference-bound constraints, with an
     explicit [Unreachable] bottom. Absent bindings mean "unknown"
-    (readers fall back to the variable's type range). *)
+    (readers fall back to the variable's type range); absent zone
+    constraints mean +oo. *)
 
 module IntMap : Map.S with type key = int
 
-type t = Unreachable | Env of Aval.t IntMap.t
+type t = Unreachable | Env of Aval.t IntMap.t * Zone.t
 
 val bottom : t
 (** [Unreachable]. *)
@@ -13,10 +15,38 @@ val empty : t
 (** Reachable, no facts. *)
 
 val equal : t -> t -> bool
+
 val join : t -> t -> t
+(** Closes both zone arguments with their own interval seeds first
+    (reduction), then joins pointwise. An infeasible side drops out. *)
+
 val widen : t -> t -> t
+(** Closes only the NEXT argument's zone; the accumulator passes
+    through untouched so DBM widening terminates. *)
+
 val narrow : t -> t -> t
 val find_opt : int -> t -> Aval.t option
 val set : int -> Aval.t -> t -> t
+
 val forget : int -> t -> t
+(** Drops the binding and every zone constraint on the variable. *)
+
 val is_unreachable : t -> bool
+
+(** {2 Zone access (transfer layer)} *)
+
+val zone : t -> Zone.t option
+val seeds : t -> Zone.seeds
+
+val map_zone : (Zone.t -> Zone.t option) -> t -> t
+(** Apply a partial zone transformer; [None] marks the state
+    infeasible ([Unreachable]). *)
+
+val close : t -> t
+(** Close the zone with interval seeds and store the result (call
+    before killing a variable so derived facts survive). Detects
+    infeasibility. *)
+
+val tighten_from_zone : t -> t
+(** Meet derived unary zone bounds back into the interval component
+    (the second reduction direction). Detects infeasibility. *)

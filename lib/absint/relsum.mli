@@ -1,0 +1,19 @@
+(** Relational (interface) summaries over the pointer-flow projection:
+    per-function facts — currently [ret_nonnull] — computed by a small
+    flow-sensitive must-non-null analysis of the statement tree,
+    callees-first over the SCC condensation shared with {!Summary}.
+    Reads only data serialized by [Engine.Fingerprint.ptrflow], so the
+    engine artifact keyed on that projection stays warm across
+    arithmetic-only edits. *)
+
+val summarize_fn : Transfer.ifaces -> Kc.Ir.fundec -> Transfer.fn_iface
+(** Summarize one function given its callees' interfaces. Exposed for
+    tests. *)
+
+val compute : ?jobs:int -> Kc.Ir.program -> Transfer.ifaces
+(** Interfaces for every defined function; callees-first, recursive
+    components degrade to no-claim. [jobs] parallelizes within an SCC
+    level (jobs-invariant, like {!Summary.compute}). *)
+
+val count_nonnull : Transfer.ifaces -> int
+(** Number of functions with a positive [ret_nonnull] fact. *)

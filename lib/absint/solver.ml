@@ -32,8 +32,8 @@ let back_edge_targets (cfg : Cfg.t) : bool array =
   dfs cfg.Cfg.entry;
   target
 
-let transfer summaries (node : Cfg.node) (env : Env.t) : Env.t =
-  List.fold_left (fun env (i, _loc) -> Transfer.instr summaries env i) env node.Cfg.instrs
+let transfer ~ifaces summaries (node : Cfg.node) (env : Env.t) : Env.t =
+  List.fold_left (fun env (i, _loc) -> Transfer.instr ~ifaces summaries env i) env node.Cfg.instrs
 
 (* Branch conditions refine their outgoing edges: succs of a Tcond are
    [then; else] in that order. *)
@@ -42,10 +42,20 @@ let edge (node : Cfg.node) (idx : int) (out : Env.t) : Env.t =
   | Cfg.Tcond e when List.length node.Cfg.succs = 2 -> Transfer.assume out e (idx = 0)
   | _ -> out
 
-let analyze_cfg ?(summaries = Transfer.no_summaries) (cfg : Cfg.t) : fresult =
+(* Delay widening for two visits at each widening point: early
+   worklist visits propagate transient bounds (a variable ascending
+   once while an earlier loop stabilizes), and widening against those
+   destroys limits narrowing cannot recover. Two join rounds let the
+   rest of the CFG settle first; termination is a finite per-node
+   budget away from the undelayed proof. *)
+let widen_delay = 2
+
+let analyze_cfg ?(summaries = Transfer.no_summaries) ?(ifaces = Transfer.no_ifaces)
+    (cfg : Cfg.t) : fresult =
   let widen_at = back_edge_targets cfg in
   let r =
-    W.solve cfg ~widen_at ~init:Env.empty ~transfer:(transfer summaries) ~edge
+    W.solve cfg ~widen_delay ~widen_at ~init:Env.empty ~transfer:(transfer ~ifaces summaries)
+      ~edge
   in
   {
     cfg;
@@ -55,8 +65,8 @@ let analyze_cfg ?(summaries = Transfer.no_summaries) (cfg : Cfg.t) : fresult =
     widen_points = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 widen_at;
   }
 
-let analyze ?summaries (fd : I.fundec) : fresult =
-  analyze_cfg ?summaries (Cfg.build fd)
+let analyze ?summaries ?ifaces (fd : I.fundec) : fresult =
+  analyze_cfg ?summaries ?ifaces (Cfg.build fd)
 
 (* Join of the abstract values flowing into every reachable return of
    [fd], normed to the return type; used to summarize calls. *)

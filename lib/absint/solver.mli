@@ -1,5 +1,6 @@
-(** Per-function interval fixpoint over the KC CFG: widening at
-    back-edge targets, branch-edge refinement, bounded narrowing. *)
+(** Per-function product-domain fixpoint over the KC CFG: widening at
+    back-edge targets (delayed two visits, see {!Dataflow.Worklist}),
+    branch-edge refinement, bounded narrowing. *)
 
 type fresult = {
   cfg : Dataflow.Cfg.t;
@@ -10,8 +11,11 @@ type fresult = {
 }
 
 val back_edge_targets : Dataflow.Cfg.t -> bool array
-val analyze_cfg : ?summaries:Transfer.summaries -> Dataflow.Cfg.t -> fresult
-val analyze : ?summaries:Transfer.summaries -> Kc.Ir.fundec -> fresult
+
+val analyze_cfg :
+  ?summaries:Transfer.summaries -> ?ifaces:Transfer.ifaces -> Dataflow.Cfg.t -> fresult
+
+val analyze : ?summaries:Transfer.summaries -> ?ifaces:Transfer.ifaces -> Kc.Ir.fundec -> fresult
 
 val return_aval : Kc.Ir.fundec -> fresult -> Aval.t
 (** Join over all reachable [return e] sites, normed to the return

@@ -97,13 +97,13 @@ let levels_of (sccs : I.fundec list list) : I.fundec list list list =
   List.init (max_level + 1) (fun l ->
       List.rev (Option.value (Hashtbl.find_opt by_level l) ~default:[]))
 
-let solve_one ~summaries ~cfg_of (fd : I.fundec) : Aval.t =
-  let r = Solver.analyze_cfg ~summaries (cfg_of fd) in
+let solve_one ?(ifaces = Transfer.no_ifaces) ~summaries ~cfg_of (fd : I.fundec) : Aval.t =
+  let r = Solver.analyze_cfg ~summaries ~ifaces (cfg_of fd) in
   let ret = Solver.return_aval fd r in
   if Aval.is_bot ret then Transfer.of_ty fd.I.fret else ret
 
-let compute ?(cfg_of = fun fd -> Dataflow.Cfg.build fd) ?(jobs = 1) (prog : I.program) :
-    Transfer.summaries =
+let compute ?(cfg_of = fun fd -> Dataflow.Cfg.build fd) ?(jobs = 1)
+    ?(ifaces = Transfer.no_ifaces) (prog : I.program) : Transfer.summaries =
   (* Externs have no body to summarize; leaving them out also keeps
      the allocator special-case in Transfer.instr in charge. *)
   let sccs = sccs_of (List.filter (fun fd -> not fd.I.fextern) prog.I.funcs) in
@@ -124,7 +124,7 @@ let compute ?(cfg_of = fun fd -> Dataflow.Cfg.build fd) ?(jobs = 1) (prog : I.pr
         Par.map ~jobs
           (fun scc ->
             match scc with
-            | [ fd ] -> (fd.I.fname, solve_one ~summaries ~cfg_of fd)
+            | [ fd ] -> (fd.I.fname, solve_one ~ifaces ~summaries ~cfg_of fd)
             | _ -> assert false)
           solvable
       in

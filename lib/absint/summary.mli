@@ -9,6 +9,9 @@ val sccs_of : Kc.Ir.fundec list -> Kc.Ir.fundec list list
 (** Tarjan condensation of the direct-call graph, callees first.
     Exposed for tests. *)
 
+val is_self_recursive : Kc.Ir.fundec -> bool
+(** Does the function call itself directly? Shared with {!Relsum}. *)
+
 val levels_of : Kc.Ir.fundec list list -> Kc.Ir.fundec list list list
 (** Group topologically ordered SCCs ({i callees first}) into
     bottom-up dependency levels: every component of a level calls only
@@ -18,6 +21,7 @@ val levels_of : Kc.Ir.fundec list list -> Kc.Ir.fundec list list list
 val compute :
   ?cfg_of:(Kc.Ir.fundec -> Dataflow.Cfg.t) ->
   ?jobs:int ->
+  ?ifaces:Transfer.ifaces ->
   Kc.Ir.program ->
   Transfer.summaries
 (** [cfg_of] lets a caller (the engine context) share memoized CFGs;

@@ -29,6 +29,14 @@ type summaries = Aval.t SM.t
 
 let no_summaries : summaries = SM.empty
 
+(* Relational (skeleton-derived) interface facts per function, see
+   {!Relsum}: currently whether every return provably yields a
+   non-null pointer. *)
+type fn_iface = { ret_nonnull : bool }
+type ifaces = fn_iface SM.t
+
+let no_ifaces : ifaces = SM.empty
+
 (* Allocators yielding non-null chunks, kept in sync with the list the
    Facts-based optimizer trusts (Deputy.Optimize). *)
 let allocators = [ "kmalloc"; "kzalloc"; "kmem_cache_alloc"; "vmalloc"; "alloc_pages" ]
@@ -206,6 +214,114 @@ and eval_int_binop env rty op ea eb =
       | _ -> abool None)
 
 (* ------------------------------------------------------------------ *)
+(* Linear decomposition for the zone component                        *)
+(* ------------------------------------------------------------------ *)
+
+(* [a + b] / [a - b] over int64, [None] on overflow. *)
+let checked_add (a : int64) (b : int64) : int64 option =
+  let s = Int64.add a b in
+  if Int64.logxor a b >= 0L && Int64.logxor a s < 0L then None else Some s
+
+let checked_sub (a : int64) (b : int64) : int64 option =
+  if Int64.equal b Int64.min_int then if a < 0L then Some (Int64.sub a b) else None
+  else checked_add a (Int64.neg b)
+
+let finite = function Interval.Iv (Interval.Fin _, Interval.Fin _) -> true | _ -> false
+
+(* Raw-exact linear view of [e]: [Some (v, k)] means the raw post-norm
+   int64 value of [e] equals [raw(v) + k] in every concrete state the
+   environment describes. This is what licenses a zone constraint, so
+   the decomposition must survive the VM's norm at every step:
+
+   - widening casts are representation-preserving for free
+     (Deputy.Annot.strip_widening, the PR 3 discipline) — handled by
+     [stable_var];
+   - any other cast is the identity only when the operand's interval
+     proves the value fits the target range;
+   - [w +- k] is exact only with an interval certificate that the
+     computed interval is finite (no int64 saturation) and fits the
+     expression's static type (no wrap under norm). Anything else
+     havocs. *)
+let rec linear_of_exp (env : Env.t) (e : I.exp) : (I.varinfo * int64) option =
+  match stable_var e with
+  | Some v -> Some (v, 0L)
+  | None -> (
+      match e.I.e with
+      | I.Ecast (ty, e1) ->
+          if Interval.leq (eval env e1).Aval.iv (ty_range ty) then linear_of_exp env e1
+          else None
+      | I.Ebinop ((A.Add | A.Sub) as op, a, b) -> (
+          let term, k =
+            match (op, Deputy.Facts.as_const a, Deputy.Facts.as_const b) with
+            | _, _, Some kb -> (Some a, Some (if op = A.Sub then Int64.neg kb else kb))
+            | A.Add, Some ka, _ -> (Some b, Some ka)
+            | _ -> (None, None)
+          in
+          match (term, k) with
+          | Some t, Some k when not (Int64.equal k Int64.min_int) || op <> A.Sub -> (
+              let iv = Interval.add (eval env t).Aval.iv (Interval.const k) in
+              if finite iv && Interval.leq iv (ty_range e.I.ety) then
+                match linear_of_exp env t with
+                | Some (v, k0) -> (
+                    match checked_add k0 k with Some k' -> Some (v, k') | None -> None)
+                | None -> None
+              else None)
+          | _ -> None)
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Zone transfer                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Record [x - y <= c] and pull derived unary bounds back into the
+   interval component.  An infeasible constraint system makes the
+   state [Unreachable]. *)
+let zone_add_le x y c env =
+  Env.tighten_from_zone (Env.map_zone (Zone.add_le x y c) env)
+
+(* Kill a variable's zone constraints, first closing with interval
+   seeds so derived consequences survive (e.g. the lower bound a
+   clamped copy proved about its source). *)
+let zone_kill (v : I.varinfo) env =
+  match Env.zone env with
+  | Some z when not (Zone.is_top z) ->
+      Env.map_zone (fun z -> Some (Zone.forget v.I.vid z)) (Env.close env)
+  | _ -> env
+
+(* Relational refinement under raw [ea op eb] ([op] is Le or Lt): add
+   the difference constraint when both sides decompose raw-exactly. *)
+let relational_cmp op (ea : I.exp) (eb : I.exp) env =
+  if (not (Domain.relational ())) || Env.is_unreachable env then env
+  else
+    let strict = match op with A.Lt -> true | _ -> false in
+    let minus_strict c = if strict then checked_sub c 1L else Some c in
+    match (linear_of_exp env ea, linear_of_exp env eb) with
+    | Some (va, ka), Some (vb, kb) when va.I.vid <> vb.I.vid -> (
+        (* raw(va) + ka <= raw(vb) + kb (- strict) *)
+        match Option.bind (checked_sub kb ka) minus_strict with
+        | Some c -> zone_add_le va.I.vid vb.I.vid c env
+        | None -> env)
+    | Some (_, ka), Some (_, kb) (* same variable *) -> (
+        match Option.bind (checked_sub kb ka) minus_strict with
+        | Some c -> if Int64.compare 0L c <= 0 then env else Env.bottom
+        | None -> env)
+    | Some (va, ka), None -> (
+        match Deputy.Facts.as_const eb with
+        | Some cb -> (
+            match Option.bind (checked_sub cb ka) minus_strict with
+            | Some c -> zone_add_le va.I.vid Zone.zero c env
+            | None -> env)
+        | None -> env)
+    | None, Some (vb, kb) -> (
+        match Deputy.Facts.as_const ea with
+        | Some ca -> (
+            match Option.bind (checked_sub kb ca) minus_strict with
+            | Some c -> zone_add_le Zone.zero vb.I.vid c env
+            | None -> env)
+        | None -> env)
+    | None, None -> env
+
+(* ------------------------------------------------------------------ *)
 (* Branch refinement                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -227,6 +343,9 @@ let refine_signed_cmp op (ea : I.exp) (eb : I.exp) env =
   match env with
   | Env.Unreachable -> env
   | _ ->
+      let env = relational_cmp op ea eb env in
+      if Env.is_unreachable env then env
+      else
       let va = eval env ea and vb = eval env eb in
       let strict = match op with A.Lt -> true | _ -> false in
       let env =
@@ -298,13 +417,16 @@ and assume_cmp env op a b branch =
       let va = eval env a and vb = eval env b in
       match op with
       | A.Eq ->
-          (* raw equality: meet the two abstract values into both sides *)
+          (* raw equality: meet the two abstract values into both sides,
+             and record it relationally as a pair of Le constraints
+             (raw equality is sign-independent, like the checks) *)
           let m = Aval.reduce (Aval.meet va vb) in
           if Aval.is_bot m then Env.bottom
           else
             let env = match stable_var a with Some v -> Env.set v.I.vid m env | None -> env in
             let env = match stable_var b with Some v -> Env.set v.I.vid m env | None -> env in
-            env
+            let env = relational_cmp A.Le a b env in
+            if Env.is_unreachable env then env else relational_cmp A.Le b a env
       | A.Ne ->
           let refine sv other_iv env =
             match sv with
@@ -331,25 +453,78 @@ and assume_cmp env op a b branch =
 (* Checks                                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* Does the abstract state prove the check can never fire? On an
-   unreachable state every check is trivially dead. *)
-let provable (env : Env.t) (ck : I.check) : bool =
+(* Which component of the product proved the check?  The interval rule
+   is tried first, so [P_relational] is attributed only to checks the
+   zone alone could discharge (the relational rule strictly subsumes
+   the interval one: unary seeds make every interval proof a zone
+   proof too). *)
+type proof = P_interval | P_relational
+
+(* Does the (closed, interval-seeded) zone entail raw [a <= b]? *)
+let zone_proves strict (a : I.exp) (b : I.exp) env =
+  match Env.zone env with
+  | None -> false
+  | Some z ->
+      let minus_strict c = if strict then checked_sub c 1L else Some c in
+      let entails x y c = Zone.entails_le (Env.seeds env) x y c z in
+      (match (linear_of_exp env a, linear_of_exp env b) with
+      | Some (va, ka), Some (vb, kb) when va.I.vid <> vb.I.vid -> (
+          match Option.bind (checked_sub kb ka) minus_strict with
+          | Some c -> entails va.I.vid vb.I.vid c
+          | None -> false)
+      | Some (_, ka), Some (_, kb) -> (
+          (* same variable: pure offset arithmetic *)
+          match Option.bind (checked_sub kb ka) minus_strict with
+          | Some c -> Int64.compare 0L c <= 0
+          | None -> false)
+      | Some (va, ka), None -> (
+          match Deputy.Facts.as_const b with
+          | Some cb -> (
+              match Option.bind (checked_sub cb ka) minus_strict with
+              | Some c -> entails va.I.vid Zone.zero c
+              | None -> false)
+          | None -> false)
+      | None, Some (vb, kb) -> (
+          match Deputy.Facts.as_const a with
+          | Some ca -> (
+              match Option.bind (checked_sub kb ca) minus_strict with
+              | Some c -> entails Zone.zero vb.I.vid c
+              | None -> false)
+          | None -> false)
+      | None, None -> false)
+
+(* Does the abstract state prove the check can never fire, and which
+   component gets the credit? On an unreachable state every check is
+   trivially dead. *)
+let provable_why (env : Env.t) (ck : I.check) : proof option =
   match env with
-  | Env.Unreachable -> true
+  | Env.Unreachable -> Some P_interval
   | _ -> (
+      let ivl ok = if ok then Some P_interval else None in
+      let rel strict a b =
+        if Domain.relational () && zone_proves strict a b env then Some P_relational else None
+      in
       match ck with
-      | I.Ck_nonnull e -> truthiness (eval env e) = Some true
-      | I.Ck_le (a, b) ->
-          Deputy.Annot.exp_equal a b
-          || (match ((eval env a).Aval.iv, (eval env b).Aval.iv) with
-             | Interval.Iv (_, ahi), Interval.Iv (blo, _) -> Interval.bound_le ahi blo
-             | _ -> false)
+      | I.Ck_nonnull e -> ivl (truthiness (eval env e) = Some true)
+      | I.Ck_le (a, b) -> (
+          let by_iv =
+            Deputy.Annot.exp_equal a b
+            || (match ((eval env a).Aval.iv, (eval env b).Aval.iv) with
+               | Interval.Iv (_, ahi), Interval.Iv (blo, _) -> Interval.bound_le ahi blo
+               | _ -> false)
+          in
+          match ivl by_iv with Some p -> Some p | None -> rel false a b)
       | I.Ck_lt (a, b) -> (
-          match ((eval env a).Aval.iv, (eval env b).Aval.iv) with
-          | Interval.Iv (_, ahi), Interval.Iv (blo, _) ->
-              Interval.bound_le ahi blo && not (Interval.bound_le blo ahi)
-          | _ -> false)
-      | I.Ck_nt_next _ | I.Ck_not_atomic -> false)
+          let by_iv =
+            match ((eval env a).Aval.iv, (eval env b).Aval.iv) with
+            | Interval.Iv (_, ahi), Interval.Iv (blo, _) ->
+                Interval.bound_le ahi blo && not (Interval.bound_le blo ahi)
+            | _ -> false
+          in
+          match ivl by_iv with Some p -> Some p | None -> rel true a b)
+      | I.Ck_nt_next _ | I.Ck_not_atomic -> None)
+
+let provable (env : Env.t) (ck : I.check) : bool = provable_why env ck <> None
 
 (* A check that executed without trapping establishes its predicate. *)
 let assume_check (env : Env.t) (ck : I.check) : Env.t =
@@ -368,13 +543,37 @@ let assume_check (env : Env.t) (ck : I.check) : Env.t =
 
 let degrade ty a = if Aval.is_bot a then of_ty ty else a
 
-let instr (summaries : summaries) (env : Env.t) (i : I.instr) : Env.t =
+(* Assignment [v := e] in the zone: a same-variable linear RHS is an
+   exact constraint shift; any other linear RHS re-anchors [v] to its
+   source with an equality; everything else havocs. Kills close the
+   zone with interval seeds first so consequences survive the kill
+   (e.g. [todo = n; if (todo > 512) todo = 512] materializes
+   [n >= 513] on the clamped branch before [todo]'s old constraints
+   go away). *)
+let zone_assign (v : I.varinfo) (e : I.exp) env =
+  if (not (Domain.relational ())) || Env.is_unreachable env then env
+  else
+    match linear_of_exp env e with
+    | Some (w, k) when w.I.vid = v.I.vid ->
+        Env.map_zone (fun z -> Some (Zone.shift v.I.vid k z)) env
+    | Some (w, k) ->
+        let env = zone_kill v env in
+        let env = Env.map_zone (Zone.add_le v.I.vid w.I.vid k) env in
+        let env =
+          if Int64.equal k Int64.min_int then env
+          else Env.map_zone (Zone.add_le w.I.vid v.I.vid (Int64.neg k)) env
+        in
+        Env.tighten_from_zone env
+    | None -> zone_kill v env
+
+let instr ?(ifaces = no_ifaces) (summaries : summaries) (env : Env.t) (i : I.instr) : Env.t =
   match env with
   | Env.Unreachable -> env
   | _ -> (
       match i with
       | I.Iset ((I.Lvar v, []), e) when Deputy.Facts.stable v ->
-          Env.set v.I.vid (degrade v.I.vty (norm_aval v.I.vty (eval env e))) env
+          let nv = degrade v.I.vty (norm_aval v.I.vty (eval env e)) in
+          Env.set v.I.vid nv (zone_assign v e env)
       | I.Iset (_, _) ->
           (* Stores through memory or to unstable lvalues cannot touch
              stable variables (their address is never taken). *)
@@ -385,9 +584,17 @@ let instr (summaries : summaries) (env : Env.t) (i : I.instr) : Env.t =
             | Some a -> degrade v.I.vty (norm_aval v.I.vty a)
             | None -> if List.mem f allocators then Aval.nonnull else of_ty v.I.vty
           in
-          Env.set v.I.vid ret env
+          let ret =
+            (* skeleton-derived interface: the callee provably returns
+               a non-null pointer on every path *)
+            match SM.find_opt f ifaces with
+            | Some { ret_nonnull = true } when I.is_pointer v.I.vty ->
+                degrade v.I.vty (Aval.reduce (Aval.meet ret Aval.nonnull))
+            | _ -> ret
+          in
+          Env.set v.I.vid ret (zone_kill v env)
       | I.Icall (Some (I.Lvar v, []), _, _) when Deputy.Facts.stable v ->
-          Env.set v.I.vid (of_ty v.I.vty) env
+          Env.set v.I.vid (of_ty v.I.vty) (zone_kill v env)
       | I.Icall (_, _, _) -> env
       | I.Icheck (ck, _) -> assume_check env ck
       | I.Irc_inc _ | I.Irc_dec _ | I.Irc_update _ -> env)

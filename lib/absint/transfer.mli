@@ -9,6 +9,15 @@ type summaries = Aval.t SM.t
 (** Interprocedural summaries: function name -> abstract return value. *)
 
 val no_summaries : summaries
+
+type fn_iface = { ret_nonnull : bool }
+(** Skeleton-derived relational interface of a function (see
+    {!Relsum}): [ret_nonnull] when every return provably yields a
+    non-null pointer. *)
+
+type ifaces = fn_iface SM.t
+
+val no_ifaces : ifaces
 val allocators : string list
 val ty_range : Kc.Ir.ty -> Interval.t
 val of_ty : Kc.Ir.ty -> Aval.t
@@ -25,11 +34,22 @@ val assume : Env.t -> Kc.Ir.exp -> bool -> Env.t
 (** Refine the environment under a branch condition being true/false.
     May return [Env.bottom] when the branch is infeasible. *)
 
-val provable : Env.t -> Kc.Ir.check -> bool
+val linear_of_exp : Env.t -> Kc.Ir.exp -> (Kc.Ir.varinfo * int64) option
+(** Raw-exact linear view [raw(e) = raw(v) + k], certified non-wrapping
+    by the interval component; [None] means no zone fact may be drawn
+    from [e] (the PR 3 cast-soundness discipline). *)
+
+type proof = P_interval | P_relational
+
+val provable_why : Env.t -> Kc.Ir.check -> proof option
 (** Can this Deputy check never fire in any concrete state described
-    by the environment? *)
+    by the environment — and which component of the product proved it?
+    The interval rule is tried first, so [P_relational] marks checks
+    only the zone could discharge. *)
+
+val provable : Env.t -> Kc.Ir.check -> bool
 
 val assume_check : Env.t -> Kc.Ir.check -> Env.t
 (** A check that executed without trapping establishes its predicate. *)
 
-val instr : summaries -> Env.t -> Kc.Ir.instr -> Env.t
+val instr : ?ifaces:ifaces -> summaries -> Env.t -> Kc.Ir.instr -> Env.t

@@ -1,0 +1,118 @@
+(* Zone domain: difference-bound constraints [x - y <= c] between
+   *stable* program variables (Deputy.Facts.stable: locals and formals
+   whose address is never taken), plus a distinguished zero variable so
+   unary bounds [x <= c] / [x >= c] live in the same matrix.
+
+   Constraints bound the *raw post-norm int64 representation* of each
+   variable — exactly what the interval component bounds and what
+   Deputy checks compare — so the two halves of the reduced product
+   exchange information without sign/width caveats.  The transfer layer
+   only ever adds a relational constraint when the syntactic expression
+   decomposes to [var + const] with an interval certificate that no
+   intermediate result wraps (see Transfer.linear_of_exp); everything
+   else havocs, preserving the PR 3 cast-soundness discipline.
+
+   Reduction with intervals happens in two directions:
+   - [close_seeded] injects each variable's interval bounds as unary
+     constraints before closure, so interval facts participate in
+     relational derivations (used at join points, kill points and
+     entailment queries);
+   - [bounds_of] reads derived unary bounds back out of a (closed)
+     zone so the interval component can be tightened.
+
+   Program variable ids are positive (Typecheck starts at 1), so the
+   zero variable is safely encoded as -1. *)
+
+type t = Dbm.t
+
+let zero = -1
+let top : t = Dbm.top
+let is_top = Dbm.is_top
+let equal = Dbm.equal
+let join = Dbm.join
+let widen = Dbm.widen
+let narrow = Dbm.narrow
+let forget = Dbm.forget
+let shift = Dbm.shift
+let add_le = Dbm.add
+let cardinal = Dbm.cardinal
+
+(* Program variables mentioned by the zone (zero var excluded). *)
+let vars (t : t) : int list = List.filter (fun v -> v <> zero) (Dbm.vars t)
+
+(* Derived unary bounds of [v]: (lo, hi) as far as the zone knows. *)
+let bounds_of (v : int) (t : t) : int64 option * int64 option =
+  let hi = Dbm.find_opt v zero t in
+  let lo =
+    match Dbm.find_opt zero v t with
+    | Some c when not (Int64.equal c Int64.min_int) -> Some (Int64.neg c)
+    | _ -> None
+  in
+  (lo, hi)
+
+type seeds = int -> Interval.t
+
+let no_seeds : seeds = fun _ -> Interval.top
+
+(* Inject interval bounds of [vs] as unary constraints.  [None] when a
+   seed contradicts the zone (the state is infeasible). *)
+let seed_vars (seeds : seeds) (vs : int list) (t : t) : t option =
+  List.fold_left
+    (fun acc v ->
+      match acc with
+      | None -> None
+      | Some t -> (
+          match seeds v with
+          | Interval.Bot -> None
+          | Interval.Iv (lo, hi) -> (
+              let t =
+                match hi with
+                | Interval.Fin h -> Dbm.add v zero h t
+                | _ -> Some t
+              in
+              match t with
+              | None -> None
+              | Some t -> (
+                  match lo with
+                  | Interval.Fin l when not (Int64.equal l Int64.min_int) ->
+                      Dbm.add zero v (Int64.neg l) t
+                  | _ -> Some t))))
+    (Some t) vs
+
+(* Close the zone with each mentioned variable's interval bounds
+   seeded in, materializing derived constraints (both relational and
+   unary) into the stored matrix.  Used on join inputs and before
+   killing a variable, never on widening results.  [over] extends the
+   closure universe with variables this side only knows as intervals —
+   at a join, the other side's zone variables, so a fact one side
+   carries relationally and this side carries as an interval (e.g. a
+   clamped [todo = 512] meeting the other branch's [todo <= n]) still
+   meets in the middle.  [None] = the combined zone+interval state is
+   infeasible. *)
+let close_seeded ?(over = []) (seeds : seeds) (t : t) : t option =
+  if is_top t && over = [] then Some t
+  else
+    let module IS = Set.Make (Int) in
+    let vs = IS.elements (IS.union (IS.of_list (vars t)) (IS.of_list over)) in
+    match seed_vars seeds vs t with
+    | None -> None
+    | Some t -> Dbm.close_over (zero :: vs) t
+
+(* Entailment query: does the zone, reduced with interval seeds, prove
+   [x - y <= c]?  The closure universe is extended with the query
+   endpoints so purely seeded paths (x <= hx, ly <= y) participate.
+   An infeasible state entails everything. *)
+let entails_le (seeds : seeds) (x : int) (y : int) (c : int64) (t : t) : bool =
+  Dbm.entails_le x y c t
+  ||
+  let module IS = Set.Make (Int) in
+  let universe = IS.add x (IS.add y (IS.of_list (vars t))) in
+  let vs = IS.elements universe in
+  match seed_vars seeds vs t with
+  | None -> true
+  | Some t -> (
+      match Dbm.close_over (zero :: vs) t with
+      | None -> true
+      | Some closed -> Dbm.entails_le x y c closed)
+
+let to_string (t : t) : string = Dbm.to_string t

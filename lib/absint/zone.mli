@@ -1,0 +1,47 @@
+(** Zone domain over stable program variables: difference-bound
+    constraints [x - y <= c] (see {!Dbm}) plus a distinguished zero
+    variable for unary bounds, reduced with the interval component by
+    seeding closures with interval bounds and reading derived unary
+    bounds back out. Constraints bound raw post-norm int64
+    representations, matching both {!Interval} and Deputy's check
+    semantics. *)
+
+type t = Dbm.t
+
+val zero : int
+(** The distinguished zero variable (-1; program vids are positive). *)
+
+val top : t
+val is_top : t -> bool
+val equal : t -> t -> bool
+val join : t -> t -> t
+val widen : t -> t -> t
+val narrow : t -> t -> t
+val forget : int -> t -> t
+val shift : int -> int64 -> t -> t
+val add_le : int -> int -> int64 -> t -> t option
+val cardinal : t -> int
+
+val vars : t -> int list
+(** Program variables mentioned by the zone (zero excluded). *)
+
+val bounds_of : int -> t -> int64 option * int64 option
+(** Derived (lo, hi) unary bounds of a variable. *)
+
+type seeds = int -> Interval.t
+(** Interval bounds per variable id, used to reduce the product. *)
+
+val no_seeds : seeds
+
+val close_seeded : ?over:int list -> seeds -> t -> t option
+(** Seed interval bounds of the zone's variables (plus [over], e.g.
+    the other join side's zone variables) as unary constraints, then
+    close.  [None] when the combined state is infeasible.  Apply to
+    join inputs and before killing a variable; never to a widening
+    result (termination). *)
+
+val entails_le : seeds -> int -> int -> int64 -> t -> bool
+(** [entails_le seeds x y c t]: does the interval-reduced zone prove
+    [x - y <= c]? Infeasible states entail everything. *)
+
+val to_string : t -> string

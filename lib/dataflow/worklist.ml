@@ -91,10 +91,20 @@ end
 module Make_widening (L : WIDEN_LATTICE) = struct
   type result = { before : L.t array; after : L.t array; iterations : int }
 
-  let solve ?(narrow_passes = 2) (cfg : Cfg.t) ~(widen_at : bool array) ~(init : L.t)
-      ~(transfer : Cfg.node -> L.t -> L.t) ~(edge : Cfg.node -> int -> L.t -> L.t) : result =
+  (* [widen_delay] postpones widening at each widening point for that
+     many visits (plain join instead).  Early worklist visits can carry
+     transient states — e.g. a bound that ascends once while an earlier
+     loop stabilizes — and widening against them destroys limits that
+     narrowing cannot recover (the infinity feeds itself back through
+     the cycle).  A small delay lets such transients settle.
+     Termination is unaffected: the delay is a finite per-node budget,
+     after which every visit widens. *)
+  let solve ?(narrow_passes = 2) ?(widen_delay = 0) (cfg : Cfg.t) ~(widen_at : bool array)
+      ~(init : L.t) ~(transfer : Cfg.node -> L.t -> L.t) ~(edge : Cfg.node -> int -> L.t -> L.t) :
+      result =
     let n = Cfg.n_nodes cfg in
     let before = Array.make n L.bottom and after = Array.make n L.bottom in
+    let widen_visits = Array.make n 0 in
     let iterations = ref 0 in
     (* Join of all incoming edge-refined states of node [i]. *)
     let input i =
@@ -125,7 +135,14 @@ module Make_widening (L : WIDEN_LATTICE) = struct
       on_queue.(i) <- false;
       incr iterations;
       let in_ = input i in
-      let in_ = if widen_at.(i) then L.widen before.(i) in_ else in_ in
+      let in_ =
+        if widen_at.(i) then begin
+          let v = widen_visits.(i) in
+          widen_visits.(i) <- v + 1;
+          if v < widen_delay then L.join before.(i) in_ else L.widen before.(i) in_
+        end
+        else in_
+      in
       before.(i) <- in_;
       let out = transfer (Cfg.node cfg i) in_ in
       if not (L.equal out after.(i)) then begin

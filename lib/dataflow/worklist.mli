@@ -40,12 +40,17 @@ end
     [widen_at] (back-edge targets cover every cycle), refines the state
     per outgoing edge via [edge node succ_idx out] (branch conditions),
     then runs [narrow_passes] descending sweeps in reverse postorder.
+    [widen_delay] (default 0) makes each widening point join instead of
+    widen for its first visits, so transient states settling elsewhere
+    in the CFG don't get widened into unrecoverable infinities;
+    termination is preserved because the delay budget is finite.
     [iterations] counts node evaluations across both phases. *)
 module Make_widening (L : WIDEN_LATTICE) : sig
   type result = { before : L.t array; after : L.t array; iterations : int }
 
   val solve :
     ?narrow_passes:int ->
+    ?widen_delay:int ->
     Cfg.t ->
     widen_at:bool array ->
     init:L.t ->

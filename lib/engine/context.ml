@@ -53,6 +53,7 @@ let program t = t.prog
 let graph t = t.g
 let program_fingerprint t = t.fps.Fingerprint.t_program
 let skeleton_fingerprint t = t.fps.Fingerprint.t_skeleton
+let ptrflow_fingerprint t = t.fps.Fingerprint.t_ptrflow
 
 let mode_name = function P.Type_based -> "type-based" | P.Field_based -> "field-based"
 
@@ -64,6 +65,7 @@ module Key = struct
   let blocking mode = Graph.key (Printf.sprintf "blocking(%s)" (mode_name mode))
   let cfg fname = Graph.key ~param:fname "cfg"
   let summaries = Graph.key "absint-summaries"
+  let relsum = Graph.key "relsum-ifaces"
   let deputized = Graph.key "deputized(absint)"
   let vm_compiled = Graph.key "vm-compiled"
   let irq_handlers = Graph.key "irq-handlers"
@@ -80,6 +82,7 @@ let blocking_slot : BL.t Graph.slot = Graph.slot ()
 let cfg_slot : Dataflow.Cfg.t Graph.slot = Graph.slot ()
 let handlers_slot : AT.SS.t Graph.slot = Graph.slot ()
 let summaries_slot : Absint.Transfer.summaries Graph.slot = Graph.slot ()
+let relsum_slot : Absint.Transfer.ifaces Graph.slot = Graph.slot ()
 let deputized_slot : deputized Graph.slot = Graph.slot ()
 let vm_compiled_slot : Vm.Compile.t Graph.slot = Graph.slot ()
 let refsafe_summaries_slot : Refsafe.Summary.summaries Graph.slot = Graph.slot ()
@@ -125,11 +128,26 @@ let cfg (t : t) (fname : string) : Dataflow.Cfg.t option =
 let defined_funcs (t : t) : Kc.Ir.fundec list =
   List.filter (fun (fd : Kc.Ir.fundec) -> not fd.Kc.Ir.fextern) t.prog.Kc.Ir.funcs
 
+(* Relational interface summaries over the base program.  They read
+   only the pointer-flow projection of each body (Relsum mirrors
+   Fingerprint.ptrflow), so the artifact keys on that digest and stays
+   warm across arithmetic-only edits — unlike the interval summaries
+   below, which read every body.  Under IVY_ABSINT_DOMAIN=interval the
+   getter short-circuits to the empty interface map without touching
+   the graph. *)
+let relsum_ifaces (t : t) : Absint.Transfer.ifaces =
+  if not (Absint.Domain.relational ()) then Absint.Transfer.no_ifaces
+  else
+    Graph.get t.g relsum_slot ~name:Key.relsum.Graph.name
+      ~fp:(ptrflow_fingerprint t)
+      (fun () -> Absint.Relsum.compute ~jobs:t.jobs t.prog)
+
 (* Interprocedural interval summaries over the base (uninstrumented)
    program, sharing the memoized CFGs: instrumentation only adds
    checks and temporaries, so return-value summaries computed here
    stay valid for the deputized view. *)
 let absint_summaries (t : t) : Absint.Transfer.summaries =
+  let ifaces = relsum_ifaces t in
   let defined = defined_funcs t in
   (* Populate the CFG artifacts serially (the graph is single-domain),
      then fan the summary solve out over an immutable snapshot. A
@@ -152,20 +170,24 @@ let absint_summaries (t : t) : Absint.Transfer.summaries =
         Dataflow.Cfg.build fd
   in
   Graph.get t.g summaries_slot ~name:Key.summaries.Graph.name
-    ~deps:(List.map (fun (fd : Kc.Ir.fundec) -> Key.cfg fd.Kc.Ir.fname) defined)
+    ~deps:
+      (Key.relsum
+      :: List.map (fun (fd : Kc.Ir.fundec) -> Key.cfg fd.Kc.Ir.fname) defined)
     ~fp:(program_fingerprint t)
-    (fun () -> Absint.Summary.compute ~cfg_of ~jobs:t.jobs t.prog)
+    (fun () -> Absint.Summary.compute ~cfg_of ~jobs:t.jobs ~ifaces t.prog)
 
 (* The deputized view: instrument + Facts-optimize + absint-discharge
    a shallow copy, leaving the context's base program untouched. *)
 let deputized (t : t) : deputized =
+  let ifaces = relsum_ifaces t in
   let summaries = absint_summaries t in
-  Graph.get t.g deputized_slot ~name:Key.deputized.Graph.name ~deps:[ Key.summaries ]
+  Graph.get t.g deputized_slot ~name:Key.deputized.Graph.name
+    ~deps:[ Key.relsum; Key.summaries ]
     ~fp:(program_fingerprint t)
     (fun () ->
       let dprog = Kc.Ir.copy_program t.prog in
       let dreport = Deputy.Dreport.deputize dprog in
-      let dstats = Absint.Discharge.run ~summaries dprog in
+      let dstats = Absint.Discharge.run ~summaries ~ifaces dprog in
       { dprog; dreport; dstats })
 
 (* Refsafe ownership summaries: flow-insensitive per-function alias

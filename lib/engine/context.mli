@@ -50,6 +50,7 @@ module Key : sig
   val blocking : Blockstop.Pointsto.mode -> Graph.key
   val cfg : string -> Graph.key
   val summaries : Graph.key
+  val relsum : Graph.key
   val deputized : Graph.key
   val vm_compiled : Graph.key
   val irq_handlers : Graph.key
@@ -74,9 +75,15 @@ val blocking : ?mode:Blockstop.Pointsto.mode -> t -> Blockstop.Blocking.t
     hash. *)
 val cfg : t -> string -> Dataflow.Cfg.t option
 
+(** Relational interface summaries ({!Absint.Relsum}) over the base
+    program, keyed on the pointer-flow projection digest — warm across
+    arithmetic-only edits. Returns the empty map (bypassing the graph)
+    when [IVY_ABSINT_DOMAIN] selects the interval-only domain. *)
+val relsum_ifaces : t -> Absint.Transfer.ifaces
+
 (** Interprocedural interval summaries ({!Absint.Summary}) over the
     base program, sharing the memoized CFGs (cached; depends on every
-    per-function CFG artifact). *)
+    per-function CFG artifact and on the relational interfaces). *)
 val absint_summaries : t -> Absint.Transfer.summaries
 
 (** The deputized view of the program: a shallow copy that has been

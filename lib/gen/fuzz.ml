@@ -21,8 +21,12 @@ type summary = {
    v1 aliased streams: [mix seed i] walks the splitmix counter, so
    [cseed_i + 1] can land on (or near) another case's generator state,
    correlating supposedly independent cases. The version is printed in
-   every summary so old seeds are never silently reinterpreted. *)
-let format_version = 2
+   every summary so old seeds are never silently reinterpreted.
+
+   v3 widens the Oob_write shape draw from 4 to 5 ([F_oob_symbolic]:
+   dependent-count heap buffer whose in-loop checks need a relational
+   bound), shifting every later draw on the same stream. *)
+let format_version = 3
 
 let case_program ~seed i : Prog.t =
   let cseed = Rng.mix seed i in

@@ -1,11 +1,12 @@
 let block_of rng (kind : Fault.kind) : Prog.block =
   match kind with
   | Fault.Oob_write -> (
-      match Rng.int rng 4 with
+      match Rng.int rng 5 with
       | 0 -> Prog.F_oob_const { idx = Rng.range rng 4 7 }
       | 1 -> Prog.F_oob_dyn { off = Rng.range rng 4 9 }
       | 2 -> Prog.F_oob_cast { delta = Rng.range rng 8 12 }
-      | _ -> Prog.F_oob_loop { bound = Rng.range rng 4 7 })
+      | 3 -> Prog.F_oob_loop { bound = Rng.range rng 4 7 }
+      | _ -> Prog.F_oob_symbolic { base = Rng.range rng 0 4 })
   | Fault.Dangling_free -> Prog.F_dangling
   | Fault.Atomic_block -> Prog.F_atomic_block
   | Fault.Lock_inversion ->

@@ -35,6 +35,15 @@ type block =
           attributes bounds proven about the (zero-extended) cast value
           to the pre-cast variable would wrongly discharge the
           lower-bound check on the negative index *)
+  | F_oob_symbolic of { base : int }
+      (** fault: a [__count(cn)] heap buffer with a clamped symbolic
+          count and a loop bounded by [lim = cn - 1] — the
+          relational-domain-sensitive shape: the in-loop upper-bound
+          checks compare the index against the symbolic count and are
+          dischargeable only through the [lim = cn - 1] zone relation,
+          while the closing write at index [cn] can never pass its
+          check, so a product domain that conflates the loop bound
+          with the count itself would wrongly discharge it *)
   | F_dangling  (** fault: kfree while gslot_f still holds the reference *)
   | F_atomic_block  (** fault: msleep under local_irq_disable *)
   | F_lock_inversion of { lo : int; hi : int }  (** fault: lo->hi then hi->lo *)

@@ -202,6 +202,8 @@ let absint : Engine.Analysis.t =
       else
         let facts = d.Context.dreport.Deputy.Dreport.discharged in
         let proved = Absint.Discharge.checks_proved stats in
+        let proved_iv = Absint.Discharge.checks_proved_iv stats in
+        let proved_rel = Absint.Discharge.checks_proved_rel stats in
         let floc f =
           match Kc.Ir.find_fun (Context.program ctxt) f with
           | Some fd -> fd.Kc.Ir.floc
@@ -210,9 +212,9 @@ let absint : Engine.Analysis.t =
         let summary =
           Diag.make ~analysis:name ~severity:Diag.Info ~loc:Kc.Loc.dummy
             (Printf.sprintf
-               "discharged %d of %d inserted checks (facts %d + absint %d); %d dynamic checks \
-                remain"
-               (facts + proved) inserted facts proved
+               "discharged %d of %d inserted checks (facts %d + intervals %d + relational %d); \
+                %d dynamic checks remain"
+               (facts + proved) inserted facts proved_iv proved_rel
                (inserted - facts - proved))
         in
         let per_fun =

@@ -255,9 +255,13 @@ let render_diags_json ?deputy ?ccount (results : (string * Engine.Diag.t list) l
         let inserted = d.Engine.Context.dreport.Deputy.Dreport.inserted in
         let facts = d.Engine.Context.dreport.Deputy.Dreport.discharged in
         let proved = Absint.Discharge.checks_proved d.Engine.Context.dstats in
+        (* absint_discharged stays the product-domain total (schema
+           compatibility); the two component keys split it. *)
         fprintf
-          ",\"deputy\":{\"checks_inserted\":%d,\"facts_discharged\":%d,\"absint_discharged\":%d,\"residual\":%d}"
+          ",\"deputy\":{\"checks_inserted\":%d,\"facts_discharged\":%d,\"absint_discharged\":%d,\"absint_interval\":%d,\"absint_relational\":%d,\"residual\":%d}"
           inserted facts proved
+          (Absint.Discharge.checks_proved_iv d.Engine.Context.dstats)
+          (Absint.Discharge.checks_proved_rel d.Engine.Context.dstats)
           (inserted - facts - proved)
   in
   let ccount_json =

@@ -144,6 +144,127 @@ let prop_arith_sound =
          && Iv.mem (Int64.logand x y) (Iv.band a b))
 
 (* ------------------------------------------------------------------ *)
+(* qcheck zone laws                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Random difference constraints over three program variables plus the
+   distinguished zero variable, checked against concrete valuations:
+   a zone means exactly the valuations satisfying every generating
+   constraint, so gamma-soundness is directly testable. *)
+
+module Zn = Absint.Zone
+
+let gen_zvar = QCheck2.Gen.oneofl [ Zn.zero; 1; 2; 3 ]
+
+let gen_con =
+  QCheck2.Gen.(
+    map3 (fun x y c -> (x, y, Int64.of_int c)) gen_zvar gen_zvar (int_range (-20) 20))
+
+let gen_cons = QCheck2.Gen.(list_size (int_range 0 6) gen_con)
+
+(* [None] = the constraints were already detected as infeasible. *)
+let zone_of cons =
+  List.fold_left
+    (fun acc (x, y, c) ->
+      match acc with None -> None | Some t -> Zn.add_le x y c t)
+    (Some Zn.top) cons
+
+let gen_val = QCheck2.Gen.(map Int64.of_int (int_range (-25) 25))
+let gen_valuation = QCheck2.Gen.(triple gen_val gen_val gen_val)
+
+let value_of (v1, v2, v3) x =
+  if x = Zn.zero then 0L else if x = 1 then v1 else if x = 2 then v2 else v3
+
+let sat_cons vl cons =
+  List.for_all (fun (x, y, c) -> Int64.sub (value_of vl x) (value_of vl y) <= c) cons
+
+let sat_zone vl t =
+  Absint.Dbm.fold
+    (fun x y c ok -> ok && Int64.sub (value_of vl x) (value_of vl y) <= c)
+    t true
+
+let prop_zone_close_idempotent =
+  QCheck2.Test.make ~name:"zone closure is idempotent" ~count:500 gen_cons (fun cons ->
+      match zone_of cons with
+      | None -> true
+      | Some t -> (
+          match Zn.close_seeded Zn.no_seeds t with
+          | None -> true (* infeasible caught late: fine *)
+          | Some c1 -> (
+              match Zn.close_seeded Zn.no_seeds c1 with
+              | None -> false (* a feasible closed zone cannot become infeasible *)
+              | Some c2 -> Zn.equal c1 c2)))
+
+let prop_zone_join_sound =
+  QCheck2.Test.make ~name:"zone join over-approximates both sides (gamma-sound)" ~count:500
+    QCheck2.Gen.(triple gen_cons gen_cons gen_valuation)
+    (fun (ca, cb, vl) ->
+      match (zone_of ca, zone_of cb) with
+      | Some za, Some zb ->
+          let j = Zn.join za zb in
+          (not (sat_cons vl ca) || sat_zone vl j)
+          && (not (sat_cons vl cb) || sat_zone vl j)
+      | _ -> true)
+
+let prop_zone_widen_terminates =
+  QCheck2.Test.make ~name:"zone widening chains stabilize" ~count:300
+    QCheck2.Gen.(pair gen_cons (list_size (int_range 1 8) gen_cons))
+    (fun (c0, steps) ->
+      (* widen never adopts from its right argument and surviving
+         entries keep their value, so the number of strict changes in
+         a chain is bounded by the initial constraint count *)
+      match zone_of c0 with
+      | None -> true
+      | Some z0 ->
+          let changes = ref 0 and x = ref z0 in
+          List.iter
+            (fun cs ->
+              match zone_of cs with
+              | None -> ()
+              | Some y ->
+                  let x' = Zn.widen !x (Zn.join !x y) in
+                  if not (Zn.equal x' !x) then incr changes;
+                  x := x')
+            steps;
+          !changes <= Zn.cardinal z0)
+
+let prop_zone_reduction_sound =
+  QCheck2.Test.make ~name:"seeded closure keeps every point of the product" ~count:500
+    QCheck2.Gen.(
+      triple gen_cons
+        (triple (pair gen_val gen_val) (pair gen_val gen_val) (pair gen_val gen_val))
+        gen_valuation)
+    (fun (cons, ((a1, b1), (a2, b2), (a3, b3)), vl) ->
+      let mk a b = if a <= b then Iv.of_bounds a b else Iv.of_bounds b a in
+      let iv1 = mk a1 b1 and iv2 = mk a2 b2 and iv3 = mk a3 b3 in
+      let seeds v =
+        if v = 1 then iv1 else if v = 2 then iv2 else if v = 3 then iv3 else Iv.top
+      in
+      match zone_of cons with
+      | None -> true
+      | Some t ->
+          let v1, v2, v3 = vl in
+          if
+            not (sat_cons vl cons && Iv.mem v1 iv1 && Iv.mem v2 iv2 && Iv.mem v3 iv3)
+          then true
+          else (
+            (* the valuation inhabits both components, so the reduced
+               product must keep it: no spurious bottom, and every
+               derived unary bound (what tighten_from_zone meets back
+               into the intervals) still contains the point *)
+            match Zn.close_seeded ~over:[ 1; 2; 3 ] seeds t with
+            | None -> false
+            | Some c ->
+                sat_zone vl c
+                && List.for_all
+                     (fun v ->
+                       let lo, hi = Zn.bounds_of v c in
+                       (match lo with None -> true | Some l -> l <= value_of vl v)
+                       &&
+                       match hi with None -> true | Some h -> value_of vl v <= h)
+                     [ 1; 2; 3 ]))
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end discharge                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -286,6 +407,14 @@ let () =
             prop_widen_stabilizes;
             prop_narrow_between;
             prop_arith_sound;
+          ] );
+      ( "qcheck-zone",
+        List.map (QCheck_alcotest.to_alcotest ~rand)
+          [
+            prop_zone_close_idempotent;
+            prop_zone_join_sound;
+            prop_zone_widen_terminates;
+            prop_zone_reduction_sound;
           ] );
       ( "discharge",
         [

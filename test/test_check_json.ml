@@ -50,7 +50,7 @@ let fixture =
    long leaky(long n) { long *p = kzalloc(16, 0); if (n > 3) { return -22; } kfree(p); return 0; }\n"
 
 let expected =
-  "{\"analyses\":{\"blockstop\":[],\"locksafe\":[{\"analysis\":\"locksafe\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":7,\"col\":33,\"message\":\"locks la and lb are acquired in both orders (deadlock risk)\",\"fix_hint\":\"always acquire la before lb (or vice versa)\"}],\"stackcheck\":[{\"analysis\":\"stackcheck\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":10,\"col\":1,\"message\":\"deepest bounded call chain: 96 bytes (masked)\",\"fix_hint\":null}],\"errcheck\":[{\"analysis\":\"errcheck\",\"severity\":\"warning\",\"file\":\"golden.kc\",\"line\":6,\"col\":20,\"message\":\"caller discards error result of risky\",\"fix_hint\":\"test the result of risky against its error codes\"}],\"userck\":[{\"analysis\":\"userck\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":9,\"col\":28,\"message\":\"in bad: dereference of __user pointer (u)\",\"fix_hint\":\"stage the access through copy_from_user/copy_to_user\"}],\"absint\":[{\"analysis\":\"absint\",\"severity\":\"info\",\"file\":\"<builtin>\",\"line\":0,\"col\":0,\"message\":\"discharged 4 of 4 inserted checks (facts 2 + absint 2); 0 dynamic checks remain\",\"fix_hint\":null},{\"analysis\":\"absint\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":10,\"col\":1,\"message\":\"masked: proved 2 of 2 residual checks (7 fixpoint iterations, 0 widening points)\",\"fix_hint\":null}],\"refsafe\":[{\"analysis\":\"refsafe\",\"severity\":\"warning\",\"file\":\"golden.kc\",\"line\":13,\"col\":1,\"message\":\"leaky: missing put of p on error return\",\"fix_hint\":\"release the allocation before the error return\"}]},\"diagnostics\":[{\"analysis\":\"absint\",\"severity\":\"info\",\"file\":\"<builtin>\",\"line\":0,\"col\":0,\"message\":\"discharged 4 of 4 inserted checks (facts 2 + absint 2); 0 dynamic checks remain\",\"fix_hint\":null},{\"analysis\":\"errcheck\",\"severity\":\"warning\",\"file\":\"golden.kc\",\"line\":6,\"col\":20,\"message\":\"caller discards error result of risky\",\"fix_hint\":\"test the result of risky against its error codes\"},{\"analysis\":\"locksafe\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":7,\"col\":33,\"message\":\"locks la and lb are acquired in both orders (deadlock risk)\",\"fix_hint\":\"always acquire la before lb (or vice versa)\"},{\"analysis\":\"userck\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":9,\"col\":28,\"message\":\"in bad: dereference of __user pointer (u)\",\"fix_hint\":\"stage the access through copy_from_user/copy_to_user\"},{\"analysis\":\"absint\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":10,\"col\":1,\"message\":\"masked: proved 2 of 2 residual checks (7 fixpoint iterations, 0 widening points)\",\"fix_hint\":null},{\"analysis\":\"stackcheck\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":10,\"col\":1,\"message\":\"deepest bounded call chain: 96 bytes (masked)\",\"fix_hint\":null},{\"analysis\":\"refsafe\",\"severity\":\"warning\",\"file\":\"golden.kc\",\"line\":13,\"col\":1,\"message\":\"leaky: missing put of p on error return\",\"fix_hint\":\"release the allocation before the error return\"}],\"deputy\":{\"checks_inserted\":4,\"facts_discharged\":2,\"absint_discharged\":2,\"residual\":0},\"ccount\":{\"sites_instrumented\":0,\"register_skipped\":2,\"refsafe_discharged\":0,\"residual\":0}}\n"
+  "{\"analyses\":{\"blockstop\":[],\"locksafe\":[{\"analysis\":\"locksafe\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":7,\"col\":33,\"message\":\"locks la and lb are acquired in both orders (deadlock risk)\",\"fix_hint\":\"always acquire la before lb (or vice versa)\"}],\"stackcheck\":[{\"analysis\":\"stackcheck\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":10,\"col\":1,\"message\":\"deepest bounded call chain: 96 bytes (masked)\",\"fix_hint\":null}],\"errcheck\":[{\"analysis\":\"errcheck\",\"severity\":\"warning\",\"file\":\"golden.kc\",\"line\":6,\"col\":20,\"message\":\"caller discards error result of risky\",\"fix_hint\":\"test the result of risky against its error codes\"}],\"userck\":[{\"analysis\":\"userck\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":9,\"col\":28,\"message\":\"in bad: dereference of __user pointer (u)\",\"fix_hint\":\"stage the access through copy_from_user/copy_to_user\"}],\"absint\":[{\"analysis\":\"absint\",\"severity\":\"info\",\"file\":\"<builtin>\",\"line\":0,\"col\":0,\"message\":\"discharged 4 of 4 inserted checks (facts 2 + intervals 2 + relational 0); 0 dynamic checks remain\",\"fix_hint\":null},{\"analysis\":\"absint\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":10,\"col\":1,\"message\":\"masked: proved 2 of 2 residual checks (7 fixpoint iterations, 0 widening points)\",\"fix_hint\":null}],\"refsafe\":[{\"analysis\":\"refsafe\",\"severity\":\"warning\",\"file\":\"golden.kc\",\"line\":13,\"col\":1,\"message\":\"leaky: missing put of p on error return\",\"fix_hint\":\"release the allocation before the error return\"}]},\"diagnostics\":[{\"analysis\":\"absint\",\"severity\":\"info\",\"file\":\"<builtin>\",\"line\":0,\"col\":0,\"message\":\"discharged 4 of 4 inserted checks (facts 2 + intervals 2 + relational 0); 0 dynamic checks remain\",\"fix_hint\":null},{\"analysis\":\"errcheck\",\"severity\":\"warning\",\"file\":\"golden.kc\",\"line\":6,\"col\":20,\"message\":\"caller discards error result of risky\",\"fix_hint\":\"test the result of risky against its error codes\"},{\"analysis\":\"locksafe\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":7,\"col\":33,\"message\":\"locks la and lb are acquired in both orders (deadlock risk)\",\"fix_hint\":\"always acquire la before lb (or vice versa)\"},{\"analysis\":\"userck\",\"severity\":\"error\",\"file\":\"golden.kc\",\"line\":9,\"col\":28,\"message\":\"in bad: dereference of __user pointer (u)\",\"fix_hint\":\"stage the access through copy_from_user/copy_to_user\"},{\"analysis\":\"absint\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":10,\"col\":1,\"message\":\"masked: proved 2 of 2 residual checks (7 fixpoint iterations, 0 widening points)\",\"fix_hint\":null},{\"analysis\":\"stackcheck\",\"severity\":\"info\",\"file\":\"golden.kc\",\"line\":10,\"col\":1,\"message\":\"deepest bounded call chain: 96 bytes (masked)\",\"fix_hint\":null},{\"analysis\":\"refsafe\",\"severity\":\"warning\",\"file\":\"golden.kc\",\"line\":13,\"col\":1,\"message\":\"leaky: missing put of p on error return\",\"fix_hint\":\"release the allocation before the error return\"}],\"deputy\":{\"checks_inserted\":4,\"facts_discharged\":2,\"absint_discharged\":2,\"absint_interval\":2,\"absint_relational\":0,\"residual\":0},\"ccount\":{\"sites_instrumented\":0,\"register_skipped\":2,\"refsafe_discharged\":0,\"residual\":0}}\n"
 
 let test_schema_golden () = Alcotest.(check string) "exact JSON output" expected (render fixture)
 
@@ -73,7 +73,7 @@ let test_quiet_program_shape () =
     && contains "\"absint\":[]" out && contains "\"refsafe\":[]" out);
   Alcotest.(check bool) "deputy counters present and all zero" true
     (contains
-       "\"deputy\":{\"checks_inserted\":0,\"facts_discharged\":0,\"absint_discharged\":0,\"residual\":0}"
+       "\"deputy\":{\"checks_inserted\":0,\"facts_discharged\":0,\"absint_discharged\":0,\"absint_interval\":0,\"absint_relational\":0,\"residual\":0}"
        out);
   Alcotest.(check bool) "ccount counters present and all zero" true
     (contains

@@ -165,17 +165,19 @@ let test_corpus_refsafe_summaries_equal_serial () =
   Alcotest.(check bool) "corpus refsafe summaries identical for jobs=1 and jobs=4" true
     (Refsafe.Summary.equal serial parallel)
 
-(* ---- campaign format v2: the injector stream split ---- *)
+(* ---- campaign format v3: the injector stream split ---- *)
 
-let test_format_version () = Alcotest.(check int) "campaign format" 2 Gen.Fuzz.format_version
+let test_format_version () = Alcotest.(check int) "campaign format" 3 Gen.Fuzz.format_version
 
 let test_v2_fault_derivation_locked () =
-  (* Snapshot of the v2 (split-stream) per-case fault labels: a silent
+  (* Snapshot of the v2+ (split-stream) per-case fault labels: a silent
      return to the v1 [cseed + 1] derivation changes these.  The labels
      also depend on the length of [Gen.Fault.all] (the injector draws an
      index into it), so APPENDING a fault kind legitimately reshuffles
      them — recompute the snapshot when the taxonomy grows (last:
-     ref-leak/double-put/put-on-error-path, 6 -> 9 kinds). *)
+     ref-leak/double-put/put-on-error-path, 6 -> 9 kinds).  The v3
+     Oob_write shape widening draws *after* both the kind and the host
+     picks, so these labels survived the v2 -> v3 bump unchanged. *)
   let label i =
     match (Gen.Fuzz.case_program ~seed:42 i).Gen.Prog.faults with
     | [ (k, fn) ] -> Gen.Fault.to_string k ^ "@" ^ fn
@@ -305,8 +307,8 @@ let () =
         ] );
       ( "format",
         [
-          Alcotest.test_case "campaign format v2" `Quick test_format_version;
-          Alcotest.test_case "v2 derivation locked" `Slow test_v2_fault_derivation_locked;
+          Alcotest.test_case "campaign format v3" `Quick test_format_version;
+          Alcotest.test_case "split-stream derivation locked" `Slow test_v2_fault_derivation_locked;
         ] );
       ( "determinism",
         [

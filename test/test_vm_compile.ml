@@ -210,9 +210,12 @@ let test_call_depth () =
 
 (* The per-case fault draw indexes into [Gen.Fault.all], so growing the
    taxonomy (6 -> 9 kinds in PR 7) legitimately reshuffles the labels:
-   recompute this snapshot whenever a kind is appended. *)
+   recompute this snapshot whenever a kind is appended.  The format
+   version rides in the header (v3 since the F_oob_symbolic shape
+   widened the Oob_write draw); the kind draw precedes the shape draw,
+   so the per-kind counts are unchanged from v2. *)
 let golden_fuzz_summary =
-  "fuzz campaign (format v2): seed 7, 30 cases (8 clean, 22 faulty)\n\
+  "fuzz campaign (format v3): seed 7, 30 cases (8 clean, 22 faulty)\n\
    fault kind         injected   detected\n\
    oob-write                 2          2\n\
    dangling-free             3          3\n\
