@@ -119,16 +119,29 @@ let boot_cmd =
 let run_cmd =
   let entry_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"ENTRY") in
   let iters_t = Arg.(value & opt int 10 & info [ "iters"; "n" ] ~docv:"N") in
-  let run mode entry iters =
+  let vm_stats_t =
+    Arg.(
+      value
+      & flag
+      & info [ "stats" ]
+          ~doc:
+            "Show compiled-VM optimizer statistics (superinstruction fusion and peephole site \
+             counts) and, when IVY_VM_PROFILE=1, the opcode execution profile.")
+  in
+  let run mode entry iters vm_stats =
     handle_frontend_errors (fun () ->
         let r = Ivy.Pipeline.booted mode in
         let v, cycles = Ivy.Pipeline.run_entry r entry iters in
         Printf.printf "%s(%d) = %Ld in %d cycles [%s]\n" entry iters v cycles
-          (Ivy.Pipeline.mode_to_string mode))
+          (Ivy.Pipeline.mode_to_string mode);
+        if vm_stats then begin
+          print_string (Vm.Compile.render_opt_stats ());
+          print_string (Vm.Compile.render_profile ())
+        end)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload entry point (e.g. wl_lat_udp).")
-    Term.(const run $ mode_t $ entry_t $ iters_t)
+    Term.(const run $ mode_t $ entry_t $ iters_t $ vm_stats_t)
 
 (* ---- deputy ---- *)
 

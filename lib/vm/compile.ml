@@ -1,21 +1,24 @@
 (* The pre-compiled execution engine.
 
-   One-shot compiler from IR functions to a flat, pre-resolved
+   A multi-phase compiler from IR functions to a flat, pre-resolved
    executable form:
 
-   - each function becomes an array of basic blocks; a block is an
-     array of instruction closures plus a terminator closure returning
-     the next block id (-1 = return), so the hot loop is an
-     int-indexed dispatch with no IR pattern matching;
-   - variable ids are resolved at compile time to dense register
-     indices (an [int64 array] per activation) or fixed stack-frame
-     offsets — the per-access vid Hashtbl of the tree-walker is gone;
-   - operand expressions compile to closures with constant folding of
-     address arithmetic (global addresses and field offsets are baked
-     in); builtins and callee fundecs resolve to direct references;
-   - structured control flow (loops, switch, delayed scopes) is
-     lowered to block edges, with the delayed-scope exits emitted on
-     every edge that leaves the scope.
+   - phase A (lowering): structured control flow (loops, switch,
+     delayed scopes) lowers to an array of mid-level basic blocks —
+     lists of mid-level items (IR instructions plus pseudo-ops for
+     fuel burns, scope enter/exit and return-value sets) with
+     structured terminators that still carry their IR condition;
+   - phase B (peephole + superinstructions, [IVY_VM_OPT], default on):
+     unconditional-jump chains collapse, single-predecessor blocks
+     merge, constants propagate through register slots, dead register
+     moves drop to bare fuel burns, and adjacent hot opcode pairs —
+     selected from the [IVY_VM_PROFILE] counter table, with a default
+     table measured on the E2 workloads — fuse into superinstructions;
+   - phase C (codegen): each item becomes one closure. Hot shapes get
+     specialized closures: register/constant operands are fetched
+     inline instead of through operand closures, compare+branch fuses
+     into the terminator, load/binop/store collapse around register
+     slots, and Deputy residue checks read classified operands.
 
    The contract is strict observational equivalence with {!Treewalk}:
    identical traps (kind and message), identical results, identical
@@ -23,14 +26,36 @@
    stack addresses. Every cost-model charge and fuel burn below is
    placed exactly where the tree-walker places it; the differential
    suite (test/test_vm_compile.ml) holds the two engines to that.
+   Register slots are charge-free in the cost model, which is what
+   makes register const-prop, dead-move elimination and operand
+   inlining observationally neutral.
 
    Compiled programs are cached per [I.program] (physical identity,
    weak — dead fuzz-case programs are collectable) and per function
-   revalidated against [fbody] identity, so instrumentation passes
-   that rewrite bodies (deputize, discharge, rc_instrument, bcheck)
-   transparently invalidate stale code. *)
+   revalidated against [fbody] identity *and* the compile-options
+   generation (profiling flag, optimizer flag), so instrumentation
+   passes that rewrite bodies and runtime toggles of
+   [set_profiling]/[set_opt] transparently invalidate stale code.
+   While profiling is on, phases B and the codegen specializations are
+   disabled so the counters reflect the raw opcode stream that guides
+   fusion selection. *)
 
 module I = Kc.Ir
+
+(* The register file is a flat int64 bigarray rather than an
+   [int64 array]: OCaml arrays hold int64s boxed, so every register
+   write would allocate; bigarray reads and writes move the raw word.
+   Register state is identical either way — this is representation
+   only. *)
+type regfile = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let[@inline] rget (r : regfile) i : int64 = Bigarray.Array1.unsafe_get r i
+let[@inline] rset (r : regfile) i (v : int64) = Bigarray.Array1.unsafe_set r i v
+
+let regfile_make n : regfile =
+  let r = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout (max 1 n) in
+  Bigarray.Array1.fill r 0L;
+  r
 
 (* Per-activation execution environment. [m]/[cost]/[mem] are copies
    of the state's machine fields, hoisted out of the per-op field
@@ -40,7 +65,7 @@ type env = {
   m : Machine.t;
   cost : Cost.t;
   mem : Mem.t;
-  regs : int64 array;
+  regs : regfile;
   base : int; (* stack frame base address *)
   mutable retv : int64;
 }
@@ -53,6 +78,7 @@ type bblock = {
 
 type cfun = {
   cf_body : I.block; (* identity stamp: recompile when fbody is swapped *)
+  cf_gen : int; (* compile-options stamp: profiling/optimizer flags *)
   cf_nregs : int;
   cf_frame_bytes : int;
   cf_blocks : bblock array;
@@ -73,45 +99,30 @@ type t = {
 (* ------------------------------------------------------------------ *)
 
 (* The flag is consulted at compile time: when off (the default), the
-   compiled closures carry no counting code at all. Counters are plain
-   ints — under a parallel fuzz campaign increments may race and drop;
-   the table is observability, not semantics. *)
+   compiled closures carry no counting code at all. Counters live in
+   per-domain tables ({!Vmcounters}) registered under a mutex and
+   merged on read, so parallel fuzz/check runs cannot corrupt the
+   table structure; a program compiled and run on one domain (the
+   [Par] worker pattern) counts exactly. *)
 
 let profiling_on = ref (Sys.getenv_opt "IVY_VM_PROFILE" = Some "1")
-let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
-
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some r -> r
-  | None ->
-      let r = ref 0 in
-      Hashtbl.replace counters name r;
-      r
-
+let prof_counters = Vmcounters.create ()
+let counter name = Vmcounters.counter prof_counters name
 let set_profiling b = profiling_on := b
 let profiling () = !profiling_on
-let reset_profile () = Hashtbl.reset counters
+let reset_profile () = Vmcounters.reset prof_counters
+let profile_table () = Vmcounters.table prof_counters
+let render_profile () = Vmcounters.render ~title:"vm profile (opcode, executed):" prof_counters
 
-let profile_table () =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters []
-  |> List.filter (fun (_, n) -> n > 0)
-  |> List.sort (fun (na, a) (nb, b) -> if a <> b then compare b a else compare na nb)
-
-let render_profile () =
-  let rows = profile_table () in
-  if rows = [] then ""
-  else begin
-    let buf = Buffer.create 256 in
-    Buffer.add_string buf "vm profile (opcode, executed):\n";
-    List.iter (fun (name, n) -> Buffer.add_string buf (Printf.sprintf "  %-18s %12d\n" name n)) rows;
-    Buffer.contents buf
-  end
-
+(* Registered unconditionally, gated on the flag at exit time, so a
+   profile enabled programmatically via [set_profiling] still prints
+   (tests that toggle profiling off before exiting stay silent). *)
 let () =
-  if !profiling_on then
-    at_exit (fun () ->
+  at_exit (fun () ->
+      if !profiling_on then begin
         let s = render_profile () in
-        if s <> "" then (output_string stderr s; flush stderr))
+        if s <> "" then (output_string stderr s; flush stderr)
+      end)
 
 let prof name (f : env -> unit) : env -> unit =
   if !profiling_on then begin
@@ -130,6 +141,73 @@ let prof_term name (f : env -> int) : env -> int =
       f env
   end
   else f
+
+(* ------------------------------------------------------------------ *)
+(* The optimizer switch and its compile-time hit counters.            *)
+(* ------------------------------------------------------------------ *)
+
+(* [IVY_VM_OPT=0] (or [set_opt false]) disables phase B and the
+   codegen specializations, leaving the PR 5 one-closure-per-opcode
+   pipeline — the ablation arm of the vm-super benchmark. The stats
+   table counts compile-time sites: how many superinstructions were
+   formed per fused pair, and how many peephole rewrites fired. *)
+
+let opt_on = ref (Sys.getenv_opt "IVY_VM_OPT" <> Some "0")
+let opt_counters = Vmcounters.create ()
+let set_opt b = opt_on := b
+let opt_enabled () = !opt_on
+let opt_stats () = Vmcounters.table opt_counters
+
+let render_opt_stats () =
+  Vmcounters.render ~title:"vm optimizer (fusion + peephole sites):" opt_counters
+
+let reset_opt_stats () = Vmcounters.reset opt_counters
+let ostat name = Vmcounters.bump opt_counters name
+let ostat_n name n = if n > 0 then Vmcounters.add opt_counters name n
+
+(* Inlined machine-state updates for the specialized closures. Same
+   state transitions as Machine.burn_fuel and the Cost hooks — the
+   cost constants come from Cost so the model stays in one place —
+   but with the cold trap arm out of line, the hot path inlines into
+   each superinstruction instead of paying a cross-module call per
+   charge. The generic (opt-off) pipeline keeps calling the Machine
+   and Cost entry points: that arm is the PR 5 baseline. *)
+let fuel_exhausted () = Trap.trap Trap.Out_of_fuel "interpreter fuel exhausted"
+
+let[@inline] burn (env : env) =
+  let m = env.m in
+  let f = m.Machine.fuel_left - 1 in
+  m.Machine.fuel_left <- f;
+  if f <= 0 then fuel_exhausted ()
+
+let[@inline] c_alu (env : env) =
+  let c = env.cost in
+  c.Cost.cycles <- c.Cost.cycles + Cost.alu
+
+let[@inline] c_branch (env : env) =
+  let c = env.cost in
+  c.Cost.cycles <- c.Cost.cycles + Cost.branch
+
+let[@inline] c_load (env : env) =
+  let c = env.cost in
+  c.Cost.loads <- c.Cost.loads + 1;
+  c.Cost.cycles <- c.Cost.cycles + Cost.load_cost
+
+let[@inline] c_store (env : env) =
+  let c = env.cost in
+  c.Cost.stores <- c.Cost.stores + 1;
+  c.Cost.cycles <- c.Cost.cycles + Cost.store_cost
+
+let[@inline] c_check (env : env) =
+  let c = env.cost in
+  c.Cost.checks_executed <- c.Cost.checks_executed + 1;
+  c.Cost.cycles <- c.Cost.cycles + Cost.check_cost
+
+(* The compile-options generation baked into each cfun: toggling
+   either flag retires code compiled under the old options. Fusion is
+   suppressed while profiling so the counters see raw opcodes. *)
+let current_gen () = (if !profiling_on then 1 else 0) lor (if !opt_on then 2 else 0)
+let gen_opt_active gen = gen land 2 <> 0 && gen land 1 = 0
 
 (* ------------------------------------------------------------------ *)
 (* Compile-time helpers.                                              *)
@@ -151,73 +229,878 @@ let normf_opt (ty : I.ty) : (int64 -> int64) option =
 let identity (v : int64) = v
 let normf ty = match normf_opt ty with Some f -> f | None -> identity
 
+(* The same normalization as a first-class shape, cheap enough to
+   inline into specialized closures (no closure call per write). *)
+type nspec = Nid | Nsx of int | Nzx of int
+
+let nspec_of (ty : I.ty) : nspec =
+  match ty with
+  | I.Tint (k, s) ->
+      let w = Kc.Layout.int_size k in
+      if w = 8 then Nid
+      else
+        let sh = 64 - (8 * w) in
+        if s = Kc.Ast.Signed then Nsx sh else Nzx sh
+  | _ -> Nid
+
+let[@inline] napply (ns : nspec) (v : int64) : int64 =
+  match ns with
+  | Nid -> v
+  | Nsx sh -> Int64.shift_right (Int64.shift_left v sh) sh
+  | Nzx sh -> Int64.shift_right_logical (Int64.shift_left v sh) sh
+
 type cslot = Sreg of int | Sstk of int (* frame offset *)
 
 (* Addresses fold constants: a global base plus field offsets compiles
-   to a single immediate. *)
-type caddr = Aconst of int | Adyn of (env -> int)
+   to a single immediate, a stack slot to a frame-base displacement
+   ([Abase]), and scaled pointer indexing to a register-pair or
+   register-plus-displacement form ([Ari]/[Arc]) — all kept symbolic
+   so fused closures can resolve them inline. The [Ari]/[Arc] forms
+   carry the indexing ALU charge with them; resolving one charges
+   exactly the one ALU cycle the tree-walker charges for the add. *)
+type caddr =
+  | Aconst of int
+  | Abase of int (* env.base + offset *)
+  | Ari of int * int * int (* regs.(p) + regs.(i) * scale, one ALU *)
+  | Arc of int * int (* regs.(p) + displacement, one ALU *)
+  | Adyn of (env -> int)
 
-let force = function Aconst n -> fun _ -> n | Adyn f -> f
+(* [Ari]/[Arc] resolve in native-int arithmetic: addresses are native
+   ints anyway, and truncation to 63 bits commutes with add and
+   multiply, so the result matches the Int64 computation the generic
+   closures perform — without boxing an Int64 per step. *)
+let force = function
+  | Aconst n -> fun _ -> n
+  | Abase o -> fun env -> env.base + o
+  | Ari (p, i, k) ->
+      fun env ->
+        let a = Int64.to_int (rget env.regs p) in
+        let b = Int64.to_int (rget env.regs i) in
+        c_alu env;
+        a + (b * k)
+  | Arc (p, d) ->
+      fun env ->
+        let a = Int64.to_int (rget env.regs p) in
+        c_alu env;
+        a + d
+  | Adyn f -> f
 
 let add_const a k =
   if k = 0 then a
-  else match a with Aconst n -> Aconst (n + k) | Adyn f -> Adyn (fun env -> f env + k)
+  else
+    match a with
+    | Aconst n -> Aconst (n + k)
+    | Abase o -> Abase (o + k)
+    | Arc (p, d) -> Arc (p, d + k)
+    | Ari _ as a ->
+        let f = force a in
+        Adyn (fun env -> f env + k)
+    | Adyn f -> Adyn (fun env -> f env + k)
 
 (* A resolved lvalue: a register slot (with its type, for write
    normalization) or an address computation with the value type. *)
 type cplace = CPreg of int * I.ty | CPmem of caddr * I.ty
 
+(* A classified operand: constant, register slot, or a compiled
+   closure. Constants and register reads are charge-free in the cost
+   model, so fetching them inline is observationally neutral. *)
+type operand = Oc of int64 | Oreg of int | Odyn of (env -> int64)
+
 type fctx = {
   cc : t;
   slots : (int, cslot) Hashtbl.t;
-  mutable blocks : bblock list; (* reversed *)
-  mutable nblocks : int;
-  mutable cur : bblock;
-  mutable acc : (env -> unit) list; (* reversed instrs of [cur] *)
+  fopt : bool; (* codegen specializations active for this compile *)
 }
 
-let unset_term : env -> int = fun _ -> assert false
+(* Comparison kinds, evaluated by direct call on already-boxed values
+   (no allocation). Semantics mirror the generic cbinop arm exactly. *)
+type cmpk = Clts | Cltu | Cgts | Cgtu | Cles | Cleu | Cges | Cgeu | Ceq | Cne
 
-let new_block ctx =
-  let b = { bid = ctx.nblocks; instrs = [||]; term = unset_term } in
-  ctx.nblocks <- ctx.nblocks + 1;
-  ctx.blocks <- b :: ctx.blocks;
+let[@inline] cmp_eval (k : cmpk) (x : int64) (y : int64) : bool =
+  match k with
+  | Clts -> x < y
+  | Cltu -> Int64.unsigned_compare x y < 0
+  | Cgts -> x > y
+  | Cgtu -> Int64.unsigned_compare x y > 0
+  | Cles -> x <= y
+  | Cleu -> Int64.unsigned_compare x y <= 0
+  | Cges -> x >= y
+  | Cgeu -> Int64.unsigned_compare x y >= 0
+  | Ceq -> x = y
+  | Cne -> x <> y
+
+let cmpk_of (op : Kc.Ast.binop) ~signed : cmpk option =
+  match op with
+  | Kc.Ast.Lt -> Some (if signed then Clts else Cltu)
+  | Kc.Ast.Gt -> Some (if signed then Cgts else Cgtu)
+  | Kc.Ast.Le -> Some (if signed then Cles else Cleu)
+  | Kc.Ast.Ge -> Some (if signed then Cges else Cgeu)
+  | Kc.Ast.Eq -> Some Ceq
+  | Kc.Ast.Ne -> Some Cne
+  | _ -> None
+
+(* Non-pointer ALU ops as tags, mirroring the generic cbinop arm:
+   same trap messages, same shift masking, same signedness choice. *)
+type aluk =
+  | Kadd
+  | Ksub
+  | Kmul
+  | Kdivs
+  | Kdivu
+  | Kmods
+  | Kmodu
+  | Kshl
+  | Kshrs
+  | Kshru
+  | Kand
+  | Kor
+  | Kxor
+  | Kcmp of cmpk
+  | Kland
+  | Klor
+
+let[@inline] alu_eval (k : aluk) (x : int64) (y : int64) : int64 =
+  let open Int64 in
+  match k with
+  | Kadd -> add x y
+  | Ksub -> sub x y
+  | Kmul -> mul x y
+  | Kdivs ->
+      if y = 0L then Trap.trap Trap.Div_by_zero "division by zero";
+      div x y
+  | Kdivu ->
+      if y = 0L then Trap.trap Trap.Div_by_zero "division by zero";
+      unsigned_div x y
+  | Kmods ->
+      if y = 0L then Trap.trap Trap.Div_by_zero "mod by zero";
+      rem x y
+  | Kmodu ->
+      if y = 0L then Trap.trap Trap.Div_by_zero "mod by zero";
+      unsigned_rem x y
+  | Kshl -> shift_left x (to_int (logand y 63L))
+  | Kshrs -> shift_right x (to_int (logand y 63L))
+  | Kshru -> shift_right_logical x (to_int (logand y 63L))
+  | Kand -> logand x y
+  | Kor -> logor x y
+  | Kxor -> logxor x y
+  | Kcmp c -> if cmp_eval c x y then 1L else 0L
+  | Kland -> if x <> 0L && y <> 0L then 1L else 0L
+  | Klor -> if x <> 0L || y <> 0L then 1L else 0L
+
+let aluk_of (op : Kc.Ast.binop) ~signed : aluk =
+  match op with
+  | Kc.Ast.Add -> Kadd
+  | Kc.Ast.Sub -> Ksub
+  | Kc.Ast.Mul -> Kmul
+  | Kc.Ast.Div -> if signed then Kdivs else Kdivu
+  | Kc.Ast.Mod -> if signed then Kmods else Kmodu
+  | Kc.Ast.Shl -> Kshl
+  | Kc.Ast.Shr -> if signed then Kshrs else Kshru
+  | Kc.Ast.Bitand -> Kand
+  | Kc.Ast.Bitor -> Kor
+  | Kc.Ast.Bitxor -> Kxor
+  | Kc.Ast.Lt -> Kcmp (if signed then Clts else Cltu)
+  | Kc.Ast.Gt -> Kcmp (if signed then Cgts else Cgtu)
+  | Kc.Ast.Le -> Kcmp (if signed then Cles else Cleu)
+  | Kc.Ast.Ge -> Kcmp (if signed then Cges else Cgeu)
+  | Kc.Ast.Eq -> Kcmp Ceq
+  | Kc.Ast.Ne -> Kcmp Cne
+  | Kc.Ast.Logand -> Kland
+  | Kc.Ast.Logor -> Klor
+
+let alu_can_trap = function Kdivs | Kdivu | Kmods | Kmodu -> true | _ -> false
+let alu_is_bool = function Kcmp _ | Kland | Klor -> true | _ -> false
+
+let arr_mem (v : int64) (a : int64 array) =
+  let n = Array.length a in
+  let rec go i = i < n && (Array.unsafe_get a i = v || go (i + 1)) in
+  go 0
+
+(* Compile-time type of an lvalue, mirroring Treewalk.lval_type. *)
+let lval_type_c ((host, offs) : I.lval) : I.ty =
+  let base =
+    match host with
+    | I.Lvar v -> v.I.vty
+    | I.Lmem e -> (
+        match e.I.ety with
+        | I.Tptr (ty, _) -> ty
+        | _ -> Trap.trap Trap.Panic "deref of non-pointer in lval")
+  in
+  List.fold_left
+    (fun ty off ->
+      match (off, ty) with
+      | I.Ofield f, _ -> f.I.fty
+      | I.Oindex _, I.Tarray (elt, _) -> elt
+      | I.Oindex _, _ -> Trap.trap Trap.Panic "index of non-array in lval")
+    base offs
+
+(* ------------------------------------------------------------------ *)
+(* Phase A: the mid-level representation and structured lowering.     *)
+(* ------------------------------------------------------------------ *)
+
+(* Mid-level items keep the IR instruction (so the peephole can still
+   pattern-match and rewrite expressions) plus the pseudo-ops the
+   lowering introduces. [Mdeadmove] is an eliminated register move:
+   the write is gone but the instruction's fuel burn remains.
+   [Mfused] is a superinstruction: a run of instructions compiled into
+   one composed closure. *)
+type mi =
+  | Mi of I.instr
+  | Mfuel
+  | Mscope_enter
+  | Mscope_exit of string
+  | Mretval of I.exp option
+  | Mdeadmove
+  | Mfused of I.instr list * string
+
+(* Terminators stay structured through phase B so conditions can be
+   rewritten and fused; block targets are ids, -1 = return. *)
+type mterm =
+  | Munset
+  | Mgoto of int
+  | Mret
+  | Mif of I.exp * int * int
+  | Mwhile of I.exp * int * int (* cond nonzero -> body, else exit *)
+  | Mdowhile of I.exp * int * int (* cond nonzero -> head, else exit *)
+  | Mswitch of I.exp * (int64 array * int) array * int
+
+type mblock = { mutable mid : int; mutable mis : mi list; mutable mt : mterm }
+
+type lowerer = {
+  mutable lblocks : mblock list; (* reversed *)
+  mutable lnb : int;
+  mutable lcur : mblock;
+  mutable lacc : mi list; (* reversed items of [lcur] *)
+}
+
+let new_mb lo =
+  let b = { mid = lo.lnb; mis = []; mt = Munset } in
+  lo.lnb <- lo.lnb + 1;
+  lo.lblocks <- b :: lo.lblocks;
   b
 
-let emit ctx i = ctx.acc <- i :: ctx.acc
+let emitm lo i = lo.lacc <- i :: lo.lacc
 
-let seal ctx term =
-  ctx.cur.instrs <- Array.of_list (List.rev ctx.acc);
-  ctx.cur.term <- term;
-  ctx.acc <- []
+let sealm lo t =
+  lo.lcur.mis <- List.rev lo.lacc;
+  lo.lcur.mt <- t;
+  lo.lacc <- []
 
-let start ctx b =
-  ctx.cur <- b;
-  ctx.acc <- []
-
-let goto (b : bblock) : env -> int =
-  let id = b.bid in
-  fun _ -> id
+let startm lo b =
+  lo.lcur <- b;
+  lo.lacc <- []
 
 (* Lexical lowering context: break/continue targets carry the
    delayed-scope depth at the construct's entry so jumps crossing
    scope boundaries emit the pending exits; [scopes] holds the exit
-   closures, innermost first — the order the tree-walker unwinds. *)
+   locations, innermost first — the order the tree-walker unwinds. *)
 type lenv = {
   brk : (int * int) option; (* (target bid, scope depth at entry) *)
   cont : (int * int) option;
-  scopes : (env -> unit) list;
+  scopes : string list;
 }
 
-let emit_exits ctx (lenv : lenv) (upto_depth : int) =
+let emit_mexits lo (lenv : lenv) (upto_depth : int) =
   let n = List.length lenv.scopes - upto_depth in
   let rec go i = function
-    | f :: rest when i < n ->
-        emit ctx f;
+    | w :: rest when i < n ->
+        emitm lo (Mscope_exit w);
         go (i + 1) rest
     | _ -> ()
   in
   go 0 lenv.scopes
+
+let rec lower_block lo (lenv : lenv) (b : I.block) : unit = List.iter (lower_stmt lo lenv) b
+
+and lower_stmt lo (lenv : lenv) (s : I.stmt) : unit =
+  match s.I.sk with
+  | I.Sinstr i -> emitm lo (Mi i)
+  | I.Sif (c, b1, b2) ->
+      let bt = new_mb lo in
+      let bf = new_mb lo in
+      let join = new_mb lo in
+      sealm lo (Mif (c, bt.mid, bf.mid));
+      startm lo bt;
+      lower_block lo lenv b1;
+      sealm lo (Mgoto join.mid);
+      startm lo bf;
+      lower_block lo lenv b2;
+      sealm lo (Mgoto join.mid);
+      startm lo join
+  | I.Swhile (c, body, step) ->
+      let head = new_mb lo in
+      let bbody = new_mb lo in
+      let bstep = new_mb lo in
+      let bexit = new_mb lo in
+      sealm lo (Mgoto head.mid);
+      start_while lo lenv c head bbody bstep bexit body step
+  | I.Sdowhile (body, c) ->
+      let head = new_mb lo in
+      let bcond = new_mb lo in
+      let bexit = new_mb lo in
+      sealm lo (Mgoto head.mid);
+      startm lo head;
+      emitm lo Mfuel;
+      let d = List.length lenv.scopes in
+      lower_block lo { lenv with brk = Some (bexit.mid, d); cont = Some (bcond.mid, d) } body;
+      sealm lo (Mgoto bcond.mid);
+      startm lo bcond;
+      sealm lo (Mdowhile (c, head.mid, bexit.mid));
+      startm lo bexit
+  | I.Sswitch (e, cases) ->
+      let join = new_mb lo in
+      let cblocks = List.map (fun _ -> new_mb lo) cases in
+      let tbl =
+        Array.of_list
+          (List.map2
+             (fun (c : I.case) (b : mblock) -> (Array.of_list c.I.cvals, b.mid))
+             cases cblocks)
+      in
+      let default =
+        let rec find_default cs bs =
+          match (cs, bs) with
+          | (c : I.case) :: cs', (b : mblock) :: bs' ->
+              if c.I.cdefault then b.mid else find_default cs' bs'
+          | _ -> join.mid
+        in
+        find_default cases cblocks
+      in
+      sealm lo (Mswitch (e, tbl, default));
+      let d = List.length lenv.scopes in
+      let rec lower_cases cs bs =
+        match (cs, bs) with
+        | (c : I.case) :: cs', (b : mblock) :: bs' ->
+            startm lo b;
+            lower_block lo { lenv with brk = Some (join.mid, d) } c.I.cbody;
+            (* C fallthrough into the next case's body. *)
+            let next = match bs' with nb :: _ -> nb | [] -> join in
+            sealm lo (Mgoto next.mid);
+            lower_cases cs' bs'
+        | _ -> ()
+      in
+      lower_cases cases cblocks;
+      startm lo join
+  | I.Sbreak -> (
+      match lenv.brk with
+      | Some (target, d) ->
+          emit_mexits lo lenv d;
+          sealm lo (Mgoto target);
+          startm lo (new_mb lo) (* dead code after the jump *)
+      | None ->
+          (* A top-level break leaves the function with result 0, as
+             the signal propagating out of exec_block does. *)
+          emit_mexits lo lenv 0;
+          emitm lo (Mretval None);
+          sealm lo Mret;
+          startm lo (new_mb lo))
+  | I.Scontinue -> (
+      match lenv.cont with
+      | Some (target, d) ->
+          emit_mexits lo lenv d;
+          sealm lo (Mgoto target);
+          startm lo (new_mb lo)
+      | None ->
+          emit_mexits lo lenv 0;
+          emitm lo (Mretval None);
+          sealm lo Mret;
+          startm lo (new_mb lo))
+  | I.Sreturn eo ->
+      (* Evaluate the result first, then unwind delayed scopes — the
+         order the tree-walker's `Return signal propagation gives. *)
+      emitm lo (Mretval eo);
+      emit_mexits lo lenv 0;
+      sealm lo Mret;
+      startm lo (new_mb lo)
+  | I.Sblock b -> lower_block lo lenv b
+  | I.Sdelayed b ->
+      let where = Kc.Loc.to_string s.I.sloc in
+      emitm lo Mscope_enter;
+      lower_block lo { lenv with scopes = where :: lenv.scopes } b;
+      emitm lo (Mscope_exit where)
+  | I.Strusted b -> lower_block lo lenv b
+
+and start_while lo lenv c head bbody bstep bexit body step =
+  startm lo head;
+  (* One loop iteration: fuel burn, branch charge, condition — in the
+     tree-walker's order; the head block itself stays empty. *)
+  sealm lo (Mwhile (c, bbody.mid, bexit.mid));
+  let d = List.length lenv.scopes in
+  startm lo bbody;
+  lower_block lo { lenv with brk = Some (bexit.mid, d); cont = Some (bstep.mid, d) } body;
+  sealm lo (Mgoto bstep.mid);
+  startm lo bstep;
+  lower_block lo { lenv with brk = Some (bexit.mid, d); cont = Some (head.mid, d) } step;
+  sealm lo (Mgoto head.mid);
+  startm lo bexit
+
+(* ------------------------------------------------------------------ *)
+(* Phase B: peephole passes over the mid-level CFG.                   *)
+(* ------------------------------------------------------------------ *)
+
+let term_map f (t : mterm) : mterm =
+  match t with
+  | Munset | Mret -> t
+  | Mgoto x -> Mgoto (f x)
+  | Mif (c, a, b) -> Mif (c, f a, f b)
+  | Mwhile (c, a, b) -> Mwhile (c, f a, f b)
+  | Mdowhile (c, a, b) -> Mdowhile (c, f a, f b)
+  | Mswitch (c, tbl, d) -> Mswitch (c, Array.map (fun (vs, b) -> (vs, f b)) tbl, f d)
+
+let term_targets (t : mterm) : int list =
+  match t with
+  | Munset | Mret -> []
+  | Mgoto x -> [ x ]
+  | Mif (_, a, b) | Mwhile (_, a, b) | Mdowhile (_, a, b) -> [ a; b ]
+  | Mswitch (_, tbl, d) -> d :: Array.fold_left (fun acc (_, b) -> b :: acc) [] tbl
+
+(* Collapse chains of empty unconditional blocks: a jump to an empty
+   [Mgoto] block retargets to where it goes; a jump to an empty [Mret]
+   block returns directly. Loop heads carry structured terminators and
+   are never threaded through; the hop cap bounds pathological chains. *)
+let peep_thread (bs : mblock array) : int =
+  let changed = ref 0 in
+  let rec resolve hops i =
+    if i < 0 || hops > 64 then i
+    else
+      let b = Array.unsafe_get bs i in
+      match (b.mis, b.mt) with
+      | [], Mgoto t when t <> i -> resolve (hops + 1) t
+      | [], Mret -> -1
+      | _ -> i
+  in
+  Array.iter
+    (fun b ->
+      b.mt <-
+        term_map
+          (fun x ->
+            let r = resolve 0 x in
+            if r <> x then incr changed;
+            r)
+          b.mt)
+    bs;
+  !changed
+
+(* Absorb single-predecessor blocks into their unique unconditional
+   predecessor, turning Sif joins and loop step blocks into straight
+   lines the later passes see whole. *)
+let peep_merge (bs : mblock array) : int =
+  let n = Array.length bs in
+  let merged = ref 0 in
+  let again = ref true in
+  while !again do
+    again := false;
+    let preds = Array.make (max n 1) 0 in
+    if n > 0 then preds.(0) <- 1 (* virtual entry edge *);
+    Array.iter
+      (fun b -> List.iter (fun t -> if t >= 0 then preds.(t) <- preds.(t) + 1) (term_targets b.mt))
+      bs;
+    Array.iteri
+      (fun ai a ->
+        match a.mt with
+        | Mgoto b when b >= 0 && b <> ai && preds.(b) = 1 ->
+            let bb = bs.(b) in
+            a.mis <- a.mis @ bb.mis;
+            a.mt <- bb.mt;
+            bb.mis <- [];
+            bb.mt <- Mret;
+            incr merged;
+            again := true
+        | _ -> ())
+      bs;
+  done;
+  !merged
+
+(* Copy an empty successor's structured terminator over an
+   unconditional jump. [Mgoto] is charge-free, so running the target's
+   compare-and-branch directly is observationally identical — and it
+   saves a closure call plus a block transition on the canonical
+   while-loop back edge, which the E2 workloads take millions of
+   times. The emptied loop head often loses its last predecessor and
+   is swept by [peep_compact]. *)
+let peep_termcopy (bs : mblock array) : int =
+  let changed = ref 0 in
+  Array.iteri
+    (fun i b ->
+      match b.mt with
+      | Mgoto t when t >= 0 && t <> i -> (
+          let tb = Array.unsafe_get bs t in
+          match (tb.mis, tb.mt) with
+          | [], (Mwhile _ | Mdowhile _ | Mif _) ->
+              b.mt <- tb.mt;
+              incr changed
+          | _ -> ())
+      | _ -> ())
+    bs;
+  !changed
+
+(* Drop unreachable blocks and renumber densely, preserving the
+   original relative order. *)
+let peep_compact (bs : mblock array) : mblock array =
+  let n = Array.length bs in
+  let reach = Array.make (max n 1) false in
+  let rec dfs i =
+    if i >= 0 && not reach.(i) then begin
+      reach.(i) <- true;
+      List.iter dfs (term_targets bs.(i).mt)
+    end
+  in
+  if n > 0 then dfs 0;
+  let remap = Array.make (max n 1) (-1) in
+  let kept = ref [] in
+  let nk = ref 0 in
+  Array.iteri
+    (fun i b ->
+      if reach.(i) then begin
+        remap.(i) <- !nk;
+        incr nk;
+        kept := b :: !kept
+      end)
+    bs;
+  let arr = Array.of_list (List.rev !kept) in
+  Array.iteri
+    (fun i b ->
+      b.mid <- i;
+      b.mt <- term_map (fun t -> if t < 0 then t else remap.(t)) b.mt)
+    arr;
+  arr
+
+let reg_of_lval (slots : (int, cslot) Hashtbl.t) ((host, offs) : I.lval) : (int * I.ty) option =
+  match (host, offs) with
+  | I.Lvar v, [] when not v.I.vglob -> (
+      match Hashtbl.find_opt slots v.I.vid with
+      | Some (Sreg i) -> Some (i, v.I.vty)
+      | _ -> None)
+  | _ -> None
+
+(* Compile-time evaluation of an expression whose leaves are all
+   constants. Purely a value oracle for register tracking — the
+   instruction still executes (and charges) at runtime; we only need
+   to know what lands in the register. Pointer-typed operands and
+   trapping cases answer None. Mirrors the generic cbinop arm. *)
+let rec sval (e : I.exp) : int64 option =
+  match e.I.e with
+  | I.Econst n -> Some n
+  | I.Ecast (ty, e1) -> Option.map (normf ty) (sval e1)
+  | I.Eunop (op, e1) -> (
+      match sval e1 with
+      | None -> None
+      | Some v -> (
+          match op with
+          | Kc.Ast.Neg -> Some (normf e.I.ety (Int64.neg v))
+          | Kc.Ast.Bitnot -> Some (normf e.I.ety (Int64.lognot v))
+          | Kc.Ast.Lognot -> Some (if v = 0L then 1L else 0L)))
+  | I.Ebinop (op, a, b) -> (
+      match (a.I.ety, b.I.ety) with
+      | I.Tptr _, _ | _, I.Tptr _ -> None
+      | _ -> (
+          match (sval a, sval b) with
+          | Some x, Some y ->
+              let k = aluk_of op ~signed:(Vmstate.is_signed a.I.ety) in
+              if alu_can_trap k && y = 0L then None
+              else
+                let v = alu_eval k x y in
+                Some (if alu_is_bool k then v else normf e.I.ety v)
+          | _ -> None))
+  | _ -> None
+
+(* Per-block constant propagation through register slots. Register
+   reads are charge-free and trap-free, so replacing one with the
+   constant it is known to hold changes nothing observable; it feeds
+   the operand classifier downstream. Facts live within one block:
+   every entry into the block replays its writes, so end-of-block
+   terminator conditions may use them too. *)
+let peep_constprop ~slots ~nregs (b : mblock) : int =
+  let hits = ref 0 in
+  let vals : int64 option array = Array.make (max nregs 1) None in
+  let rec subst_exp (e : I.exp) : I.exp =
+    match e.I.e with
+    | I.Econst _ | I.Estr _ | I.Efun _ | I.Eself_field _ -> e
+    | I.Elval lv -> (
+        match reg_of_lval slots lv with
+        | Some (i, _) -> (
+            match vals.(i) with
+            | Some v ->
+                incr hits;
+                { e with I.e = I.Econst v }
+            | None -> e)
+        | None -> { e with I.e = I.Elval (subst_lval lv) })
+    | I.Eunop (op, e1) -> { e with I.e = I.Eunop (op, subst_exp e1) }
+    | I.Ebinop (op, a, b2) -> { e with I.e = I.Ebinop (op, subst_exp a, subst_exp b2) }
+    | I.Econd (c, a, b2) -> { e with I.e = I.Econd (subst_exp c, subst_exp a, subst_exp b2) }
+    | I.Ecast (ty, e1) -> { e with I.e = I.Ecast (ty, subst_exp e1) }
+    | I.Eaddrof lv -> { e with I.e = I.Eaddrof (subst_lval lv) }
+    | I.Estartof lv -> { e with I.e = I.Estartof (subst_lval lv) }
+  and subst_lval ((host, offs) : I.lval) : I.lval =
+    let host' = match host with I.Lvar _ -> host | I.Lmem e -> I.Lmem (subst_exp e) in
+    let offs' =
+      List.map (function I.Ofield _ as o -> o | I.Oindex e -> I.Oindex (subst_exp e)) offs
+    in
+    (host', offs')
+  in
+  let subst_instr (i : I.instr) : I.instr =
+    match i with
+    | I.Iset (lv, e) -> I.Iset (subst_lval lv, subst_exp e)
+    | I.Icall (ret, tgt, args) ->
+        let ret' = Option.map subst_lval ret in
+        let tgt' =
+          match tgt with I.Direct _ -> tgt | I.Indirect e -> I.Indirect (subst_exp e)
+        in
+        I.Icall (ret', tgt', List.map subst_exp args)
+    | I.Icheck (ck, reason) ->
+        let ck' =
+          match ck with
+          | I.Ck_nonnull e -> I.Ck_nonnull (subst_exp e)
+          | I.Ck_le (a, b2) -> I.Ck_le (subst_exp a, subst_exp b2)
+          | I.Ck_lt (a, b2) -> I.Ck_lt (subst_exp a, subst_exp b2)
+          | I.Ck_nt_next (e, w) -> I.Ck_nt_next (subst_exp e, w)
+          | I.Ck_not_atomic -> ck
+        in
+        I.Icheck (ck', reason)
+    | I.Irc_inc e -> I.Irc_inc (subst_exp e)
+    | I.Irc_dec e -> I.Irc_dec (subst_exp e)
+    | I.Irc_update (lv, e) -> I.Irc_update (subst_lval lv, subst_exp e)
+  in
+  let step (item : mi) : mi =
+    match item with
+    | Mi i ->
+        let i' = subst_instr i in
+        (match i' with
+        | I.Iset (lv, e) -> (
+            match reg_of_lval slots lv with
+            | Some (r, vty) -> vals.(r) <- Option.map (normf vty) (sval e)
+            | None -> ())
+        | I.Icall (Some lv, _, _) -> (
+            match reg_of_lval slots lv with
+            | Some (r, _) -> vals.(r) <- None
+            | None -> ())
+        | _ -> ());
+        Mi i'
+    | Mretval (Some e) -> Mretval (Some (subst_exp e))
+    | other -> other
+  in
+  (* List.map's evaluation order is unspecified; [step] is stateful. *)
+  b.mis <- List.rev (List.fold_left (fun acc it -> step it :: acc) [] b.mis);
+  (b.mt <-
+     (match b.mt with
+     | Mif (c, x, y) -> Mif (subst_exp c, x, y)
+     | Mwhile (c, x, y) -> Mwhile (subst_exp c, x, y)
+     | Mdowhile (c, x, y) -> Mdowhile (subst_exp c, x, y)
+     | Mswitch (c, tbl, d) -> Mswitch (subst_exp c, tbl, d)
+     | t -> t));
+  !hits
+
+(* A register move is removable when a later instruction in the same
+   block overwrites the register with no intervening read: the
+   overwrite dominates every later use, and the move's right-hand side
+   must be charge- and trap-free (constants, register reads, casts of
+   those) so dropping it changes neither cycles nor trap behavior.
+   Only the instruction's fuel burn remains ([Mdeadmove]). *)
+let rec charge_free_rhs slots (e : I.exp) : bool =
+  match e.I.e with
+  | I.Econst _ -> true
+  | I.Elval lv -> reg_of_lval slots lv <> None
+  | I.Ecast (_, e1) -> charge_free_rhs slots e1
+  | _ -> false
+
+let lval_addr_reads slots ((host, offs) : I.lval) (acc : int list ref) go_exp =
+  ignore slots;
+  (match host with I.Lvar _ -> () | I.Lmem e -> go_exp e acc);
+  List.iter (function I.Ofield _ -> () | I.Oindex e -> go_exp e acc) offs
+
+let rec exp_reads slots (e : I.exp) (acc : int list ref) =
+  match e.I.e with
+  | I.Econst _ | I.Estr _ | I.Efun _ | I.Eself_field _ -> ()
+  | I.Elval lv -> (
+      match reg_of_lval slots lv with
+      | Some (i, _) -> acc := i :: !acc
+      | None -> lval_addr_reads slots lv acc (exp_reads slots))
+  | I.Eunop (_, e1) | I.Ecast (_, e1) -> exp_reads slots e1 acc
+  | I.Ebinop (_, a, b) ->
+      exp_reads slots a acc;
+      exp_reads slots b acc
+  | I.Econd (c, a, b) ->
+      exp_reads slots c acc;
+      exp_reads slots a acc;
+      exp_reads slots b acc
+  | I.Eaddrof lv | I.Estartof lv -> lval_addr_reads slots lv acc (exp_reads slots)
+
+let instr_reads slots (i : I.instr) (acc : int list ref) =
+  let lv_dest lv =
+    match reg_of_lval slots lv with
+    | Some _ -> ()
+    | None -> lval_addr_reads slots lv acc (exp_reads slots)
+  in
+  match i with
+  | I.Iset (lv, e) ->
+      exp_reads slots e acc;
+      lv_dest lv
+  | I.Icall (ret, tgt, args) ->
+      List.iter (fun a -> exp_reads slots a acc) args;
+      (match tgt with I.Direct _ -> () | I.Indirect e -> exp_reads slots e acc);
+      (match ret with None -> () | Some lv -> lv_dest lv)
+  | I.Icheck (ck, _) -> (
+      match ck with
+      | I.Ck_nonnull e | I.Ck_nt_next (e, _) -> exp_reads slots e acc
+      | I.Ck_le (a, b) | I.Ck_lt (a, b) ->
+          exp_reads slots a acc;
+          exp_reads slots b acc
+      | I.Ck_not_atomic -> ())
+  | I.Irc_inc e | I.Irc_dec e -> exp_reads slots e acc
+  | I.Irc_update (lv, e) ->
+      exp_reads slots e acc;
+      lv_dest lv
+
+let instr_reg_write slots (i : I.instr) : int option =
+  match i with
+  | I.Iset (lv, _) | I.Icall (Some lv, _, _) -> Option.map fst (reg_of_lval slots lv)
+  | _ -> None
+
+let peep_deadmoves ~slots ~nregs (b : mblock) : int =
+  let kills = ref 0 in
+  (* dead.(r): walking backward, the next forward event on r is an
+     overwrite (no read in between, within this block). *)
+  let dead = Array.make (max nregs 1) false in
+  let keep item =
+    (match item with
+    | Mi i ->
+        (match instr_reg_write slots i with Some w -> dead.(w) <- true | None -> ());
+        let acc = ref [] in
+        instr_reads slots i acc;
+        List.iter (fun r -> dead.(r) <- false) !acc
+    | Mretval (Some e) ->
+        let acc = ref [] in
+        exp_reads slots e acc;
+        List.iter (fun r -> dead.(r) <- false) !acc
+    | _ -> ());
+    item
+  in
+  b.mis <-
+    List.fold_left
+      (fun acc item ->
+        match item with
+        | Mi (I.Iset (lv, e)) -> (
+            match reg_of_lval slots lv with
+            | Some (r, _) when dead.(r) && charge_free_rhs slots e ->
+                incr kills;
+                Mdeadmove :: acc
+            | _ -> keep item :: acc)
+        | _ -> keep item :: acc)
+      [] (List.rev b.mis);
+  !kills
+
+(* ------------------------------------------------------------------ *)
+(* Superinstruction selection.                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The opcode name an instruction is counted under, matching the
+   [prof] labels codegen uses. *)
+let opname (i : I.instr) : string =
+  match i with
+  | I.Iset (lv, _) -> (
+      match lval_type_c lv with
+      | I.Tcomp _ -> "set-struct"
+      | _ -> "set"
+      | exception Trap.Trap _ -> "set")
+  | I.Icall (_, I.Direct _, _) -> "call"
+  | I.Icall (_, I.Indirect _, _) -> "call-indirect"
+  | I.Icheck (ck, _) -> (
+      match ck with
+      | I.Ck_nonnull _ -> "check-nonnull"
+      | I.Ck_le _ -> "check-le"
+      | I.Ck_lt _ -> "check-lt"
+      | I.Ck_nt_next _ -> "check-ntnext"
+      | I.Ck_not_atomic -> "check-notatomic")
+  | I.Irc_inc _ -> "rc-inc"
+  | I.Irc_dec _ -> "rc-dec"
+  | I.Irc_update _ -> "rc-update"
+
+(* Straight-line ops whose closures neither call back into the VM nor
+   change control flow — safe and profitable to chain. *)
+let fusable = function
+  | "set" | "check-nonnull" | "check-le" | "check-lt" | "check-ntnext" | "check-notatomic"
+  | "rc-inc" | "rc-dec" | "rc-update" ->
+      true
+  | _ -> false
+
+(* The baked-in table, measured on the E2 workloads (bw_mem_cp /
+   lat_syscall with Deputy residue): dense set runs dominate, followed
+   by bounds-check-then-access and refcount-update pairs. *)
+let default_hot_pairs =
+  [
+    ("set", "set");
+    ("check-lt", "set");
+    ("check-le", "set");
+    ("check-nonnull", "set");
+    ("check-nonnull", "check-lt");
+    ("check-nonnull", "check-le");
+    ("check-le", "check-lt");
+    ("rc-update", "set");
+    ("set", "rc-update");
+  ]
+
+(* Fusion candidates: the defaults plus every ordered pair of the
+   hottest fusable opcodes in the live profile (when one was
+   collected this run). *)
+let selected_pairs () : (string * string, unit) Hashtbl.t =
+  let h = Hashtbl.create 32 in
+  List.iter (fun p -> Hashtbl.replace h p ()) default_hot_pairs;
+  let hot =
+    profile_table ()
+    |> List.filter (fun (n, _) -> fusable n)
+    |> List.filteri (fun i _ -> i < 6)
+    |> List.map fst
+  in
+  List.iter (fun a -> List.iter (fun b -> Hashtbl.replace h (a, b) ()) hot) hot;
+  h
+
+(* Greedy left-to-right run formation, capped at 4 ops per
+   superinstruction (diminishing returns past that, and the composed
+   closure stays a flat arity-k apply). *)
+let peep_fuse pairs (b : mblock) : int =
+  let fused = ref 0 in
+  let flush run acc =
+    match run with
+    | [] -> acc
+    | [ (i, _) ] -> Mi i :: acc
+    | _ ->
+        incr fused;
+        Mfused (List.rev_map fst run, String.concat "+" (List.rev_map snd run)) :: acc
+  in
+  let rec go acc run items =
+    match items with
+    | [] -> List.rev (flush run acc)
+    | Mi i :: rest when fusable (opname i) -> (
+        let n = opname i in
+        match run with
+        | (_, last) :: _ when List.length run < 4 && Hashtbl.mem pairs (last, n) ->
+            go acc ((i, n) :: run) rest
+        | _ -> go (flush run acc) [ (i, n) ] rest)
+    | item :: rest -> go (item :: flush run acc) [] rest
+  in
+  b.mis <- go [] [] b.mis;
+  !fused
+
+let peephole ~slots ~nregs (bs : mblock array) : mblock array =
+  let th1 = peep_thread bs in
+  let mg = peep_merge bs in
+  let th2 = peep_thread bs in
+  let tc = peep_termcopy bs in
+  let bs = peep_compact bs in
+  ostat_n "peep:jump-thread" (th1 + th2);
+  ostat_n "peep:block-merge" mg;
+  ostat_n "peep:term-copy" tc;
+  let pairs = selected_pairs () in
+  let cp = ref 0 and dm = ref 0 and fu = ref 0 in
+  Array.iter
+    (fun b ->
+      cp := !cp + peep_constprop ~slots ~nregs b;
+      dm := !dm + peep_deadmoves ~slots ~nregs b;
+      fu := !fu + peep_fuse pairs b)
+    bs;
+  ostat_n "peep:const-prop" !cp;
+  ostat_n "peep:dead-move" !dm;
+  ostat_n "peep:fuse-runs" !fu;
+  bs
 
 (* ------------------------------------------------------------------ *)
 (* Expressions.                                                       *)
@@ -278,12 +1161,12 @@ let rec cexp ctx (e : I.exp) : env -> int64 =
 
 and cbinop ctx (rty : I.ty) op (ea : I.exp) (eb : I.exp) : env -> int64 =
   let prog = ctx.cc.prog in
-  let ca = cexp ctx ea in
-  let cb = cexp ctx eb in
   let open Int64 in
   match (op, ea.I.ety, eb.I.ety) with
   (* Pointer arithmetic scales by element size. *)
   | Kc.Ast.Add, I.Tptr (elt, _), _ ->
+      let ca = cexp ctx ea in
+      let cb = cexp ctx eb in
       let sz = of_int (Kc.Layout.size_of prog elt) in
       fun env ->
         let a = ca env in
@@ -291,6 +1174,8 @@ and cbinop ctx (rty : I.ty) op (ea : I.exp) (eb : I.exp) : env -> int64 =
         Cost.op_alu env.cost;
         add a (mul b sz)
   | Kc.Ast.Sub, I.Tptr (elt, _), I.Tint _ ->
+      let ca = cexp ctx ea in
+      let cb = cexp ctx eb in
       let sz = of_int (Kc.Layout.size_of prog elt) in
       fun env ->
         let a = ca env in
@@ -298,13 +1183,18 @@ and cbinop ctx (rty : I.ty) op (ea : I.exp) (eb : I.exp) : env -> int64 =
         Cost.op_alu env.cost;
         sub a (mul b sz)
   | Kc.Ast.Sub, I.Tptr (elt, _), I.Tptr _ ->
+      let ca = cexp ctx ea in
+      let cb = cexp ctx eb in
       let sz = of_int (Stdlib.max 1 (Kc.Layout.size_of prog elt)) in
       fun env ->
         let a = ca env in
         let b = cb env in
         Cost.op_alu env.cost;
         div (sub a b) sz
+  | _ when ctx.fopt -> cbinop_opt ctx rty op ea eb
   | _ -> (
+      let ca = cexp ctx ea in
+      let cb = cexp ctx eb in
       let signed = Vmstate.is_signed ea.I.ety in
       let nf = normf rty in
       let bool_ v = if v then 1L else 0L in
@@ -459,6 +1349,124 @@ and cbinop ctx (rty : I.ty) op (ea : I.exp) (eb : I.exp) : env -> int64 =
             Cost.op_alu env.cost;
             bool_ (a <> 0L || b <> 0L))
 
+(* The specialized generic-ALU arm: operands are classified so
+   constants and register reads (both charge-free) fetch inline, and
+   the op dispatches on a tag instead of through two operand closures
+   plus a normalization closure. Charges land exactly as in the
+   generic arm: operand effects in order, then op_alu, then compute
+   (a trapping div/mod traps after the charge, as before). *)
+and cbinop_opt ctx (rty : I.ty) op (ea : I.exp) (eb : I.exp) : env -> int64 =
+  let k = aluk_of op ~signed:(Vmstate.is_signed ea.I.ety) in
+  let ns = if alu_is_bool k then Nid else nspec_of rty in
+  ostat "spec:alu";
+  let oa = classify ctx ea in
+  let ob = classify ctx eb in
+  cbinop_ops k ns oa ob
+
+(* The ALU closure for already-classified operands: operand fetches in
+   order, one ALU charge, compute (traps included), normalize. *)
+and cbinop_ops (k : aluk) (ns : nspec) (oa : operand) (ob : operand) : env -> int64 =
+  match (oa, ob) with
+  | Oc x, Oc y ->
+      if alu_can_trap k then fun env ->
+        c_alu env;
+        napply ns (alu_eval k x y)
+      else
+        let v = napply ns (alu_eval k x y) in
+        fun env ->
+          c_alu env;
+          v
+  | Oreg i, Oc y ->
+      fun env ->
+        let x = rget env.regs i in
+        c_alu env;
+        napply ns (alu_eval k x y)
+  | Oc x, Oreg j ->
+      fun env ->
+        let y = rget env.regs j in
+        c_alu env;
+        napply ns (alu_eval k x y)
+  | Oreg i, Oreg j ->
+      fun env ->
+        let x = rget env.regs i in
+        let y = rget env.regs j in
+        c_alu env;
+        napply ns (alu_eval k x y)
+  | Odyn fa, Oc y ->
+      fun env ->
+        let x = fa env in
+        c_alu env;
+        napply ns (alu_eval k x y)
+  | Odyn fa, Oreg j ->
+      fun env ->
+        let x = fa env in
+        let y = rget env.regs j in
+        c_alu env;
+        napply ns (alu_eval k x y)
+  | Oc x, Odyn fb ->
+      fun env ->
+        let y = fb env in
+        c_alu env;
+        napply ns (alu_eval k x y)
+  | Oreg i, Odyn fb ->
+      fun env ->
+        let x = rget env.regs i in
+        let y = fb env in
+        c_alu env;
+        napply ns (alu_eval k x y)
+  | Odyn fa, Odyn fb ->
+      fun env ->
+        let x = fa env in
+        let y = fb env in
+        c_alu env;
+        napply ns (alu_eval k x y)
+
+(* Operand classification. Constants fold through casts; a cast that
+   normalizes wraps the fetch. Everything else compiles generically. *)
+and classify ctx (e : I.exp) : operand =
+  match e.I.e with
+  | I.Econst n -> Oc n
+  | I.Elval (I.Lvar v, []) when not v.I.vglob -> (
+      match Hashtbl.find_opt ctx.slots v.I.vid with
+      | Some (Sreg i) -> Oreg i
+      | _ -> Odyn (cexp ctx e))
+  | I.Ecast (ty, e1) -> (
+      match normf_opt ty with
+      | None -> classify ctx e1
+      | Some nf -> (
+          match classify ctx e1 with
+          | Oc v -> Oc (nf v)
+          | Oreg i -> Odyn (fun env -> nf (rget env.regs i))
+          | Odyn f -> Odyn (fun env -> nf (f env))))
+  | _ -> Odyn (cexp ctx e)
+
+(* A pointer-arithmetic deref address as one flat closure, when the
+   operands live in registers or constants: `p[i]` through a pointer
+   parameter is the hottest addressing shape the workloads produce.
+   Charge shape matches cbinop's pointer arms exactly — operand
+   fetches (free for regs/consts), then one op_alu, then the scaled
+   add — followed by the Int64.to_int the generic Lmem arm performs. *)
+and cptr_flat ctx (e : I.exp) : caddr option =
+  if not ctx.fopt then None
+  else
+    match e.I.e with
+    | I.Ebinop (op, ea, eb) -> (
+        let scaled k =
+          match (classify ctx ea, classify ctx eb) with
+          | Oreg p, Oreg i ->
+              ostat "spec:addr";
+              Some (Ari (p, i, k))
+          | Oreg p, Oc c ->
+              ostat "spec:addr";
+              Some (Arc (p, Int64.to_int c * k))
+          | _ -> None
+        in
+        match (op, ea.I.ety, eb.I.ety) with
+        | Kc.Ast.Add, I.Tptr (elt, _), _ -> scaled (Kc.Layout.size_of ctx.cc.prog elt)
+        | Kc.Ast.Sub, I.Tptr (elt, _), I.Tint _ -> scaled (-Kc.Layout.size_of ctx.cc.prog elt)
+        | _ -> None)
+    | _ -> None
+
 (* Resolve an lvalue to a place at compile time, mirroring
    Treewalk.place_of_lval: same evaluation order, same Oindex ALU
    charge, same trap messages for malformed shapes. *)
@@ -474,16 +1482,19 @@ and cplace ctx ((host, offs) : I.lval) : cplace =
         else (
           match Hashtbl.find_opt ctx.slots v.I.vid with
           | Some (Sreg i) -> CPreg (i, v.I.vty)
-          | Some (Sstk off) -> CPmem (Adyn (fun env -> env.base + off), v.I.vty)
+          | Some (Sstk off) -> CPmem (Abase off, v.I.vty)
           | None -> Trap.trap Trap.Panic "unbound local %s" v.I.vname)
-    | I.Lmem e ->
+    | I.Lmem e -> (
         let ty =
           match e.I.ety with
           | I.Tptr (ty, _) -> ty
           | _ -> Trap.trap Trap.Panic "deref of non-pointer"
         in
-        let ce = cexp ctx e in
-        CPmem (Adyn (fun env -> Int64.to_int (ce env)), ty)
+        match cptr_flat ctx e with
+        | Some a -> CPmem (a, ty)
+        | None ->
+            let ce = cexp ctx e in
+            CPmem (Adyn (fun env -> Int64.to_int (ce env)), ty))
   in
   List.fold_left
     (fun place off ->
@@ -491,24 +1502,69 @@ and cplace ctx ((host, offs) : I.lval) : cplace =
       | CPmem (a, _), I.Ofield f ->
           CPmem (add_const a (Kc.Layout.field_offset prog f), f.I.fty)
       | CPmem (a, I.Tarray (elt, _)), I.Oindex ie ->
-          let fa = force a in
-          let ci = cexp ctx ie in
           let esz = Kc.Layout.size_of prog elt in
-          CPmem
-            ( Adyn
-                (fun env ->
-                  let addr = fa env in
-                  let i = Int64.to_int (ci env) in
-                  Cost.op_alu env.cost;
-                  addr + (i * esz)),
-              elt )
+          let generic () =
+            let fa = force a in
+            let ci = cexp ctx ie in
+            Adyn
+              (fun env ->
+                let addr = fa env in
+                let i = Int64.to_int (ci env) in
+                Cost.op_alu env.cost;
+                addr + (i * esz))
+          in
+          (* Known base + register/constant index flattens to one
+             closure. The indexing ALU charge survives even when the
+             whole address is a compile-time constant — the tree-walker
+             charges it per access. *)
+          let a' =
+            if not ctx.fopt then generic ()
+            else
+              match a with
+              | Aconst b -> (
+                  match classify ctx ie with
+                  | Oc i ->
+                      ostat "spec:addr";
+                      let addr = b + (Int64.to_int i * esz) in
+                      Adyn
+                        (fun env ->
+                          c_alu env;
+                          addr)
+                  | Oreg r ->
+                      ostat "spec:addr";
+                      Adyn
+                        (fun env ->
+                          let i = Int64.to_int (rget env.regs r) in
+                          c_alu env;
+                          b + (i * esz))
+                  | Odyn _ -> generic ())
+              | Abase o -> (
+                  match classify ctx ie with
+                  | Oc i ->
+                      ostat "spec:addr";
+                      let off = o + (Int64.to_int i * esz) in
+                      Adyn
+                        (fun env ->
+                          c_alu env;
+                          env.base + off)
+                  | Oreg r ->
+                      ostat "spec:addr";
+                      Adyn
+                        (fun env ->
+                          let i = Int64.to_int (rget env.regs r) in
+                          c_alu env;
+                          env.base + o + (i * esz))
+                  | Odyn _ -> generic ())
+              | Ari _ | Arc _ | Adyn _ -> generic ()
+          in
+          CPmem (a', elt)
       | CPreg _, _ -> Trap.trap Trap.Panic "offset into register slot"
       | CPmem _, I.Oindex _ -> Trap.trap Trap.Panic "index of non-array")
     base offs
 
 and cread ctx (lv : I.lval) : env -> int64 =
   match cplace ctx lv with
-  | CPreg (i, _) -> fun env -> Array.unsafe_get env.regs i
+  | CPreg (i, _) -> fun env -> rget env.regs i
   | CPmem (a, ty) -> (
       let width = Vmstate.width_of ctx.cc.prog ty in
       let signed = Vmstate.is_signed ty in
@@ -517,7 +1573,13 @@ and cread ctx (lv : I.lval) : env -> int64 =
           fun env ->
             Cost.op_load env.cost;
             Mem.load env.mem ~addr ~width ~signed
-      | Adyn fa ->
+      | Abase o ->
+          fun env ->
+            let addr = env.base + o in
+            Cost.op_load env.cost;
+            Mem.load env.mem ~addr ~width ~signed
+      | (Ari _ | Arc _ | Adyn _) as ad ->
+          let fa = force ad in
           fun env ->
             let addr = fa env in
             Cost.op_load env.cost;
@@ -527,8 +1589,8 @@ and cwrite ctx (lv : I.lval) : env -> int64 -> unit =
   match cplace ctx lv with
   | CPreg (i, ty) -> (
       match normf_opt ty with
-      | None -> fun env v -> Array.unsafe_set env.regs i v
-      | Some nf -> fun env v -> Array.unsafe_set env.regs i (nf v))
+      | None -> fun env v -> rset env.regs i v
+      | Some nf -> fun env v -> rset env.regs i (nf v))
   | CPmem (a, ty) -> (
       let width = Vmstate.width_of ctx.cc.prog ty in
       match a with
@@ -536,7 +1598,13 @@ and cwrite ctx (lv : I.lval) : env -> int64 -> unit =
           fun env v ->
             Cost.op_store env.cost;
             Mem.store env.mem ~addr ~width v
-      | Adyn fa ->
+      | Abase o ->
+          fun env v ->
+            let addr = env.base + o in
+            Cost.op_store env.cost;
+            Mem.store env.mem ~addr ~width v
+      | (Ari _ | Arc _ | Adyn _) as ad ->
+          let fa = force ad in
           fun env v ->
             let addr = fa env in
             Cost.op_store env.cost;
@@ -548,29 +1616,328 @@ and caddr_of ctx (lv : I.lval) : env -> int =
   | CPmem (a, _) -> force a
   | CPreg _ -> Trap.trap Trap.Panic "address of register slot"
 
-(* Compile-time type of an lvalue, mirroring Treewalk.lval_type. *)
-let lval_type_c ((host, offs) : I.lval) : I.ty =
-  let base =
-    match host with
-    | I.Lvar v -> v.I.vty
-    | I.Lmem e -> (
-        match e.I.ety with
-        | I.Tptr (ty, _) -> ty
-        | _ -> Trap.trap Trap.Panic "deref of non-pointer in lval")
-  in
-  List.fold_left
-    (fun ty off ->
-      match (off, ty) with
-      | I.Ofield f, _ -> f.I.fty
-      | I.Oindex _, I.Tarray (elt, _) -> elt
-      | I.Oindex _, _ -> Trap.trap Trap.Panic "index of non-array in lval")
-    base offs
+(* A branch condition as an unboxed bool closure, when the shape
+   allows: a compare fuses into the terminator (operand fetches, then
+   the op_alu charge, then the predicate — no 1L/0L box), a register
+   or constant tests directly. None falls back to the generic int64
+   path. Pointer-typed compares take the same generic arm as cbinop's,
+   so classifying them here is exactly faithful. *)
+and ccond_opt ctx (e : I.exp) : (env -> bool) option =
+  if not ctx.fopt then None
+  else
+    match e.I.e with
+    | I.Ebinop (op, ea, eb) -> (
+        match cmpk_of op ~signed:(Vmstate.is_signed ea.I.ety) with
+        | None -> ccond_simple ctx e
+        | Some ck ->
+            ostat "spec:cmp-branch";
+            let oa = classify ctx ea in
+            let ob = classify ctx eb in
+            Some
+              (match (oa, ob) with
+              | Oc x, Oc y ->
+                  let b = cmp_eval ck x y in
+                  fun env ->
+                    c_alu env;
+                    b
+              | Oreg i, Oc y ->
+                  fun env ->
+                    let x = rget env.regs i in
+                    c_alu env;
+                    cmp_eval ck x y
+              | Oc x, Oreg j ->
+                  fun env ->
+                    let y = rget env.regs j in
+                    c_alu env;
+                    cmp_eval ck x y
+              | Oreg i, Oreg j ->
+                  fun env ->
+                    let x = rget env.regs i in
+                    let y = rget env.regs j in
+                    c_alu env;
+                    cmp_eval ck x y
+              | Odyn fa, Oc y ->
+                  fun env ->
+                    let x = fa env in
+                    c_alu env;
+                    cmp_eval ck x y
+              | Odyn fa, Oreg j ->
+                  fun env ->
+                    let x = fa env in
+                    let y = rget env.regs j in
+                    c_alu env;
+                    cmp_eval ck x y
+              | Oc x, Odyn fb ->
+                  fun env ->
+                    let y = fb env in
+                    c_alu env;
+                    cmp_eval ck x y
+              | Oreg i, Odyn fb ->
+                  fun env ->
+                    let x = rget env.regs i in
+                    let y = fb env in
+                    c_alu env;
+                    cmp_eval ck x y
+              | Odyn fa, Odyn fb ->
+                  fun env ->
+                    let x = fa env in
+                    let y = fb env in
+                    c_alu env;
+                    cmp_eval ck x y))
+    | I.Econst _ | I.Elval _ | I.Ecast _ -> ccond_simple ctx e
+    | _ -> None
+
+and ccond_simple ctx (e : I.exp) : (env -> bool) option =
+  match e.I.e with
+  | I.Econst _ | I.Elval (I.Lvar _, []) -> (
+      match classify ctx e with
+      | Oc v ->
+          let b = v <> 0L in
+          Some (fun _ -> b)
+      | Oreg i -> Some (fun env -> rget env.regs i <> 0L)
+      | Odyn _ -> None)
+  | _ -> None
+
+(* A compare condition split into its parts so terminator codegen can
+   inline the whole test — fetches, ALU charge, predicate — into the
+   terminator closure with no intermediate bool closure. *)
+and ccond_cmp_parts ctx (e : I.exp) : (cmpk * operand * operand) option =
+  if not ctx.fopt then None
+  else
+    match e.I.e with
+    | I.Ebinop (op, ea, eb) -> (
+        match cmpk_of op ~signed:(Vmstate.is_signed ea.I.ety) with
+        | None -> None
+        | Some ck ->
+            ostat "spec:cmp-branch";
+            Some (ck, classify ctx ea, classify ctx eb))
+    | _ -> None
+
+(* Guards for terminator/return positions: compile-time traps on
+   malformed shapes become runtime traps, as in the tree-walker. *)
+let cexp_safe ctx (e : I.exp) : env -> int64 =
+  match cexp ctx e with
+  | f -> f
+  | exception Trap.Trap (k, m) -> fun _ -> raise (Trap.Trap (k, m))
+
+let ccond_safe ctx (e : I.exp) : (env -> bool) option =
+  match ccond_opt ctx e with
+  | r -> r
+  | exception Trap.Trap (k, m) -> Some (fun _ -> raise (Trap.Trap (k, m)))
+
+let classify_safe ctx (e : I.exp) : operand =
+  match classify ctx e with
+  | o -> o
+  | exception Trap.Trap (k, m) -> Odyn (fun _ -> raise (Trap.Trap (k, m)))
+
+(* A compare fused all the way into the terminator: optional fuel
+   burn, branch charge, operand fetches, ALU charge, predicate — the
+   tree-walker's order as one flat closure. [burns] is a captured
+   immutable bool, so its branch predicts perfectly. *)
+let cmp_term ~name ~burns ck oa ob (tid : int) (fid : int) : env -> int =
+  match (oa, ob) with
+  | Oc x, Oc y ->
+      let tgt = if cmp_eval ck x y then tid else fid in
+      prof_term name (fun env ->
+          if burns then burn env;
+          c_branch env;
+          c_alu env;
+          tgt)
+  | Oreg i, Oc y ->
+      prof_term name (fun env ->
+          if burns then burn env;
+          c_branch env;
+          let x = rget env.regs i in
+          c_alu env;
+          if cmp_eval ck x y then tid else fid)
+  | Oc x, Oreg j ->
+      prof_term name (fun env ->
+          if burns then burn env;
+          c_branch env;
+          let y = rget env.regs j in
+          c_alu env;
+          if cmp_eval ck x y then tid else fid)
+  | Oreg i, Oreg j ->
+      prof_term name (fun env ->
+          if burns then burn env;
+          c_branch env;
+          let x = rget env.regs i in
+          let y = rget env.regs j in
+          c_alu env;
+          if cmp_eval ck x y then tid else fid)
+  | Odyn fa, Oc y ->
+      prof_term name (fun env ->
+          if burns then burn env;
+          c_branch env;
+          let x = fa env in
+          c_alu env;
+          if cmp_eval ck x y then tid else fid)
+  | Odyn fa, Oreg j ->
+      prof_term name (fun env ->
+          if burns then burn env;
+          c_branch env;
+          let x = fa env in
+          let y = rget env.regs j in
+          c_alu env;
+          if cmp_eval ck x y then tid else fid)
+  | Oc x, Odyn fb ->
+      prof_term name (fun env ->
+          if burns then burn env;
+          c_branch env;
+          let y = fb env in
+          c_alu env;
+          if cmp_eval ck x y then tid else fid)
+  | Oreg i, Odyn fb ->
+      prof_term name (fun env ->
+          if burns then burn env;
+          c_branch env;
+          let x = rget env.regs i in
+          let y = fb env in
+          c_alu env;
+          if cmp_eval ck x y then tid else fid)
+  | Odyn fa, Odyn fb ->
+      prof_term name (fun env ->
+          if burns then burn env;
+          c_branch env;
+          let x = fa env in
+          let y = fb env in
+          c_alu env;
+          if cmp_eval ck x y then tid else fid)
+
+(* ------------------------------------------------------------------ *)
+(* Micro-ops: flat superinstruction bodies.                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The describable subset of instruction shapes, operands and
+   addresses resolved at compile time. A fused run whose members all
+   describe compiles to ONE closure stepping through descriptors —
+   immediate-tag dispatch instead of a closure call per opcode. *)
+type uop =
+  | Ustore of caddr * int * operand (* dst addr, width, value *)
+  | Ucopy of caddr * int * bool * caddr * int (* src addr/width/signed, dst addr/width *)
+  | Uload of int * nspec * caddr * int * bool (* dst reg, dst norm, src addr, width, signed *)
+  | Uregalu of int * nspec * nspec * aluk * operand * operand (* dst reg, dst/result norms *)
+  | Ualur of int * nspec * nspec * aluk * int * int (* reg-reg ALU: dst, norms, kind, src regs *)
+  | Ualuc of int * nspec * nspec * aluk * int * int64 (* reg-const ALU: dst, norms, kind, src, imm *)
+  | Uregalum of int * nspec * nspec * aluk * bool * operand * caddr * int * bool
+    (* ALU with one memory operand folded in: dst reg, dst/result
+       norms, kind, memory-on-left, the other operand, then the
+       memory side (addr, width, signed). *)
+  | Uregset of int * nspec * operand (* dst reg, dst norm *)
+  | Ucheck2 of bool * string * operand * operand (* strict, reason *)
+  | Ucknonnull of string * operand
+  | Unop (* fuel-only step: dead move, loop-iteration charge *)
+
+let[@inline] ofetch (env : env) (o : operand) : int64 =
+  match o with Oc v -> v | Oreg i -> rget env.regs i | Odyn f -> f env
+
+let[@inline] afetch (env : env) (a : caddr) : int =
+  match a with
+  | Aconst n -> n
+  | Abase o -> env.base + o
+  | Ari (p, i, k) ->
+      let a = Int64.to_int (rget env.regs p) in
+      let b = Int64.to_int (rget env.regs i) in
+      c_alu env;
+      a + (b * k)
+  | Arc (p, d) ->
+      let a = Int64.to_int (rget env.regs p) in
+      c_alu env;
+      a + d
+  | Adyn f -> f env
+
+(* One micro-op, fuel already burnt by the caller. Effect orders match
+   the specialized single-instruction closures exactly: value before
+   address for stores, check charge before operand fetches, the same
+   trap messages. *)
+let run_uop (env : env) (u : uop) : unit =
+  match u with
+  | Ustore (a, w, o) ->
+      let v = ofetch env o in
+      let addr = afetch env a in
+      c_store env;
+      Mem.store env.mem ~addr ~width:w v
+  | Ucopy (sa, sw, ss, da, dw) ->
+      let saddr = afetch env sa in
+      c_load env;
+      if sw = dw && Mem.valid_fast env.mem saddr sw then begin
+        (* Same width, source span valid: the load cannot trap, and a
+           load/store round trip writes exactly the source bytes, so
+           the pair collapses to a raw blit (no Int64 boxing). Source
+           validity is decided before the destination address is
+           computed, preserving trap order. *)
+        let daddr = afetch env da in
+        c_store env;
+        if Mem.valid_fast env.mem daddr dw then Mem.blit_raw env.mem ~src:saddr ~dst:daddr ~width:dw
+        else
+          Mem.store env.mem ~addr:daddr ~width:dw
+            (Mem.load env.mem ~addr:saddr ~width:sw ~signed:ss)
+      end
+      else begin
+        let v = Mem.load env.mem ~addr:saddr ~width:sw ~signed:ss in
+        let daddr = afetch env da in
+        c_store env;
+        Mem.store env.mem ~addr:daddr ~width:dw v
+      end
+  | Uload (k, ns, a, w, s) ->
+      let addr = afetch env a in
+      c_load env;
+      rset env.regs k (napply ns (Mem.load env.mem ~addr ~width:w ~signed:s))
+  | Uregalu (k, ns, nsr, ak, oa, ob) ->
+      let x = ofetch env oa in
+      let y = ofetch env ob in
+      c_alu env;
+      rset env.regs k (napply ns (napply nsr (alu_eval ak x y)))
+  | Ualur (k, ns, nsr, ak, i, j) ->
+      (* [Uregalu] with both operand tags resolved at compile time;
+         register fetches are pure and charge-free, so the collapse is
+         order-neutral. *)
+      let x = rget env.regs i in
+      let y = rget env.regs j in
+      c_alu env;
+      rset env.regs k (napply ns (napply nsr (alu_eval ak x y)))
+  | Ualuc (k, ns, nsr, ak, i, y) ->
+      let x = rget env.regs i in
+      c_alu env;
+      rset env.regs k (napply ns (napply nsr (alu_eval ak x y)))
+  | Uregalum (k, ns, nsr, ak, mem_left, o, ma, w, s) ->
+      (* Operands evaluate left to right, so the load charge lands
+         before or after the other fetch depending on which side the
+         memory operand sits — exactly as the two-closure form. *)
+      if mem_left then begin
+        let addr = afetch env ma in
+        c_load env;
+        let x = Mem.load env.mem ~addr ~width:w ~signed:s in
+        let y = ofetch env o in
+        c_alu env;
+        rset env.regs k (napply ns (napply nsr (alu_eval ak x y)))
+      end
+      else begin
+        let x = ofetch env o in
+        let addr = afetch env ma in
+        c_load env;
+        let y = Mem.load env.mem ~addr ~width:w ~signed:s in
+        c_alu env;
+        rset env.regs k (napply ns (napply nsr (alu_eval ak x y)))
+      end
+  | Uregset (k, ns, o) -> rset env.regs k (napply ns (ofetch env o))
+  | Ucheck2 (strict, reason, oa, ob) ->
+      c_check env;
+      let x = ofetch env oa in
+      let y = ofetch env ob in
+      if if strict then x >= y else x > y then
+        if strict then Trap.trap Trap.Check_failed "%s (%Ld >= %Ld)" reason x y
+        else Trap.trap Trap.Check_failed "%s (%Ld > %Ld)" reason x y
+  | Ucknonnull (reason, o) ->
+      c_check env;
+      if ofetch env o = 0L then Trap.trap Trap.Check_failed "null pointer: %s" reason
+  | Unop -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Calls (runtime entry points, shared with instruction closures).    *)
 (* ------------------------------------------------------------------ *)
 
-let call_builtin (st : Vmstate.t) name (args : int64 array) : int64 =
+let call_builtin (st : Vmstate.t) (name : string) (args : int64 array) : int64 =
   match Hashtbl.find_opt st.Vmstate.builtins name with
   | Some impl -> impl st (Array.to_list args)
   | None -> Trap.trap Trap.Unknown_function "call to undefined function %s" name
@@ -580,7 +1947,7 @@ let rec get_cfun (cc : t) (fd : I.fundec) : cfun =
   | None -> compile_fun cc fd (* synthetic fundec outside the program: uncached *)
   | Some idx -> (
       match Array.unsafe_get cc.cfuns idx with
-      | Some cf when cf.cf_body == fd.I.fbody -> cf
+      | Some cf when cf.cf_body == fd.I.fbody && cf.cf_gen = current_gen () -> cf
       | _ ->
           let cf = compile_fun cc fd in
           cc.cfuns.(idx) <- Some cf;
@@ -597,17 +1964,21 @@ and call_fd (cc : t) (st : Vmstate.t) (fd : I.fundec) (args : int64 array) : int
     let cf = get_cfun cc fd in
     let m = st.Vmstate.m in
     let base = Machine.push_frame m (max 16 cf.cf_frame_bytes) in
-    let env =
-      {
-        st;
-        m;
-        cost = m.Machine.cost;
-        mem = m.Machine.mem;
-        regs = Array.make cf.cf_nregs 0L;
-        base;
-        retv = 0L;
-      }
+    let nregs = cf.cf_nregs in
+    (* Register files come from the machine's pool when one is wide
+       enough (zeroing just the slots this frame uses); a trap unwinds
+       past the give-back, which only costs the pool an entry. *)
+    let regs =
+      match st.Vmstate.scratch with
+      | r :: rest when Bigarray.Array1.dim r >= nregs ->
+          st.Vmstate.scratch <- rest;
+          for i = 0 to nregs - 1 do
+            rset r i 0L
+          done;
+          r
+      | _ -> regfile_make (max nregs 32)
     in
+    let env = { st; m; cost = m.Machine.cost; mem = m.Machine.mem; regs; base; retv = 0L } in
     let binders = cf.cf_binders in
     let na = Array.length args in
     for i = 0 to Array.length binders - 1 do
@@ -624,6 +1995,7 @@ and call_fd (cc : t) (st : Vmstate.t) (fd : I.fundec) (args : int64 array) : int
       pc := b.term env
     done;
     Machine.pop_frame m base;
+    st.Vmstate.scratch <- regs :: st.Vmstate.scratch;
     st.Vmstate.call_depth <- st.Vmstate.call_depth - 1;
     cf.cf_ret_norm env.retv
   end
@@ -674,12 +2046,14 @@ and compile_instr_inner ctx (instr : I.instr) : env -> unit =
                   Machine.burn_fuel env.m;
                   Trap.trap Trap.Panic "struct assignment from non-lvalue"))
       | _ ->
-          let ce = cexp ctx e in
-          let cw = cwrite ctx lv in
-          prof "set" (fun env ->
-              Machine.burn_fuel env.m;
-              let v = ce env in
-              cw env v))
+          if ctx.fopt then compile_set_opt ctx lv e
+          else
+            let ce = cexp ctx e in
+            let cw = cwrite ctx lv in
+            prof "set" (fun env ->
+                Machine.burn_fuel env.m;
+                let v = ce env in
+                cw env v))
   | I.Icall (ret, target, args) -> (
       let cargs = Array.of_list (List.map (cexp ctx) args) in
       let nargs = Array.length cargs in
@@ -729,47 +2103,37 @@ and compile_instr_inner ctx (instr : I.instr) : env -> unit =
                 | None -> Trap.trap Trap.Unknown_function "call through non-function value %Ld" fv
               in
               cret env r))
-  | I.Icheck (ck, reason) -> (
+  | I.Icheck (ck, reason) when ctx.fopt -> (
       match ck with
-      | I.Ck_nonnull e ->
-          let ce = cexp ctx e in
-          prof "check-nonnull" (fun env ->
-              Machine.burn_fuel env.m;
-              Cost.op_check env.cost;
-              if ce env = 0L then Trap.trap Trap.Check_failed "null pointer: %s" reason)
-      | I.Ck_le (a, b) ->
-          let ca = cexp ctx a in
-          let cb = cexp ctx b in
-          prof "check-le" (fun env ->
-              Machine.burn_fuel env.m;
-              Cost.op_check env.cost;
-              let x = ca env in
-              let y = cb env in
-              if x > y then Trap.trap Trap.Check_failed "%s (%Ld > %Ld)" reason x y)
-      | I.Ck_lt (a, b) ->
-          let ca = cexp ctx a in
-          let cb = cexp ctx b in
-          prof "check-lt" (fun env ->
-              Machine.burn_fuel env.m;
-              Cost.op_check env.cost;
-              let x = ca env in
-              let y = cb env in
-              if x >= y then Trap.trap Trap.Check_failed "%s (%Ld >= %Ld)" reason x y)
-      | I.Ck_nt_next (e, width) ->
-          let ce = cexp ctx e in
-          prof "check-ntnext" (fun env ->
-              Machine.burn_fuel env.m;
-              Cost.op_nt_check env.cost;
-              let p = Int64.to_int (ce env) in
-              let v = Mem.load env.mem ~addr:p ~width ~signed:false in
+      | I.Ck_nonnull e -> (
+          match classify ctx e with
+          | Oc v ->
+              ostat "spec:check";
               if v = 0L then
-                Trap.trap Trap.Check_failed "nullterm advance past terminator: %s" reason)
-      | I.Ck_not_atomic ->
-          prof "check-notatomic" (fun env ->
-              Machine.burn_fuel env.m;
-              Cost.op_check env.cost;
-              if Machine.atomic_context env.m then
-                Trap.trap Trap.Not_atomic_check "assertion: not in atomic context (%s)" reason))
+                prof "check-nonnull" (fun env ->
+                    burn env;
+                    c_check env;
+                    Trap.trap Trap.Check_failed "null pointer: %s" reason)
+              else
+                prof "check-nonnull" (fun env ->
+                    burn env;
+                    c_check env)
+          | Oreg i ->
+              ostat "spec:check";
+              prof "check-nonnull" (fun env ->
+                  burn env;
+                  c_check env;
+                  if rget env.regs i = 0L then
+                    Trap.trap Trap.Check_failed "null pointer: %s" reason)
+          | Odyn ce ->
+              prof "check-nonnull" (fun env ->
+                  burn env;
+                  c_check env;
+                  if ce env = 0L then Trap.trap Trap.Check_failed "null pointer: %s" reason))
+      | I.Ck_le (a, b) -> compile_check2 ctx ~strict:false reason a b
+      | I.Ck_lt (a, b) -> compile_check2 ctx ~strict:true reason a b
+      | I.Ck_nt_next _ | I.Ck_not_atomic -> compile_check_generic ctx ck reason)
+  | I.Icheck (ck, reason) -> compile_check_generic ctx ck reason
   | I.Irc_inc e ->
       let ce = cexp ctx e in
       prof "rc-inc" (fun env ->
@@ -814,166 +2178,855 @@ and compile_instr_inner ctx (instr : I.instr) : env -> unit =
                 end
               end))
 
+(* Specialized non-struct [Iset]: one flat closure per hot shape
+   (load-into-register, register move, memory-to-memory copy,
+   constant/ALU result into register, classified value into memory).
+   Every variant reproduces the generic closure's effect order — fuel,
+   value, address, store charge — with register reads/writes staying
+   charge-free. The source side compiles before the destination: a
+   compile-time trap raised while resolving a malformed source must
+   win over one from the destination, matching the generic
+   cexp-then-cwrite order. *)
+and compile_set_opt ctx (lv : I.lval) (e : I.exp) : env -> unit =
+  let src =
+    match e.I.e with
+    | I.Elval src_lv -> `Place (cplace ctx src_lv)
+    | I.Ebinop (op2, ea, eb)
+      when (match (op2, ea.I.ety) with
+           | (Kc.Ast.Add | Kc.Ast.Sub), I.Tptr _ -> false (* scaled ptr arithmetic: generic arm *)
+           | _ -> true) ->
+        let ak = aluk_of op2 ~signed:(Vmstate.is_signed ea.I.ety) in
+        let nsr = if alu_is_bool ak then Nid else nspec_of e.I.ety in
+        `Alu (ak, nsr, classify ctx ea, classify ctx eb)
+    | _ -> `Op (classify ctx e)
+  in
+  match cplace ctx lv with
+  | CPreg (k, vty) -> (
+      let ns = nspec_of vty in
+      let set_reg j =
+        ostat "spec:set-reg";
+        match ns with
+        | Nid ->
+            prof "set" (fun env ->
+                burn env;
+                rset env.regs k (rget env.regs j))
+        | _ ->
+            prof "set" (fun env ->
+                burn env;
+                rset env.regs k (napply ns (rget env.regs j)))
+      in
+      match src with
+      | `Place (CPmem (a, sty)) -> (
+          let width = Vmstate.width_of ctx.cc.prog sty in
+          let signed = Vmstate.is_signed sty in
+          ostat "spec:load-reg";
+          match a with
+          | Aconst addr ->
+              prof "set" (fun env ->
+                  burn env;
+                  c_load env;
+                  rset env.regs k
+                    (napply ns (Mem.load env.mem ~addr ~width ~signed)))
+          | Abase o ->
+              prof "set" (fun env ->
+                  burn env;
+                  let addr = env.base + o in
+                  c_load env;
+                  rset env.regs k
+                    (napply ns (Mem.load env.mem ~addr ~width ~signed)))
+          | (Ari _ | Arc _ | Adyn _) as ad ->
+              let fa = force ad in
+              prof "set" (fun env ->
+                  burn env;
+                  let addr = fa env in
+                  c_load env;
+                  rset env.regs k
+                    (napply ns (Mem.load env.mem ~addr ~width ~signed))))
+      | `Place (CPreg (j, _)) -> set_reg j
+      | `Op (Oreg j) -> set_reg j
+      | `Op (Oc v) ->
+          ostat "spec:set-reg";
+          let v = napply ns v in
+          prof "set" (fun env ->
+              burn env;
+              rset env.regs k v)
+      | `Op (Odyn f) -> (
+          ostat "spec:set-reg";
+          match ns with
+          | Nid ->
+              prof "set" (fun env ->
+                  burn env;
+                  rset env.regs k (f env))
+          | _ ->
+              prof "set" (fun env ->
+                  burn env;
+                  rset env.regs k (napply ns (f env))))
+      | `Alu (ak, nsr, oa, ob) -> (
+          (* The ALU folds into the set closure: fuel, operand
+             fetches, ALU charge, compute (traps included), normalize
+             through the result type then the register's — exactly the
+             generic set-wrapping-binop order, minus a closure hop. *)
+          ostat "spec:set-alu";
+          match (ns, nsr, oa, ob) with
+          | _, _, Oc x, Oc y ->
+              if alu_can_trap ak then
+                prof "set" (fun env ->
+                    burn env;
+                    c_alu env;
+                    rset env.regs k (napply ns (napply nsr (alu_eval ak x y))))
+              else
+                let v = napply ns (napply nsr (alu_eval ak x y)) in
+                prof "set" (fun env ->
+                    burn env;
+                    c_alu env;
+                    rset env.regs k v)
+          | Nid, Nid, Oreg i, Oc y ->
+              prof "set" (fun env ->
+                  burn env;
+                  let x = rget env.regs i in
+                  c_alu env;
+                  rset env.regs k (alu_eval ak x y))
+          | Nid, Nid, Oc x, Oreg j ->
+              prof "set" (fun env ->
+                  burn env;
+                  let y = rget env.regs j in
+                  c_alu env;
+                  rset env.regs k (alu_eval ak x y))
+          | Nid, Nid, Oreg i, Oreg j ->
+              prof "set" (fun env ->
+                  burn env;
+                  let x = rget env.regs i in
+                  let y = rget env.regs j in
+                  c_alu env;
+                  rset env.regs k (alu_eval ak x y))
+          | Nid, Nid, Odyn fa, Oc y ->
+              prof "set" (fun env ->
+                  burn env;
+                  let x = fa env in
+                  c_alu env;
+                  rset env.regs k (alu_eval ak x y))
+          | Nid, Nid, Odyn fa, Oreg j ->
+              prof "set" (fun env ->
+                  burn env;
+                  let x = fa env in
+                  let y = rget env.regs j in
+                  c_alu env;
+                  rset env.regs k (alu_eval ak x y))
+          | Nid, Nid, Oc x, Odyn fb ->
+              prof "set" (fun env ->
+                  burn env;
+                  let y = fb env in
+                  c_alu env;
+                  rset env.regs k (alu_eval ak x y))
+          | Nid, Nid, Oreg i, Odyn fb ->
+              prof "set" (fun env ->
+                  burn env;
+                  let x = rget env.regs i in
+                  let y = fb env in
+                  c_alu env;
+                  rset env.regs k (alu_eval ak x y))
+          | Nid, Nid, Odyn fa, Odyn fb ->
+              prof "set" (fun env ->
+                  burn env;
+                  let x = fa env in
+                  let y = fb env in
+                  c_alu env;
+                  rset env.regs k (alu_eval ak x y))
+          | _ ->
+              (* Narrow destination or result type: keep the compact
+                 two-closure form rather than 9 more normalize arms. *)
+              let f = cbinop_ops ak nsr oa ob in
+              prof "set" (fun env ->
+                  burn env;
+                  rset env.regs k (napply ns (f env)))))
+  | CPmem (a, mty) -> (
+      let width = Vmstate.width_of ctx.cc.prog mty in
+      match src with
+      | `Place (CPmem (sa, sty)) ->
+          (* Memory-to-memory copy in one closure: source load then
+             destination store, exactly the order the generic pipeline
+             produces (value fully evaluated before the address). *)
+          let swidth = Vmstate.width_of ctx.cc.prog sty in
+          let ssigned = Vmstate.is_signed sty in
+          let fs = force sa in
+          let fd = force a in
+          ostat "spec:copy-mem";
+          prof "set" (fun env ->
+              burn env;
+              let saddr = fs env in
+              c_load env;
+              let v = Mem.load env.mem ~addr:saddr ~width:swidth ~signed:ssigned in
+              let daddr = fd env in
+              c_store env;
+              Mem.store env.mem ~addr:daddr ~width v)
+      | `Place (CPreg (j, _)) | `Op (Oreg j) -> (
+          ostat "spec:set-mem";
+          match a with
+          | Aconst addr ->
+              prof "set" (fun env ->
+                  burn env;
+                  c_store env;
+                  Mem.store env.mem ~addr ~width (rget env.regs j))
+          | Abase o ->
+              prof "set" (fun env ->
+                  burn env;
+                  let addr = env.base + o in
+                  c_store env;
+                  Mem.store env.mem ~addr ~width (rget env.regs j))
+          | (Ari _ | Arc _ | Adyn _) as ad ->
+              let fa = force ad in
+              prof "set" (fun env ->
+                  burn env;
+                  let addr = fa env in
+                  c_store env;
+                  Mem.store env.mem ~addr ~width (rget env.regs j)))
+      | `Op (Oc v) -> (
+          ostat "spec:set-mem";
+          match a with
+          | Aconst addr ->
+              prof "set" (fun env ->
+                  burn env;
+                  c_store env;
+                  Mem.store env.mem ~addr ~width v)
+          | Abase o ->
+              prof "set" (fun env ->
+                  burn env;
+                  let addr = env.base + o in
+                  c_store env;
+                  Mem.store env.mem ~addr ~width v)
+          | (Ari _ | Arc _ | Adyn _) as ad ->
+              let fa = force ad in
+              prof "set" (fun env ->
+                  burn env;
+                  let addr = fa env in
+                  c_store env;
+                  Mem.store env.mem ~addr ~width v))
+      | (`Op (Odyn _) | `Alu _) as s -> (
+          let f =
+            match s with
+            | `Op (Odyn f) -> f
+            | `Op _ -> assert false (* Oc/Oreg handled above *)
+            | `Alu (ak, nsr, oa, ob) -> cbinop_ops ak nsr oa ob
+          in
+          ostat "spec:set-mem";
+          match a with
+          | Aconst addr ->
+              prof "set" (fun env ->
+                  burn env;
+                  let v = f env in
+                  c_store env;
+                  Mem.store env.mem ~addr ~width v)
+          | Abase o ->
+              prof "set" (fun env ->
+                  burn env;
+                  let v = f env in
+                  let addr = env.base + o in
+                  c_store env;
+                  Mem.store env.mem ~addr ~width v)
+          | (Ari _ | Arc _ | Adyn _) as ad ->
+              (* Value before address, as the generic pipeline evaluates. *)
+              let fa = force ad in
+              prof "set" (fun env ->
+                  burn env;
+                  let v = f env in
+                  let addr = fa env in
+                  c_store env;
+                  Mem.store env.mem ~addr ~width v)))
+
+(* [describe_set] mirrors [compile_set_opt]'s shape analysis but
+   yields a flat [uop] descriptor instead of a closure, so a fused run
+   of describable instructions executes without per-instruction
+   closure calls. Register destinations are described only at identity
+   normalization — [run_uop] never normalizes. Returns [None] for any
+   shape whose uop would diverge from the specialized closure. *)
+and describe_set ctx (lv : I.lval) (e : I.exp) : uop option =
+  match lval_type_c lv with
+  | I.Tcomp _ -> None
+  | _ -> (
+      (* An ALU operand that is itself a memory read folds into the
+         micro-op ([Uregalum]); anything else classifies as usual. The
+         closure form of a memory operand (for shapes that keep the
+         two-closure ALU) reproduces [cread]'s charge order. *)
+      let xop (e1 : I.exp) =
+        match e1.I.e with
+        | I.Elval (I.Lvar v, []) when not v.I.vglob -> `O (classify ctx e1)
+        | I.Elval lv1 -> (
+            match cplace ctx lv1 with
+            | CPmem (a, ty) -> `M (a, Vmstate.width_of ctx.cc.prog ty, Vmstate.is_signed ty)
+            | CPreg (j, _) -> `O (Oreg j))
+        | _ -> `O (classify ctx e1)
+      in
+      let operand_of = function
+        | `O o -> o
+        | `M (a, w, s) ->
+            let fa = force a in
+            Odyn
+              (fun env ->
+                let addr = fa env in
+                c_load env;
+                Mem.load env.mem ~addr ~width:w ~signed:s)
+      in
+      let src =
+        match e.I.e with
+        | I.Elval src_lv -> `Place (cplace ctx src_lv)
+        | I.Ebinop (op2, ea, eb)
+          when (match (op2, ea.I.ety) with
+               | (Kc.Ast.Add | Kc.Ast.Sub), I.Tptr _ -> false
+               | _ -> true) ->
+            let ak = aluk_of op2 ~signed:(Vmstate.is_signed ea.I.ety) in
+            let nsr = if alu_is_bool ak then Nid else nspec_of e.I.ety in
+            `Alu (ak, nsr, xop ea, xop eb)
+        | _ -> `Op (classify ctx e)
+      in
+      match cplace ctx lv with
+      | CPreg (k, vty) -> (
+          let ns = nspec_of vty in
+          match src with
+          | `Place (CPmem (a, sty)) ->
+              Some
+                (Uload (k, ns, a, Vmstate.width_of ctx.cc.prog sty, Vmstate.is_signed sty))
+          | `Place (CPreg (j, _)) -> Some (Uregset (k, ns, Oreg j))
+          | `Op (Oc v) -> Some (Uregset (k, Nid, Oc (napply ns v)))
+          | `Op o -> Some (Uregset (k, ns, o))
+          | `Alu (ak, nsr, `M (ma, mw, ms), ob) ->
+              Some (Uregalum (k, ns, nsr, ak, true, operand_of ob, ma, mw, ms))
+          | `Alu (ak, nsr, (`O oa : [ `O of operand | `M of caddr * int * bool ]), `M (ma, mw, ms)) ->
+              Some (Uregalum (k, ns, nsr, ak, false, oa, ma, mw, ms))
+          | `Alu (ak, nsr, `O (Oreg i), `O (Oreg j)) -> Some (Ualur (k, ns, nsr, ak, i, j))
+          | `Alu (ak, nsr, `O (Oreg i), `O (Oc y)) -> Some (Ualuc (k, ns, nsr, ak, i, y))
+          | `Alu (ak, nsr, `O oa, `O ob) -> Some (Uregalu (k, ns, nsr, ak, oa, ob)))
+      | CPmem (a, mty) -> (
+          let width = Vmstate.width_of ctx.cc.prog mty in
+          match src with
+          | `Place (CPmem (sa, sty)) ->
+              Some
+                (Ucopy (sa, Vmstate.width_of ctx.cc.prog sty, Vmstate.is_signed sty, a, width))
+          | `Place (CPreg (j, _)) -> Some (Ustore (a, width, Oreg j))
+          | `Op o -> Some (Ustore (a, width, o))
+          | `Alu (ak, nsr, oa, ob) ->
+              Some
+                (Ustore (a, width, Odyn (cbinop_ops ak nsr (operand_of oa) (operand_of ob))))))
+
+and describe_instr ctx (i : I.instr) : uop option =
+  match i with
+  | I.Iset (lv, e) -> describe_set ctx lv e
+  | I.Icheck (I.Ck_nonnull e, reason) -> Some (Ucknonnull (reason, classify ctx e))
+  | I.Icheck (I.Ck_le (a, b), reason) ->
+      Some (Ucheck2 (false, reason, classify ctx a, classify ctx b))
+  | I.Icheck (I.Ck_lt (a, b), reason) ->
+      Some (Ucheck2 (true, reason, classify ctx a, classify ctx b))
+  | _ -> None
+
+(* Whole-block fusion: when every item of a block describes as a
+   micro-op run and the terminator is a goto, return, or classified
+   compare-and-branch, the block compiles to a single closure the
+   runner invokes once per visit — one indirect call per block per
+   iteration instead of one per opcode. A hot while-loop body (after
+   [peep_termcopy] copies the head's compare onto the back edge)
+   executes each iteration in exactly one closure call. Charge and
+   trap orders are the item closures' own, laid end to end. *)
+and codegen_block_flat ctx ~self (mb : mblock) : (env -> int) option =
+  if not ctx.fopt || mb.mis = [] then None
+  else
+    (* Stats are deferred until the whole block commits, so a late
+       failure doesn't double-count the run names against the
+       fallback's own [codegen_mi] bumps. *)
+    let pending_stats = ref [] in
+    let steps_of (item : mi) : uop list option =
+      match item with
+      | Mi i -> (
+          match try describe_instr ctx i with Trap.Trap _ -> None with
+          | Some u -> Some [ u ]
+          | None -> None)
+      | Mfused (is, name) -> (
+          let rec go acc = function
+            | [] -> Some (List.rev acc)
+            | i :: rest -> (
+                match try describe_instr ctx i with Trap.Trap _ -> None with
+                | Some u -> go (u :: acc) rest
+                | None -> None)
+          in
+          match go [] is with
+          | Some us ->
+              pending_stats := ("fuse:" ^ name) :: "fuse:flat" :: !pending_stats;
+              Some us
+          | None -> None)
+      | Mfuel | Mdeadmove -> Some [ Unop ]
+      | _ -> None
+    in
+    let rec collect acc = function
+      | [] -> Some (List.concat (List.rev acc))
+      | it :: rest -> (
+          match steps_of it with Some us -> collect (us :: acc) rest | None -> None)
+    in
+    match collect [] mb.mis with
+    | None -> None
+    | Some us -> (
+        let a = Array.of_list us in
+        let n = Array.length a in
+        (* Terminator shape: compares keep their parts so a self-loop
+           can inline the condition; everything else becomes a tail
+           closure — [cmp_term] carries the nine operand-specialized
+           compare arms, so a non-spinning loop condition costs two
+           register reads, not two operand-tag dispatches. *)
+        let shape =
+          match mb.mt with
+          | Mgoto t -> Some (`Tail (fun _ -> t))
+          | Mret -> Some (`Tail (prof_term "return" (fun _ -> -1)))
+          | Mif (c, tid, fid) -> (
+              match try ccond_cmp_parts ctx c with Trap.Trap _ -> None with
+              | Some (ck, oa, ob) -> Some (`Cmp ("br-if", false, ck, oa, ob, tid, fid))
+              | None -> None)
+          | Mwhile (c, tid, fid) -> (
+              match try ccond_cmp_parts ctx c with Trap.Trap _ -> None with
+              | Some (ck, oa, ob) -> Some (`Cmp ("br-while", true, ck, oa, ob, tid, fid))
+              | None -> None)
+          | Mdowhile (c, tid, fid) -> (
+              match try ccond_cmp_parts ctx c with Trap.Trap _ -> None with
+              | Some (ck, oa, ob) -> Some (`Cmp ("br-dowhile", false, ck, oa, ob, tid, fid))
+              | None -> None)
+          | Munset | Mswitch _ -> None
+        in
+        match shape with
+        | None -> None
+        | Some (`Cmp (_, burns, ck, oa, ob, tid, fid)) when tid = self && n <= 4 ->
+            (* The back edge targets this very block (peep_termcopy
+               put the loop compare here), so spin without returning
+               to the runner: each iteration is the uop run plus the
+               inlined condition, charge-for-charge the sequence the
+               runner would have produced, and the closure returns
+               only when the compare finally fails. *)
+            List.iter ostat !pending_stats;
+            ostat "fuse:block";
+            ostat "fuse:block-loop";
+            Some
+              (match a with
+              | [| u1 |] ->
+                  fun env ->
+                    let rec go () =
+                      burn env;
+                      run_uop env u1;
+                      if burns then burn env;
+                      c_branch env;
+                      let x = ofetch env oa in
+                      let y = ofetch env ob in
+                      c_alu env;
+                      if cmp_eval ck x y then go () else fid
+                    in
+                    go ()
+              | [| u1; u2 |] -> (
+                  (* The two-uop body (op + loop increment) is the hot
+                     shape, so its condition fetches are specialized
+                     on the common operand pairs. *)
+                  match (oa, ob) with
+                  | Oreg ra, Oreg rb ->
+                      fun env ->
+                        let regs = env.regs in
+                        let rec go () =
+                          burn env;
+                          run_uop env u1;
+                          burn env;
+                          run_uop env u2;
+                          if burns then burn env;
+                          c_branch env;
+                          let x = rget regs ra in
+                          let y = rget regs rb in
+                          c_alu env;
+                          if cmp_eval ck x y then go () else fid
+                        in
+                        go ()
+                  | Oreg ra, Oc y ->
+                      fun env ->
+                        let regs = env.regs in
+                        let rec go () =
+                          burn env;
+                          run_uop env u1;
+                          burn env;
+                          run_uop env u2;
+                          if burns then burn env;
+                          c_branch env;
+                          let x = rget regs ra in
+                          c_alu env;
+                          if cmp_eval ck x y then go () else fid
+                        in
+                        go ()
+                  | _ ->
+                      fun env ->
+                        let rec go () =
+                          burn env;
+                          run_uop env u1;
+                          burn env;
+                          run_uop env u2;
+                          if burns then burn env;
+                          c_branch env;
+                          let x = ofetch env oa in
+                          let y = ofetch env ob in
+                          c_alu env;
+                          if cmp_eval ck x y then go () else fid
+                        in
+                        go ())
+              | [| u1; u2; u3 |] ->
+                  fun env ->
+                    let rec go () =
+                      burn env;
+                      run_uop env u1;
+                      burn env;
+                      run_uop env u2;
+                      burn env;
+                      run_uop env u3;
+                      if burns then burn env;
+                      c_branch env;
+                      let x = ofetch env oa in
+                      let y = ofetch env ob in
+                      c_alu env;
+                      if cmp_eval ck x y then go () else fid
+                    in
+                    go ()
+              | _ ->
+                  let u1 = a.(0) and u2 = a.(1) and u3 = a.(2) and u4 = a.(3) in
+                  fun env ->
+                    let rec go () =
+                      burn env;
+                      run_uop env u1;
+                      burn env;
+                      run_uop env u2;
+                      burn env;
+                      run_uop env u3;
+                      burn env;
+                      run_uop env u4;
+                      if burns then burn env;
+                      c_branch env;
+                      let x = ofetch env oa in
+                      let y = ofetch env ob in
+                      c_alu env;
+                      if cmp_eval ck x y then go () else fid
+                    in
+                    go ())
+        | Some shape ->
+            let tail =
+              match shape with
+              | `Tail f -> f
+              | `Cmp (name, burns, ck, oa, ob, tid, fid) ->
+                  cmp_term ~name ~burns ck oa ob tid fid
+            in
+            List.iter ostat !pending_stats;
+            ostat "fuse:block";
+            Some
+              (match a with
+              | [| u1 |] ->
+                  fun env ->
+                    burn env;
+                    run_uop env u1;
+                    tail env
+              | [| u1; u2 |] ->
+                  fun env ->
+                    burn env;
+                    run_uop env u1;
+                    burn env;
+                    run_uop env u2;
+                    tail env
+              | [| u1; u2; u3 |] ->
+                  fun env ->
+                    burn env;
+                    run_uop env u1;
+                    burn env;
+                    run_uop env u2;
+                    burn env;
+                    run_uop env u3;
+                    tail env
+              | [| u1; u2; u3; u4 |] ->
+                  fun env ->
+                    burn env;
+                    run_uop env u1;
+                    burn env;
+                    run_uop env u2;
+                    burn env;
+                    run_uop env u3;
+                    burn env;
+                    run_uop env u4;
+                    tail env
+              | _ ->
+                  fun env ->
+                    for j = 0 to n - 1 do
+                      burn env;
+                      run_uop env (Array.unsafe_get a j)
+                    done;
+                    tail env))
+
+(* Ck_le / Ck_lt with classified operands: signed int64 compare and
+   the exact trap messages of the generic arm. *)
+and compile_check2 ctx ~strict reason (ea : I.exp) (eb : I.exp) : env -> unit =
+  let name = if strict then "check-lt" else "check-le" in
+  let fail x y : unit =
+    if strict then Trap.trap Trap.Check_failed "%s (%Ld >= %Ld)" reason x y
+    else Trap.trap Trap.Check_failed "%s (%Ld > %Ld)" reason x y
+  in
+  ostat "spec:check";
+  match (classify ctx ea, classify ctx eb) with
+  | Oc x, Oc y ->
+      if if strict then x >= y else x > y then
+        prof name (fun env ->
+            burn env;
+            c_check env;
+            fail x y)
+      else
+        prof name (fun env ->
+            burn env;
+            c_check env)
+  | Oreg i, Oc y ->
+      prof name (fun env ->
+          burn env;
+          c_check env;
+          let x = rget env.regs i in
+          if if strict then x >= y else x > y then fail x y)
+  | Oc x, Oreg j ->
+      prof name (fun env ->
+          burn env;
+          c_check env;
+          let y = rget env.regs j in
+          if if strict then x >= y else x > y then fail x y)
+  | Oreg i, Oreg j ->
+      prof name (fun env ->
+          burn env;
+          c_check env;
+          let x = rget env.regs i in
+          let y = rget env.regs j in
+          if if strict then x >= y else x > y then fail x y)
+  | Odyn fa, Oc y ->
+      prof name (fun env ->
+          burn env;
+          c_check env;
+          let x = fa env in
+          if if strict then x >= y else x > y then fail x y)
+  | Odyn fa, Oreg j ->
+      prof name (fun env ->
+          burn env;
+          c_check env;
+          let x = fa env in
+          let y = rget env.regs j in
+          if if strict then x >= y else x > y then fail x y)
+  | Oc x, Odyn fb ->
+      prof name (fun env ->
+          burn env;
+          c_check env;
+          let y = fb env in
+          if if strict then x >= y else x > y then fail x y)
+  | Oreg i, Odyn fb ->
+      prof name (fun env ->
+          burn env;
+          c_check env;
+          let x = rget env.regs i in
+          let y = fb env in
+          if if strict then x >= y else x > y then fail x y)
+  | Odyn fa, Odyn fb ->
+      prof name (fun env ->
+          burn env;
+          c_check env;
+          let x = fa env in
+          let y = fb env in
+          if if strict then x >= y else x > y then fail x y)
+
+and compile_check_generic ctx (ck : I.check) (reason : string) : env -> unit =
+  match ck with
+  | I.Ck_nonnull e ->
+      let ce = cexp ctx e in
+      prof "check-nonnull" (fun env ->
+          Machine.burn_fuel env.m;
+          Cost.op_check env.cost;
+          if ce env = 0L then Trap.trap Trap.Check_failed "null pointer: %s" reason)
+  | I.Ck_le (a, b) ->
+      let ca = cexp ctx a in
+      let cb = cexp ctx b in
+      prof "check-le" (fun env ->
+          Machine.burn_fuel env.m;
+          Cost.op_check env.cost;
+          let x = ca env in
+          let y = cb env in
+          if x > y then Trap.trap Trap.Check_failed "%s (%Ld > %Ld)" reason x y)
+  | I.Ck_lt (a, b) ->
+      let ca = cexp ctx a in
+      let cb = cexp ctx b in
+      prof "check-lt" (fun env ->
+          Machine.burn_fuel env.m;
+          Cost.op_check env.cost;
+          let x = ca env in
+          let y = cb env in
+          if x >= y then Trap.trap Trap.Check_failed "%s (%Ld >= %Ld)" reason x y)
+  | I.Ck_nt_next (e, width) ->
+      let ce = cexp ctx e in
+      prof "check-ntnext" (fun env ->
+          Machine.burn_fuel env.m;
+          Cost.op_nt_check env.cost;
+          let p = Int64.to_int (ce env) in
+          let v = Mem.load env.mem ~addr:p ~width ~signed:false in
+          if v = 0L then
+            Trap.trap Trap.Check_failed "nullterm advance past terminator: %s" reason)
+  | I.Ck_not_atomic ->
+      prof "check-notatomic" (fun env ->
+          Machine.burn_fuel env.m;
+          Cost.op_check env.cost;
+          if Machine.atomic_context env.m then
+            Trap.trap Trap.Not_atomic_check "assertion: not in atomic context (%s)" reason)
+
 (* ------------------------------------------------------------------ *)
-(* Statements: structured -> flat lowering.                           *)
+(* Phase C: mid-level items and terminators to closures.              *)
 (* ------------------------------------------------------------------ *)
 
-(* Guard an expression compiled for a terminator: compile-time traps
-   on malformed shapes become runtime traps, as in the tree-walker. *)
-and cexp_safe ctx (e : I.exp) : env -> int64 =
-  match cexp ctx e with
-  | f -> f
-  | exception Trap.Trap (k, m) -> fun _ -> raise (Trap.Trap (k, m))
+and codegen_mi ctx (item : mi) : env -> unit =
+  match item with
+  | Mi i -> compile_instr ctx i
+  | Mfuel -> prof "fuel" (fun env -> Machine.burn_fuel env.m)
+  | Mdeadmove -> fun env -> burn env
+  | Mscope_enter -> fun env -> Machine.delayed_scope_enter env.m
+  | Mscope_exit where -> fun env -> Machine.delayed_scope_exit env.m ~where
+  | Mretval None -> fun env -> env.retv <- 0L
+  | Mretval (Some e) ->
+      if ctx.fopt then (
+        match classify_safe ctx e with
+        | Oc v -> fun env -> env.retv <- v
+        | Oreg i -> fun env -> env.retv <- rget env.regs i
+        | Odyn f -> fun env -> env.retv <- f env)
+      else
+        let ce = cexp_safe ctx e in
+        fun env -> env.retv <- ce env
+  | Mfused (is, name) -> (
+      ostat ("fuse:" ^ name);
+      (* Best case: every member describes as a micro-op and the whole
+         run becomes one flat closure — immediate-tag dispatch, no
+         per-instruction closure call. A compile-time trap while
+         describing falls back to [compile_instr], which defers it. *)
+      let described =
+        List.fold_left
+          (fun acc i ->
+            match acc with
+            | None -> None
+            | Some us -> (
+                match try describe_instr ctx i with Trap.Trap _ -> None with
+                | Some u -> Some (u :: us)
+                | None -> None))
+          (Some []) is
+      in
+      match described with
+      | Some us -> (
+          ostat "fuse:flat";
+          match List.rev us with
+          | [ u1; u2 ] ->
+              fun env ->
+                burn env;
+                run_uop env u1;
+                burn env;
+                run_uop env u2
+          | [ u1; u2; u3 ] ->
+              fun env ->
+                burn env;
+                run_uop env u1;
+                burn env;
+                run_uop env u2;
+                burn env;
+                run_uop env u3
+          | [ u1; u2; u3; u4 ] ->
+              fun env ->
+                burn env;
+                run_uop env u1;
+                burn env;
+                run_uop env u2;
+                burn env;
+                run_uop env u3;
+                burn env;
+                run_uop env u4
+          | us ->
+              let a = Array.of_list us in
+              fun env ->
+                Array.iter
+                  (fun u ->
+                    burn env;
+                    run_uop env u)
+                  a)
+      | None -> (
+          match List.map (compile_instr ctx) is with
+          | [ f; g ] ->
+              fun env ->
+                f env;
+                g env
+          | [ f; g; h ] ->
+              fun env ->
+                f env;
+                g env;
+                h env
+          | [ f; g; h; k ] ->
+              fun env ->
+                f env;
+                g env;
+                h env;
+                k env
+          | fs ->
+              let a = Array.of_list fs in
+              fun env -> Array.iter (fun f -> f env) a))
 
-and lower_block ctx (lenv : lenv) (b : I.block) : unit = List.iter (lower_stmt ctx lenv) b
-
-and lower_stmt ctx (lenv : lenv) (s : I.stmt) : unit =
-  match s.I.sk with
-  | I.Sinstr i -> emit ctx (compile_instr ctx i)
-  | I.Sif (c, b1, b2) ->
-      let cc = cexp_safe ctx c in
-      let bt = new_block ctx in
-      let bf = new_block ctx in
-      let join = new_block ctx in
-      let tid = bt.bid and fid = bf.bid in
-      seal ctx
-        (prof_term "br-if" (fun env ->
-             Cost.op_branch env.cost;
-             if cc env <> 0L then tid else fid));
-      start ctx bt;
-      lower_block ctx lenv b1;
-      seal ctx (goto join);
-      start ctx bf;
-      lower_block ctx lenv b2;
-      seal ctx (goto join);
-      start ctx join
-  | I.Swhile (c, body, step) ->
-      let cc = cexp_safe ctx c in
-      let head = new_block ctx in
-      let bbody = new_block ctx in
-      let bstep = new_block ctx in
-      let bexit = new_block ctx in
-      seal ctx (goto head);
-      start ctx head;
-      let bodyid = bbody.bid and exitid = bexit.bid in
+and codegen_term ctx (t : mterm) : env -> int =
+  match t with
+  | Munset -> assert false
+  | Mgoto tgt -> fun _ -> tgt
+  | Mret -> prof_term "return" (fun _ -> -1)
+  | Mif (c, tid, fid) -> (
+      match (try ccond_cmp_parts ctx c with Trap.Trap _ -> None) with
+      | Some (ck, oa, ob) -> cmp_term ~name:"br-if" ~burns:false ck oa ob tid fid
+      | None -> (
+          match ccond_safe ctx c with
+          | Some cb ->
+              prof_term "br-if" (fun env ->
+                  c_branch env;
+                  if cb env then tid else fid)
+          | None ->
+              let cc = cexp_safe ctx c in
+              prof_term "br-if" (fun env ->
+                  Cost.op_branch env.cost;
+                  if cc env <> 0L then tid else fid)))
+  | Mwhile (c, bodyid, exitid) -> (
       (* One loop iteration: fuel burn, branch charge, condition — in
          the tree-walker's order. *)
-      seal ctx
-        (prof_term "br-while" (fun env ->
-             Machine.burn_fuel env.m;
-             Cost.op_branch env.cost;
-             if cc env = 0L then exitid else bodyid));
-      let d = List.length lenv.scopes in
-      start ctx bbody;
-      lower_block ctx { lenv with brk = Some (bexit.bid, d); cont = Some (bstep.bid, d) } body;
-      seal ctx (goto bstep);
-      start ctx bstep;
-      lower_block ctx { lenv with brk = Some (bexit.bid, d); cont = Some (head.bid, d) } step;
-      seal ctx (goto head);
-      start ctx bexit
-  | I.Sdowhile (body, c) ->
-      let cc = cexp_safe ctx c in
-      let head = new_block ctx in
-      let bcond = new_block ctx in
-      let bexit = new_block ctx in
-      seal ctx (goto head);
-      start ctx head;
-      emit ctx (prof "fuel" (fun env -> Machine.burn_fuel env.m));
-      let d = List.length lenv.scopes in
-      lower_block ctx { lenv with brk = Some (bexit.bid, d); cont = Some (bcond.bid, d) } body;
-      seal ctx (goto bcond);
-      start ctx bcond;
-      let headid = head.bid and exitid = bexit.bid in
-      seal ctx
-        (prof_term "br-dowhile" (fun env ->
-             Cost.op_branch env.cost;
-             if cc env <> 0L then headid else exitid));
-      start ctx bexit
-  | I.Sswitch (e, cases) ->
+      match (try ccond_cmp_parts ctx c with Trap.Trap _ -> None) with
+      | Some (ck, oa, ob) -> cmp_term ~name:"br-while" ~burns:true ck oa ob bodyid exitid
+      | None -> (
+          match ccond_safe ctx c with
+          | Some cb ->
+              prof_term "br-while" (fun env ->
+                  burn env;
+                  c_branch env;
+                  if cb env then bodyid else exitid)
+          | None ->
+              let cc = cexp_safe ctx c in
+              prof_term "br-while" (fun env ->
+                  Machine.burn_fuel env.m;
+                  Cost.op_branch env.cost;
+                  if cc env = 0L then exitid else bodyid)))
+  | Mdowhile (c, headid, exitid) -> (
+      match (try ccond_cmp_parts ctx c with Trap.Trap _ -> None) with
+      | Some (ck, oa, ob) -> cmp_term ~name:"br-dowhile" ~burns:false ck oa ob headid exitid
+      | None -> (
+          match ccond_safe ctx c with
+          | Some cb ->
+              prof_term "br-dowhile" (fun env ->
+                  c_branch env;
+                  if cb env then headid else exitid)
+          | None ->
+              let cc = cexp_safe ctx c in
+              prof_term "br-dowhile" (fun env ->
+                  Cost.op_branch env.cost;
+                  if cc env <> 0L then headid else exitid)))
+  | Mswitch (e, tbl, default) ->
       let ce = cexp_safe ctx e in
-      let join = new_block ctx in
-      let cblocks = List.map (fun _ -> new_block ctx) cases in
-      let tbl =
-        Array.of_list (List.map2 (fun (c : I.case) (b : bblock) -> (c.I.cvals, b.bid)) cases cblocks)
-      in
-      let default =
-        let rec find_default cs bs =
-          match (cs, bs) with
-          | (c : I.case) :: cs', (b : bblock) :: bs' ->
-              if c.I.cdefault then b.bid else find_default cs' bs'
-          | _ -> join.bid
-        in
-        find_default cases cblocks
-      in
       let ncases = Array.length tbl in
-      seal ctx
-        (prof_term "switch" (fun env ->
-             let v = ce env in
-             Cost.op_branch env.cost;
-             let rec find i =
-               if i >= ncases then default
-               else
-                 let vs, b = Array.unsafe_get tbl i in
-                 if List.mem v vs then b else find (i + 1)
-             in
-             find 0));
-      let d = List.length lenv.scopes in
-      let rec lower_cases cs bs =
-        match (cs, bs) with
-        | (c : I.case) :: cs', (b : bblock) :: bs' ->
-            start ctx b;
-            lower_block ctx { lenv with brk = Some (join.bid, d) } c.I.cbody;
-            (* C fallthrough into the next case's body. *)
-            let next = match bs' with nb :: _ -> nb | [] -> join in
-            seal ctx (goto next);
-            lower_cases cs' bs'
-        | _ -> ()
-      in
-      lower_cases cases cblocks;
-      start ctx join
-  | I.Sbreak -> (
-      match lenv.brk with
-      | Some (target, d) ->
-          emit_exits ctx lenv d;
-          seal ctx (fun _ -> target);
-          start ctx (new_block ctx) (* dead code after the jump *)
-      | None ->
-          (* A top-level break leaves the function with result 0, as
-             the signal propagating out of exec_block does. *)
-          emit_exits ctx lenv 0;
-          emit ctx (fun env -> env.retv <- 0L);
-          seal ctx (prof_term "return" (fun _ -> -1));
-          start ctx (new_block ctx))
-  | I.Scontinue -> (
-      match lenv.cont with
-      | Some (target, d) ->
-          emit_exits ctx lenv d;
-          seal ctx (fun _ -> target);
-          start ctx (new_block ctx)
-      | None ->
-          emit_exits ctx lenv 0;
-          emit ctx (fun env -> env.retv <- 0L);
-          seal ctx (prof_term "return" (fun _ -> -1));
-          start ctx (new_block ctx))
-  | I.Sreturn eo ->
-      (* Evaluate the result first, then unwind delayed scopes — the
-         order the tree-walker's `Return signal propagation gives. *)
-      (match eo with
-      | None -> emit ctx (fun env -> env.retv <- 0L)
-      | Some e ->
-          let ce = cexp_safe ctx e in
-          emit ctx (fun env -> env.retv <- ce env));
-      emit_exits ctx lenv 0;
-      seal ctx (prof_term "return" (fun _ -> -1));
-      start ctx (new_block ctx)
-  | I.Sblock b -> lower_block ctx lenv b
-  | I.Sdelayed b ->
-      let where = Kc.Loc.to_string s.I.sloc in
-      let exit_fn env = Machine.delayed_scope_exit env.m ~where in
-      emit ctx (fun env -> Machine.delayed_scope_enter env.m);
-      lower_block ctx { lenv with scopes = exit_fn :: lenv.scopes } b;
-      emit ctx exit_fn
-  | I.Strusted b -> lower_block ctx lenv b
+      prof_term "switch" (fun env ->
+          let v = ce env in
+          Cost.op_branch env.cost;
+          let rec find i =
+            if i >= ncases then default
+            else
+              let vs, b = Array.unsafe_get tbl i in
+              if arr_mem v vs then b else find (i + 1)
+          in
+          find 0)
 
 (* ------------------------------------------------------------------ *)
 (* Functions.                                                         *)
@@ -1013,23 +3066,44 @@ and compile_fun (cc : t) (fd : I.fundec) : cfun =
            match Hashtbl.find slots v.I.vid with
            | Sreg i -> (
                match normf_opt v.I.vty with
-               | None -> fun env value -> Array.unsafe_set env.regs i value
-               | Some nf -> fun env value -> Array.unsafe_set env.regs i (nf value))
+               | None -> fun env value -> rset env.regs i value
+               | Some nf -> fun env value -> rset env.regs i (nf value))
            | Sstk o ->
                let width = Vmstate.width_of prog v.I.vty in
                fun env value -> Mem.store env.mem ~addr:(env.base + o) ~width value)
          fd.I.sformals)
   in
-  let dummy = { bid = -1; instrs = [||]; term = unset_term } in
-  let ctx = { cc; slots; blocks = []; nblocks = 0; cur = dummy; acc = [] } in
-  let entry = new_block ctx in
-  start ctx entry;
-  lower_block ctx { brk = None; cont = None; scopes = [] } fd.I.fbody;
-  seal ctx (prof_term "return" (fun _ -> -1));
-  let blocks = Array.make ctx.nblocks dummy in
-  List.iter (fun b -> blocks.(b.bid) <- b) ctx.blocks;
+  let gen = current_gen () in
+  let fopt = gen_opt_active gen in
+  (* Phase A: structured IR to mid-level blocks. *)
+  let dummy = { mid = -1; mis = []; mt = Munset } in
+  let lo = { lblocks = []; lnb = 0; lcur = dummy; lacc = [] } in
+  let entry = new_mb lo in
+  startm lo entry;
+  lower_block lo { brk = None; cont = None; scopes = [] } fd.I.fbody;
+  sealm lo Mret;
+  let mbs = Array.make (max lo.lnb 1) dummy in
+  List.iter (fun b -> mbs.(b.mid) <- b) lo.lblocks;
+  (* Phase B: peephole + superinstruction formation. *)
+  let mbs = if fopt then peephole ~slots ~nregs:!nregs mbs else mbs in
+  (* Phase C: closure codegen. *)
+  let ctx = { cc; slots; fopt } in
+  let blocks =
+    Array.mapi
+      (fun i (mb : mblock) ->
+        match codegen_block_flat ctx ~self:i mb with
+        | Some f -> { bid = i; instrs = [||]; term = f }
+        | None ->
+            {
+              bid = i;
+              instrs = Array.of_list (List.map (codegen_mi ctx) mb.mis);
+              term = codegen_term ctx mb.mt;
+            })
+      mbs
+  in
   {
     cf_body = fd.I.fbody;
+    cf_gen = gen;
     cf_nregs = !nregs;
     cf_frame_bytes = frame_bytes;
     cf_blocks = blocks;

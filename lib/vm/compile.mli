@@ -1,10 +1,16 @@
 (** Pre-compiled execution engine.
 
-    Compiles IR functions once into a flat, pre-resolved form — basic
+    Compiles IR functions into a flat, pre-resolved form — basic
     blocks of instruction closures, variable ids resolved to dense
     register/stack slots, global addresses and field offsets constant
     folded, callees resolved to direct references — and executes that
-    with an int-indexed block dispatch loop.
+    with an int-indexed block dispatch loop. A profile-guided
+    optimizer (on by default, [IVY_VM_OPT=0] disables) additionally
+    collapses jump chains, merges single-predecessor blocks,
+    constant-propagates through register slots, drops dead register
+    moves, fuses hot opcode pairs into superinstructions, and emits
+    specialized closures for the hot shapes (compare-into-branch,
+    load/store around registers, classified check operands).
 
     Strictly observationally equivalent to {!Treewalk}: identical trap
     kinds and messages, results, cycle counts, fuel burns, rodata
@@ -12,8 +18,10 @@
 
     Compiled programs are cached per [Kc.Ir.program] (physical
     identity, weakly keyed) and revalidated per function against
-    [fbody] identity, so in-place instrumentation passes transparently
-    invalidate stale code. *)
+    [fbody] identity and the compile-options generation (profiling and
+    optimizer flags), so in-place instrumentation passes and runtime
+    toggles of {!set_profiling}/{!set_opt} transparently invalidate
+    stale code. *)
 
 type t
 (** A compiled program: per-function executable code plus the baked
@@ -41,18 +49,47 @@ val compilations : t -> int
 
     Enabled by [IVY_VM_PROFILE=1] in the environment (counting code is
     only generated into closures compiled while the flag is on; when
-    off, profiling costs nothing). The table prints to stderr on exit
-    when enabled via the environment. *)
+    off, profiling costs nothing). Counters live in per-domain tables
+    merged on read, so parallel fuzz/check runs count exactly. The
+    table prints to stderr on exit whenever the flag is on at exit
+    time. While profiling is on the optimizer stands down, so the
+    counters reflect the raw opcode stream that guides fusion. *)
 
 val set_profiling : bool -> unit
-(** Toggle profiling for subsequently compiled code (tests). *)
+(** Toggle profiling. Takes effect for code executed afterwards: the
+    compile cache revalidates against the flag, so already-compiled
+    programs transparently recompile with counting closures. *)
 
 val profiling : unit -> bool
 
 val profile_table : unit -> (string * int) list
-(** Non-zero opcode counters, sorted by count descending. *)
+(** Non-zero opcode counters merged across domains, sorted by count
+    descending. *)
 
 val render_profile : unit -> string
 (** The counter table formatted for display; [""] when all zero. *)
 
 val reset_profile : unit -> unit
+
+(** {2 The optimizer switch and its compile-time counters}
+
+    On by default; [IVY_VM_OPT=0] in the environment or
+    {!set_opt}[ false] disables the peephole passes,
+    superinstruction fusion and specialized codegen (the ablation arm
+    of the vm-super benchmark). *)
+
+val set_opt : bool -> unit
+(** Toggle the optimizer; cached code compiled under the other setting
+    recompiles on next call. *)
+
+val opt_enabled : unit -> bool
+
+val opt_stats : unit -> (string * int) list
+(** Compile-time hit counters: [fuse:<a>+<b>] superinstructions
+    formed, [spec:*] specialized closures emitted, [peep:*] rewrites
+    applied. Sorted by count descending. *)
+
+val render_opt_stats : unit -> string
+(** The stats table formatted for display; [""] when all zero. *)
+
+val reset_opt_stats : unit -> unit

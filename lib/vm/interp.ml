@@ -24,6 +24,7 @@ type t = Vmstate.t = {
   builtins : (string, t -> int64 list -> int64) Hashtbl.t;
   fun_of_id : (int, Kc.Ir.fundec) Hashtbl.t;
   mutable run_fn : (t -> Kc.Ir.fundec -> int64 list -> int64) option;
+  mutable scratch : (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t list;
 }
 
 type engine = Tree | Compiled

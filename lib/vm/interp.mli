@@ -28,6 +28,8 @@ type t = Vmstate.t = {
   fun_of_id : (int, Kc.Ir.fundec) Hashtbl.t;
   mutable run_fn : (t -> Kc.Ir.fundec -> int64 list -> int64) option;
       (** installed execution engine; [None] = tree-walk reference *)
+  mutable scratch : (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t list;
+      (** compiled-engine register-file pool *)
 }
 
 (** Which execution engine to install at {!create} time. The default

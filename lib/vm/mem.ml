@@ -71,8 +71,16 @@ let check_access t addr len what =
   if not (is_valid t addr len) then
     Trap.trap Trap.Wild_access "%s of %d bytes at unmapped address %d" what len addr
 
-(* Little-endian load/store of 1/2/4/8 bytes. *)
-let load t ~addr ~width ~signed : int64 =
+(* Little-endian load/store of 1/2/4/8 bytes.
+
+   The hot paths test the validity plane with one word-wide read —
+   the plane keeps a 0/1 byte per address, so a width-wide read of it
+   equals the all-ones pattern exactly when every byte is mapped — and
+   then move the data with a single unaligned access. Anything else
+   (null page, edge of the address space, a hole in the middle of the
+   span, odd widths) falls back to the byte loop behind check_access,
+   which raises the exact trap the fast path skipped. *)
+let load_slow t ~addr ~width ~signed : int64 =
   check_access t addr width "load";
   let v = ref 0L in
   for i = width - 1 downto 0 do
@@ -84,13 +92,69 @@ let load t ~addr ~width ~signed : int64 =
   end
   else !v
 
-let store t ~addr ~width (v : int64) =
+let[@inline] load t ~addr ~width ~signed : int64 =
+  if addr >= null_page_end && addr + width <= total_size then
+    match width with
+    | 8 when Bytes.get_int64_ne t.valid addr = 0x0101010101010101L ->
+        Bytes.get_int64_le t.bytes addr
+    | 4 when Bytes.get_int32_ne t.valid addr = 0x01010101l ->
+        let v = Int64.of_int32 (Bytes.get_int32_le t.bytes addr) in
+        if signed then v else Int64.logand v 0xFFFFFFFFL
+    | 2 when Bytes.get_uint16_ne t.valid addr = 0x0101 ->
+        Int64.of_int
+          (if signed then Bytes.get_int16_le t.bytes addr else Bytes.get_uint16_le t.bytes addr)
+    | 1 when Bytes.get t.valid addr = '\001' ->
+        Int64.of_int (if signed then Bytes.get_int8 t.bytes addr else Bytes.get_uint8 t.bytes addr)
+    | _ -> load_slow t ~addr ~width ~signed
+  else load_slow t ~addr ~width ~signed
+
+let store_slow t ~addr ~width (v : int64) =
   check_access t addr width "store";
   let x = ref v in
   for i = 0 to width - 1 do
     Bytes.set t.bytes (addr + i) (Char.chr (Int64.to_int (Int64.logand !x 0xFFL)));
     x := Int64.shift_right_logical !x 8
   done
+
+let[@inline] store t ~addr ~width (v : int64) =
+  if addr >= null_page_end && addr + width <= total_size then
+    match width with
+    | 8 when Bytes.get_int64_ne t.valid addr = 0x0101010101010101L ->
+        Bytes.set_int64_le t.bytes addr v
+    | 4 when Bytes.get_int32_ne t.valid addr = 0x01010101l ->
+        Bytes.set_int32_le t.bytes addr (Int64.to_int32 v)
+    | 2 when Bytes.get_uint16_ne t.valid addr = 0x0101 ->
+        Bytes.set_uint16_le t.bytes addr (Int64.to_int v land 0xFFFF)
+    | 1 when Bytes.get t.valid addr = '\001' ->
+        Bytes.set_uint8 t.bytes addr (Int64.to_int v land 0xFF)
+    | _ -> store_slow t ~addr ~width v
+  else store_slow t ~addr ~width v
+
+(* Word-wide validity probe and raw blit for the compiled engine's
+   fused copy: [valid_fast] is exactly the fast-path guard of
+   [load]/[store] (bounds + all-ones validity word); [blit_raw] moves
+   bytes with no checks and must only run after both probes pass. A
+   same-width load/store round trip writes exactly the source bytes —
+   normalization only changes bits the store drops — so the blit is
+   the load/store pair, minus the boxing. *)
+let[@inline] valid_fast t addr width =
+  addr >= null_page_end
+  && addr + width <= total_size
+  &&
+  match width with
+  | 8 -> Bytes.get_int64_ne t.valid addr = 0x0101010101010101L
+  | 4 -> Bytes.get_int32_ne t.valid addr = 0x01010101l
+  | 2 -> Bytes.get_uint16_ne t.valid addr = 0x0101
+  | 1 -> Bytes.get t.valid addr = '\001'
+  | _ -> false
+
+let[@inline] blit_raw t ~src ~dst ~width =
+  match width with
+  | 8 -> Bytes.set_int64_le t.bytes dst (Bytes.get_int64_le t.bytes src)
+  | 4 -> Bytes.set_int32_le t.bytes dst (Bytes.get_int32_le t.bytes src)
+  | 2 -> Bytes.set_uint16_le t.bytes dst (Bytes.get_uint16_le t.bytes src)
+  | 1 -> Bytes.set_uint8 t.bytes dst (Bytes.get_uint8 t.bytes src)
+  | _ -> Bytes.blit t.bytes src t.bytes dst width
 
 (* Raw block operations used by the allocator and memcpy/memset. *)
 let blit_zero t addr len =

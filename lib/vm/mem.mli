@@ -42,6 +42,15 @@ val load : t -> addr:int -> width:int -> signed:bool -> int64
 
 val store : t -> addr:int -> width:int -> int64 -> unit
 
+(** True when a [width]-wide access at [addr] takes the fast path of
+    [load]/[store]: in bounds, off the null page, every byte mapped.
+    When false the access may still succeed on the slow path. *)
+val valid_fast : t -> int -> int -> bool
+
+(** Unchecked byte move; only sound after [valid_fast] passed for both
+    the source and the destination span. *)
+val blit_raw : t -> src:int -> dst:int -> width:int -> unit
+
 (** Bulk operations (validity-checked). *)
 
 val blit_zero : t -> int -> int -> unit

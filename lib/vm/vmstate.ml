@@ -20,6 +20,11 @@ type t = {
   fun_of_id : (int, I.fundec) Hashtbl.t;
   mutable run_fn : (t -> I.fundec -> int64 list -> int64) option;
       (* engine hook: [None] = tree-walk reference engine *)
+  mutable scratch : (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t list;
+      (* compiled-engine register-file pool: machines are
+         single-threaded, so frames returning in LIFO order can hand
+         their register files to the next call instead of mallocing a
+         bigarray per activation *)
 }
 
 let fptr_encode fid = Int64.of_int (-(fid + 16))
@@ -157,6 +162,7 @@ let create (prog : I.program) (m : Machine.t) : t =
       builtins = Hashtbl.create 64;
       fun_of_id = Hashtbl.create 64;
       run_fn = None;
+      scratch = [];
     }
   in
   List.iter (fun (fd : I.fundec) -> Hashtbl.replace t.fun_of_id fd.I.fid fd) prog.I.funcs;

@@ -20,6 +20,8 @@ type t = {
   fun_of_id : (int, Kc.Ir.fundec) Hashtbl.t;
   mutable run_fn : (t -> Kc.Ir.fundec -> int64 list -> int64) option;
       (** installed execution engine; [None] means the tree-walker *)
+  mutable scratch : (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t list;
+      (** compiled-engine register-file pool (see {!Compile}) *)
 }
 
 val fptr_encode : int -> int64

@@ -266,6 +266,151 @@ let test_profiler () =
       Alcotest.(check bool) "render non-empty" true
         (String.length (Vm.Compile.render_profile ()) > 0))
 
+(* ---- fused superinstruction paths --------------------------------- *)
+
+(* Targeted shapes for the optimizer's fused paths: merged
+   compare+branch loop terminators over every operand pairing,
+   load+binop+store bodies, copies, check+access pairs under deputy,
+   and tight self-loop bodies (the whole-block spin). Each case runs
+   tree vs compiled-with-optimizer AND compiled-without vs
+   compiled-with, so a fused path that diverges from the unfused
+   pipeline fails even where the tree-walker happens to agree. *)
+let differential_opt where (mk_prog : unit -> Kc.Ir.program)
+    (entries : (string * int64 list) list) =
+  let saved = Vm.Compile.opt_enabled () in
+  Fun.protect
+    ~finally:(fun () -> Vm.Compile.set_opt saved)
+    (fun () ->
+      let run engine opt =
+        Vm.Compile.set_opt opt;
+        let t = Vm.Builtins.boot ~engine (mk_prog ()) in
+        List.map (fun (fn, args) -> observe t fn args) entries
+      in
+      let tree = run Vm.Interp.Tree true in
+      let c_off = run Vm.Interp.Compiled false in
+      let c_on = run Vm.Interp.Compiled true in
+      List.iteri
+        (fun i ((tr, off), on) ->
+          let entry = fst (List.nth entries i) in
+          check_obs_equal (Printf.sprintf "%s[%s] tree-vs-unfused" where entry) tr off;
+          check_obs_equal (Printf.sprintf "%s[%s] unfused-vs-fused" where entry) off on)
+        (List.combine (List.combine tree c_off) c_on))
+
+let fused_cases : (string * string) list =
+  [
+    ( "spin store+inc",
+      "long buf[64];\n\
+       long main(void) { int i; for (i = 0; i < 64; i++) { buf[i] = 7; } return buf[63]; }\n" );
+    ( "spin copy",
+      "long a[32];\n\
+       long b[32];\n\
+       long main(void) { int i; for (i = 0; i < 32; i++) { a[i] = i * 3; } for (i = 0; i < \
+       32; i++) { b[i] = a[i]; } return b[31]; }\n" );
+    ( "spin load+binop+store",
+      "long a[32];\n\
+       long main(void) { int i; long s; s = 0; for (i = 0; i < 32; i++) { a[i] = i; } for (i \
+       = 0; i < 32; i++) { s = s + a[i]; } return s; }\n" );
+    ( "cmp reg-reg bound",
+      "long main(void) { int i; int n; long s; n = 17; s = 0; for (i = 0; i < n; i++) { s = \
+       s + 2; } return s; }\n" );
+    ( "cmp inside body",
+      "long main(void) { int i; long s; s = 0; for (i = 0; i < 40; i++) { if (i - (i / 3) * \
+       3 == 0) { s = s + i; } } return s; }\n" );
+    ( "trap mid fused run",
+      "long main(void) { int i; long s; s = 100; for (i = 0; i < 10; i++) { s = s / (3 - i); \
+       } return s; }\n" );
+    ( "narrow widths",
+      "char cbuf[16];\n\
+       long main(void) { int i; long s; for (i = 0; i < 16; i++) { cbuf[i] = i * 7; } s = 0; \
+       for (i = 0; i < 16; i++) { s = s + cbuf[i]; } return s; }\n" );
+  ]
+
+let test_fused_paths () =
+  List.iter
+    (fun (name, src) ->
+      let parse () = Kc.Typecheck.check_sources [ ("fused.kc", src) ] in
+      differential_opt (name ^ " base") parse [ ("main", []) ];
+      differential_opt (name ^ " deputy")
+        (fun () ->
+          let p = parse () in
+          ignore (Deputy.Dreport.deputize ~optimize:true p);
+          p)
+        [ ("main", []) ])
+    fused_cases
+
+(* The fused paths must actually engage, not just agree: compiling the
+   spin shape with the optimizer on has to report block fusion, a
+   self-loop, and the terminator copy that creates it. *)
+let test_fusion_engages () =
+  let saved = Vm.Compile.opt_enabled () in
+  Fun.protect
+    ~finally:(fun () -> Vm.Compile.set_opt saved)
+    (fun () ->
+      Vm.Compile.set_opt true;
+      Vm.Compile.reset_opt_stats ();
+      let src = List.assoc "spin store+inc" fused_cases in
+      let t =
+        Vm.Builtins.boot ~engine:Vm.Interp.Compiled
+          (Kc.Typecheck.check_sources [ ("spin.kc", src) ])
+      in
+      Alcotest.(check int64) "spin result" 7L (Vm.Interp.run t "main" []);
+      let stats = Vm.Compile.opt_stats () in
+      let count name = match List.assoc_opt name stats with Some n -> n | None -> 0 in
+      Alcotest.(check bool) "whole blocks fused" true (count "fuse:block" > 0);
+      Alcotest.(check bool) "self-loop spin formed" true (count "fuse:block-loop" > 0);
+      Alcotest.(check bool) "terminator copied onto back edge" true (count "peep:term-copy" > 0);
+      Vm.Compile.reset_opt_stats ())
+
+(* ---- optimizer toggle after compile ------------------------------- *)
+
+(* Flipping the optimizer flag after code is cached must retire that
+   code (the options generation is part of cache revalidation), not
+   keep serving closures compiled under the old flags. *)
+let test_opt_toggle_recompiles () =
+  let saved = Vm.Compile.opt_enabled () in
+  Fun.protect
+    ~finally:(fun () -> Vm.Compile.set_opt saved)
+    (fun () ->
+      let src = List.assoc "spin load+binop+store" fused_cases in
+      let prog = Kc.Typecheck.check_sources [ ("toggle.kc", src) ] in
+      let cc = Vm.Compile.of_program prog in
+      let obs_with opt =
+        Vm.Compile.set_opt opt;
+        let t = Vm.Builtins.boot ~engine:Vm.Interp.Compiled prog in
+        observe t "main" []
+      in
+      let a = obs_with true in
+      let n1 = Vm.Compile.compilations cc in
+      let b = obs_with false in
+      let n2 = Vm.Compile.compilations cc in
+      let c = obs_with true in
+      let n3 = Vm.Compile.compilations cc in
+      check_obs_equal "toggle fused-vs-unfused" a b;
+      check_obs_equal "toggle unfused-vs-refused" b c;
+      Alcotest.(check bool) "toggle off retired cached code" true (n2 > n1);
+      Alcotest.(check bool) "toggle back on retired it again" true (n3 > n2))
+
+(* ---- profiled parallel fuzz --------------------------------------- *)
+
+(* The per-opcode profile merged across worker domains must match the
+   serial profile exactly: same cases, same opcode stream, no lost or
+   double-counted updates. *)
+let test_profile_parallel_merge () =
+  Vm.Compile.reset_profile ();
+  Vm.Compile.set_profiling true;
+  Fun.protect
+    ~finally:(fun () ->
+      Vm.Compile.set_profiling false;
+      Vm.Compile.reset_profile ())
+    (fun () ->
+      ignore (Gen.Fuzz.run ~jobs:1 ~seed:5 ~count:6 ());
+      let serial = Vm.Compile.profile_table () in
+      Alcotest.(check bool) "serial profile non-empty" true (serial <> []);
+      Vm.Compile.reset_profile ();
+      ignore (Gen.Fuzz.run ~jobs:2 ~seed:5 ~count:6 ());
+      let merged = Vm.Compile.profile_table () in
+      Alcotest.(check (list (pair string int))) "merged profile equals serial" serial merged)
+
 (* ---- workloads memo ----------------------------------------------- *)
 
 let test_workloads_memo () =
@@ -288,10 +433,19 @@ let () =
           Alcotest.test_case "oob shapes" `Quick test_oob_shapes;
           Alcotest.test_case "recursion depth" `Quick test_call_depth;
         ] );
+      ( "superinstructions",
+        [
+          Alcotest.test_case "fused paths" `Quick test_fused_paths;
+          Alcotest.test_case "fusion engages" `Quick test_fusion_engages;
+          Alcotest.test_case "toggle recompiles" `Quick test_opt_toggle_recompiles;
+        ] );
       ( "campaign",
         [ Alcotest.test_case "serial summary byte-identical" `Quick test_fuzz_golden ] );
       ( "profiler",
-        [ Alcotest.test_case "opcode counters" `Quick test_profiler ] );
+        [
+          Alcotest.test_case "opcode counters" `Quick test_profiler;
+          Alcotest.test_case "parallel merge" `Quick test_profile_parallel_merge;
+        ] );
       ( "workloads",
         [ Alcotest.test_case "load memoized" `Quick test_workloads_memo ] );
     ]
